@@ -1,0 +1,62 @@
+"""Extension benches: key compression, motivation, hoisting, VM kernels."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.extras import (
+    run_budget_ablation,
+    run_hoisting,
+    run_key_compression,
+    run_motivation,
+)
+from repro.params import get_benchmark
+from repro.workloads import HEOpMix, hks_time_share
+
+from conftest import report
+
+
+def test_key_compression_rows():
+    result = run_key_compression()
+    report(result)
+    for row in result.rows:
+        assert row["AI_compressed"] > row["AI_plain"]
+
+
+def test_motivation_rows():
+    result = run_motivation()
+    report(result)
+    assert all(55 < r["hks_share_%"] < 90 for r in result.rows)
+
+
+def test_hoisting_rows():
+    result = run_hoisting()
+    report(result)
+
+
+def test_budget_ablation_rows():
+    result = run_budget_ablation()
+    report(result)
+
+
+def test_bench_workload_share(benchmark):
+    row = benchmark(hks_time_share, get_benchmark("ARK"), HEOpMix())
+    assert row["hks_share"] > 0.5
+
+
+def test_bench_vm_ntt_kernel(benchmark):
+    from repro.ntt.primes import generate_primes
+    from repro.rpu.codegen import build_ntt_kernel, run_kernel
+    from repro.rpu.vm import B1KVM
+
+    n = 1024
+    q = generate_primes(1, n, 28)[0]
+    image = build_ntt_kernel(n, q)
+    rng = np.random.default_rng(5)
+    a = rng.integers(0, q, n)
+
+    def execute():
+        vm = B1KVM(vector_length=n, memory_words=1 << 18)
+        return run_kernel(image, vm, {image.input_address: a}, n)
+
+    out = benchmark(execute)
+    assert out.shape == (n,)

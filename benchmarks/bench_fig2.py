@@ -1,0 +1,17 @@
+"""Figure 2 bench: ModUp stage timing windows per dataflow."""
+
+from repro.experiments import figure2
+
+from conftest import report
+
+
+def test_fig2_rows():
+    result = figure2.run("BTS3")
+    report(result)
+    rows = {r["dataflow"]: r for r in result.rows}
+    assert rows["OC"]["interleave"] > rows["MP"]["interleave"]
+
+
+def test_bench_traced_simulation(benchmark):
+    windows = benchmark(figure2.stage_windows, "ARK", "OC")
+    assert "ModUp.P1" in windows

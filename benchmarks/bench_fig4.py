@@ -1,0 +1,24 @@
+"""Figure 4 bench: runtime vs bandwidth for all benchmarks x dataflows."""
+
+import pytest
+
+from repro.experiments import figure4
+from repro.experiments.common import simulate
+
+from conftest import report
+
+
+def test_fig4_series():
+    result = figure4.run()
+    report(result)
+    # OC never slower than MP anywhere on the sweep.
+    for row in result.rows:
+        assert row["OC_ms"] <= row["MP_ms"] * 1.02
+
+
+@pytest.mark.parametrize("bench", ["ARK", "DPRIVE", "BTS1", "BTS2", "BTS3"])
+def test_bench_simulation_point(benchmark, bench):
+    res = benchmark(
+        simulate, bench, "OC", bandwidth_gbs=64.0, evk_on_chip=True
+    )
+    assert res.runtime_ms > 0

@@ -1,0 +1,21 @@
+"""Figure 5 bench: BTS3 with evks streamed vs on-chip."""
+
+from repro.experiments import figure56
+
+from conftest import report
+
+
+def test_fig5_series():
+    result = figure56.run_bts3()
+    report(result)
+    for row in result.rows:
+        assert row["OC_stream"] >= row["OC_onchip"] - 1e-6
+
+
+def test_bench_streamed_schedule(benchmark):
+    from repro.experiments.common import simulate
+
+    res = benchmark(
+        simulate, "BTS3", "OC", bandwidth_gbs=45.62, evk_on_chip=False
+    )
+    assert res.evk_bytes > 0

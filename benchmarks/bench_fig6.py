@@ -1,0 +1,25 @@
+"""Figure 6 bench: ARK with evks streamed vs on-chip."""
+
+from repro.experiments import figure56
+
+from conftest import report
+
+
+def test_fig6_series():
+    result = figure56.run_ark()
+    report(result)
+    for row in result.rows:
+        assert row["MP_stream"] >= row["MP_onchip"] - 1e-6
+
+
+def test_bench_streamed_vs_onchip_pair(benchmark):
+    from repro.experiments.common import runtime_ms
+
+    def pair():
+        return (
+            runtime_ms("ARK", "OC", bandwidth_gbs=23.4, evk_on_chip=False),
+            runtime_ms("ARK", "OC", bandwidth_gbs=8.0, evk_on_chip=True),
+        )
+
+    streamed, onchip = benchmark(pair)
+    assert streamed > 0 and onchip > 0

@@ -1,0 +1,24 @@
+"""Figure 7 bench: per-benchmark slowdown of streaming evks with OC."""
+
+from repro.experiments import figure7
+
+from conftest import report
+
+
+def test_fig7_rows():
+    result = figure7.run()
+    report(result)
+    for row in result.rows:
+        assert 1.0 <= row["slowdown"] < 3.5
+        if row["equiv_BW_GBs"] != "n/a":
+            assert row["BW_ratio"] >= 1.0
+
+
+def test_bench_equivalent_bandwidth(benchmark):
+    from repro.experiments.common import matching_bandwidth, runtime_ms
+
+    onchip = runtime_ms("DPRIVE", "OC", bandwidth_gbs=12.8, evk_on_chip=True)
+    bw = benchmark(
+        matching_bandwidth, "DPRIVE", "OC", onchip, evk_on_chip=False
+    )
+    assert bw is not None

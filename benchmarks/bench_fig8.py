@@ -1,0 +1,22 @@
+"""Figure 8 bench: ARK OC across bandwidth at 1x..16x MODOPS."""
+
+from repro.experiments import figure8
+from repro.experiments.common import simulate
+
+from conftest import report
+
+
+def test_fig8_series():
+    result = figure8.run()
+    report(result)
+    low = result.rows[0]
+    high = result.rows[-1]
+    assert low["1x"] / low["16x"] < 1.6      # bandwidth-bound: curves merge
+    assert high["1x"] / high["16x"] > 4.0    # compute-bound: curves fan out
+
+
+def test_bench_modops_scaling(benchmark):
+    res = benchmark(
+        simulate, "ARK", "OC", bandwidth_gbs=256.0, modops_scale=8.0
+    )
+    assert res.runtime_ms > 0

@@ -1,0 +1,17 @@
+"""Figure 9 bench: BW/MODOPS pairs matching ARK targets with streamed evks."""
+
+from repro.experiments import figure9
+
+from conftest import report
+
+
+def test_fig9_rows():
+    result = figure9.run()
+    report(result)
+    sat = [r["BW_for_saturation_GBs"] for r in result.rows if r["BW_for_saturation_GBs"] != "n/a"]
+    assert sat == sorted(sat, reverse=True)
+
+
+def test_bench_fig9_full(benchmark):
+    result = benchmark.pedantic(figure9.run, rounds=1, iterations=1)
+    assert len(result.rows) == 4

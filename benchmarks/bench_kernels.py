@@ -1,0 +1,90 @@
+"""Microbenchmarks for the functional HKS kernels (numpy implementations).
+
+These time the actual modular arithmetic — NTT, basis conversion and the
+full reference key switch — at the functional layer's ring sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CKKSContext, CKKSParams, KeyGenerator, key_switch
+from repro.ckks.keys import sample_ternary
+from repro.ntt.primes import generate_primes
+from repro.ntt.transform import NTTContext
+from repro.rns.basis import RNSBasis
+from repro.rns.bconv import BasisConverter
+from repro.rns.poly import RNSPoly
+
+
+@pytest.fixture(scope="module")
+def ntt_setup():
+    n = 1 << 12
+    q = generate_primes(1, n, 28)[0]
+    ctx = NTTContext(n, q)
+    rng = np.random.default_rng(1)
+    return ctx, rng.integers(0, q, n)
+
+
+def test_bench_ntt_forward(benchmark, ntt_setup):
+    ctx, data = ntt_setup
+    out = benchmark(ctx.forward, data)
+    assert out.shape == data.shape
+
+
+def test_bench_ntt_inverse(benchmark, ntt_setup):
+    ctx, data = ntt_setup
+    out = benchmark(ctx.inverse, data)
+    assert out.shape == data.shape
+
+
+def test_bench_ntt_batch_towers(benchmark):
+    n = 1 << 12
+    q = generate_primes(1, n, 28)[0]
+    ctx = NTTContext(n, q)
+    rng = np.random.default_rng(2)
+    towers = rng.integers(0, q, (15, n))
+    out = benchmark(ctx.forward, towers)
+    assert out.shape == towers.shape
+
+
+def test_bench_bconv(benchmark):
+    n = 1 << 12
+    primes = generate_primes(12, n, 26)
+    src = RNSBasis(primes[:6])
+    dst = RNSBasis(primes[6:])
+    conv = BasisConverter(src, dst)
+    rng = np.random.default_rng(3)
+    residues = np.stack([rng.integers(0, q, n) for q in src.moduli])
+    out = benchmark(conv.convert, residues)
+    assert out.shape == (6, n)
+
+
+@pytest.fixture(scope="module")
+def hks_setup():
+    params = CKKSParams(n=1 << 10, num_levels=6, num_aux=2, dnum=3,
+                        q_bits=28, p_bits=29, scale_bits=26)
+    ctx = CKKSContext(params)
+    kg = KeyGenerator(ctx, seed=1)
+    rng = np.random.default_rng(2)
+    key = kg.switch_key(sample_ternary(params.n, rng))
+    poly = RNSPoly.random_uniform(
+        ctx.level_basis(params.max_level), params.n, rng
+    )
+    return ctx, poly, key, params.max_level
+
+
+def test_bench_reference_key_switch(benchmark, hks_setup):
+    ctx, poly, key, level = hks_setup
+    c0, c1 = benchmark(key_switch, ctx, poly, key, level)
+    assert c0.num_towers == level + 1
+
+
+def test_bench_functional_oc_dataflow(benchmark, hks_setup):
+    from repro.core import get_dataflow
+    from repro.core.functional import execute_dataflow
+
+    ctx, poly, key, level = hks_setup
+    c0, c1 = benchmark(
+        execute_dataflow, get_dataflow("OC"), ctx, poly, key, level
+    )
+    assert c0.num_towers == level + 1

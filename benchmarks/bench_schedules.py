@@ -1,0 +1,52 @@
+"""Scheduler/simulator throughput benchmarks and the memory-budget ablation.
+
+The ablation sweeps the on-chip data budget for each dataflow (the design
+choice DESIGN.md calls out): OC's traffic stays near-compulsory down to
+small budgets while MP degrades early — the quantified version of the
+paper's Section IV argument.
+"""
+
+import pytest
+
+from repro.core import DATAFLOWS, DataflowConfig, analyze_dataflow, get_dataflow
+from repro.experiments.report import format_table
+from repro.params import MB, get_benchmark
+from repro.rpu import RPUConfig, RPUSimulator
+
+
+@pytest.mark.parametrize("dataflow", ["MP", "DC", "OC"])
+def test_bench_schedule_generation(benchmark, dataflow):
+    spec = get_benchmark("BTS3")
+    config = DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=False)
+    graph = benchmark(get_dataflow(dataflow).build, spec, config)
+    assert len(graph) > 100
+
+
+def test_bench_event_simulation(benchmark):
+    spec = get_benchmark("BTS3")
+    config = DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=True)
+    graph = get_dataflow("OC").build(spec, config)
+    sim = RPUSimulator(RPUConfig())
+    res = benchmark(sim.simulate, graph)
+    assert res.runtime_s > 0
+
+
+def test_ablation_memory_budget():
+    """Traffic vs on-chip budget: OC dominates at every budget."""
+    spec = get_benchmark("ARK")
+    rows = []
+    for budget_mb in (8, 16, 32, 64, 128, 256):
+        row = {"SRAM_MB": budget_mb}
+        for df in DATAFLOWS.values():
+            config = DataflowConfig(
+                data_sram_bytes=budget_mb * MB, evk_on_chip=False
+            )
+            report = analyze_dataflow(spec, df, config)
+            row[f"{df.name}_MB"] = round(report.total_mb, 0)
+        rows.append(row)
+    print()
+    print(format_table(rows, title="ARK traffic (MB) vs on-chip budget"))
+    for row in rows:
+        assert row["OC_MB"] <= row["MP_MB"]
+    # OC at 32 MB should already be near the huge-memory floor.
+    assert rows[2]["OC_MB"] / rows[-1]["OC_MB"] < 1.6

@@ -1,0 +1,31 @@
+"""Table II bench: schedule generation + DRAM-traffic/AI analysis.
+
+Regenerates the paper's Table II rows (DRAM MB and arithmetic intensity
+per benchmark x dataflow at 32 MB SRAM with streamed evks) and times the
+schedule analysis for each dataflow.
+"""
+
+import pytest
+
+from repro.core import DataflowConfig, analyze_dataflow, get_dataflow
+from repro.experiments import table2
+from repro.params import MB, get_benchmark
+
+from conftest import report
+
+CONFIG = DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=False)
+
+
+def test_table2_rows(once_per_session):
+    result = table2.run()
+    report(result)
+    assert len(result.rows) == 15
+
+
+@pytest.mark.parametrize("dataflow", ["MP", "DC", "OC"])
+@pytest.mark.parametrize("bench", ["ARK", "BTS3"])
+def test_bench_schedule_analysis(benchmark, bench, dataflow):
+    spec = get_benchmark(bench)
+    df = get_dataflow(dataflow)
+    result = benchmark(analyze_dataflow, spec, df, CONFIG)
+    assert result.total_bytes > 0

@@ -1,0 +1,24 @@
+"""Table III bench: parameter-set size derivation (exact identities)."""
+
+from repro.experiments import table3
+from repro.params import BENCHMARKS, MB
+
+from conftest import report
+
+
+def test_table3_rows():
+    result = table3.run()
+    report(result)
+    for row in result.rows:
+        assert row["evk_MB"] == row["paper_evk"]
+
+
+def test_bench_size_model(benchmark):
+    def compute_all():
+        return [
+            (spec.evk_bytes, spec.temp_bytes, spec.digit_sizes)
+            for spec in BENCHMARKS.values()
+        ]
+
+    sizes = benchmark(compute_all)
+    assert sizes[0][0] == 112 * MB

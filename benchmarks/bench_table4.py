@@ -1,0 +1,20 @@
+"""Table IV bench: OCbase bandwidth search and OC-vs-MP speedups."""
+
+from repro.experiments import table4
+from repro.experiments.common import baseline_runtime_ms, grid_ocbase
+
+from conftest import report
+
+
+def test_table4_rows():
+    result = table4.run()
+    report(result)
+    for row in result.rows:
+        assert row["speedup"] > 1.0
+        assert row["saved_BW"] >= 2.0
+
+
+def test_bench_ocbase_search(benchmark):
+    base = baseline_runtime_ms("ARK")
+    ocbase = benchmark(grid_ocbase, "ARK", base)
+    assert ocbase is not None

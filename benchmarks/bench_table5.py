@@ -1,0 +1,21 @@
+"""Table V bench: configurations matching ARK's saturation point."""
+
+from repro.experiments import table5
+from repro.experiments.common import matching_bandwidth, runtime_ms
+
+from conftest import report
+
+
+def test_table5_rows():
+    result = table5.run()
+    report(result)
+    rows = {r["dataflow"]: r for r in result.rows}
+    assert rows["OC"]["rel_BW"] < rows["DC"]["rel_BW"]
+
+
+def test_bench_bandwidth_bisection(benchmark):
+    target = runtime_ms("ARK", "OC", bandwidth_gbs=128.0)
+    bw = benchmark(
+        matching_bandwidth, "ARK", "OC", target * 1.001,
+    )
+    assert bw is not None

@@ -1,0 +1,17 @@
+"""Benchmark-suite helpers: render each experiment's table once."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(result) -> None:
+    """Print a rendered experiment table (visible with pytest -s)."""
+    print()
+    print(result.render())
+
+
+@pytest.fixture(scope="session")
+def once_per_session():
+    """Set of keys used to print each experiment table only once."""
+    return set()

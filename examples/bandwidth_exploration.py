@@ -1,0 +1,63 @@
+"""Bandwidth/compute design-space exploration on the RPU simulator.
+
+Answers the accelerator designer's questions for one benchmark:
+* how does each dataflow's HKS runtime scale with DRAM bandwidth?
+* at what bandwidth does OC match the MP @ 64 GB/s baseline (OCbase)?
+* what does streaming the evaluation keys (12.25x less SRAM) cost?
+
+Run:  python examples/bandwidth_exploration.py [BENCHMARK]
+"""
+
+import sys
+
+from repro.experiments.common import (
+    baseline_runtime_ms,
+    grid_ocbase,
+    matching_bandwidth,
+    runtime_ms,
+    simulate,
+)
+from repro.experiments.report import format_table
+from repro.rpu import standard_sweep
+
+
+def main(benchmark: str = "ARK") -> None:
+    print(f"=== {benchmark}: runtime vs bandwidth (evks on-chip) ===")
+    rows = []
+    for bw in standard_sweep(extended=True):
+        res_oc = simulate(benchmark, "OC", bandwidth_gbs=bw)
+        rows.append(
+            {
+                "BW_GBs": bw,
+                "MP_ms": round(runtime_ms(benchmark, "MP", bandwidth_gbs=bw), 2),
+                "DC_ms": round(runtime_ms(benchmark, "DC", bandwidth_gbs=bw), 2),
+                "OC_ms": round(res_oc.runtime_ms, 2),
+                "OC_idle_%": round(res_oc.compute_idle_fraction * 100, 1),
+            }
+        )
+    print(format_table(rows))
+    print()
+
+    base = baseline_runtime_ms(benchmark)
+    ocbase = grid_ocbase(benchmark, base)
+    print(f"baseline (MP @ 64 GB/s, keys on-chip): {base:.2f} ms")
+    if ocbase:
+        mp_at = runtime_ms(benchmark, "MP", bandwidth_gbs=ocbase)
+        oc_at = runtime_ms(benchmark, "OC", bandwidth_gbs=ocbase)
+        print(
+            f"OCbase = {ocbase} GB/s ({64 / ocbase:.1f}x bandwidth saved); "
+            f"at that point OC is {mp_at / oc_at:.2f}x faster than MP"
+        )
+
+    onchip_ms = runtime_ms(benchmark, "OC", bandwidth_gbs=ocbase or 64.0)
+    equiv = matching_bandwidth(benchmark, "OC", onchip_ms, evk_on_chip=False)
+    if equiv:
+        print(
+            f"streaming keys: need {equiv:.1f} GB/s to match on-chip keys at "
+            f"{ocbase} GB/s — {equiv / (ocbase or 64.0):.2f}x more bandwidth "
+            f"for 12.25x less SRAM"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "ARK")

@@ -1,0 +1,72 @@
+"""repro — a reproduction of CiFlow (ISPASS 2024).
+
+CiFlow analyzes the dataflow of hybrid key switching (HKS), the dominant
+kernel of CKKS homomorphic encryption, and proposes three schedules —
+Max-Parallel, Digit-Centric and Output-Centric — evaluated on the RPU
+vector processor.  This package implements the full stack from scratch:
+
+* :mod:`repro.ntt` / :mod:`repro.rns` — modular arithmetic, negacyclic
+  NTT, RNS polynomials and fast basis conversion;
+* :mod:`repro.ckks` — a working full-RNS CKKS scheme whose hybrid key
+  switching is the algorithm under study;
+* :mod:`repro.core` — the paper's contribution: HKS stage algebra, the
+  three dataflow schedulers over a shared on-chip memory model, functional
+  execution, and traffic/AI analytics;
+* :mod:`repro.rpu` — the RPU machine model, B1K ISA and the dual-queue
+  decoupled task simulator;
+* :mod:`repro.experiments` — regenerates every table and figure of the
+  paper's evaluation (``python -m repro.experiments``).
+"""
+
+from repro.ckks import (
+    CKKSContext,
+    CKKSParams,
+    Ciphertext,
+    Decryptor,
+    Encoder,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    key_switch,
+)
+from repro.core import (
+    DATAFLOWS,
+    DataflowConfig,
+    DigitCentric,
+    HKSShape,
+    MaxParallel,
+    OutputCentric,
+    TaskGraph,
+    analyze_dataflow,
+    get_dataflow,
+)
+from repro.params import BENCHMARKS, BenchmarkSpec, get_benchmark
+from repro.rpu import RPUConfig, RPUSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "CKKSContext",
+    "CKKSParams",
+    "Ciphertext",
+    "DATAFLOWS",
+    "DataflowConfig",
+    "Decryptor",
+    "DigitCentric",
+    "Encoder",
+    "Encryptor",
+    "Evaluator",
+    "HKSShape",
+    "KeyGenerator",
+    "MaxParallel",
+    "OutputCentric",
+    "RPUConfig",
+    "RPUSimulator",
+    "TaskGraph",
+    "analyze_dataflow",
+    "get_benchmark",
+    "get_dataflow",
+    "key_switch",
+]

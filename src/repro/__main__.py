@@ -1,0 +1,131 @@
+"""Top-level CLI: inspect benchmarks, dataflows and quick simulations.
+
+Usage::
+
+    python -m repro info                      # library + benchmark summary
+    python -m repro analyze BTS3              # Table-II-style analysis
+    python -m repro simulate ARK --dataflow OC --bandwidth 12.8
+    python -m repro trace ARK --dataflow MP --bandwidth 8
+
+(Full paper regeneration lives in ``python -m repro.experiments``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.core import DATAFLOWS, DataflowConfig, analyze_dataflow, get_dataflow
+from repro.experiments.report import format_table
+from repro.params import BENCHMARKS, MB, get_benchmark
+from repro.rpu import RPUConfig, RPUSimulator
+from repro.rpu.trace_report import render_trace_summary
+
+
+def cmd_info(_args) -> int:
+    print(f"repro {__version__} — CiFlow (ISPASS 2024) reproduction")
+    print()
+    rows = [spec.describe() for spec in BENCHMARKS.values()]
+    print(format_table(rows, title="benchmarks (paper Table III):"))
+    print()
+    print("dataflows:", ", ".join(f"{d.name} ({d.title})" for d in DATAFLOWS.values()))
+    print("experiments: python -m repro.experiments --list")
+    return 0
+
+
+def _dataflow_config(args) -> DataflowConfig:
+    return DataflowConfig(
+        data_sram_bytes=args.sram_mb * MB,
+        evk_on_chip=not args.stream_keys,
+        key_compression=getattr(args, "compress_keys", False),
+    )
+
+
+def cmd_analyze(args) -> int:
+    spec = get_benchmark(args.benchmark)
+    config = _dataflow_config(args)
+    rows = []
+    for dataflow in DATAFLOWS.values():
+        report = analyze_dataflow(spec, dataflow, config)
+        rows.append(report.as_row())
+    print(format_table(rows, title=f"{spec.name}: DRAM traffic and AI"))
+    return 0
+
+
+def _rpu_config(args) -> RPUConfig:
+    return RPUConfig(
+        bandwidth_bytes_per_s=args.bandwidth * 1e9,
+        data_sram_bytes=args.sram_mb * MB,
+        key_sram_bytes=0 if args.stream_keys else 360 * MB,
+        modops_scale=args.modops,
+    )
+
+
+def cmd_simulate(args) -> int:
+    spec = get_benchmark(args.benchmark)
+    graph = get_dataflow(args.dataflow).build(spec, _dataflow_config(args))
+    result = RPUSimulator(_rpu_config(args)).simulate(graph)
+    print(
+        f"{spec.name}/{args.dataflow.upper()} @ {args.bandwidth} GB/s, "
+        f"{args.modops:g}x MODOPS, keys "
+        f"{'streamed' if args.stream_keys else 'on-chip'}:"
+    )
+    print(f"  runtime        {result.runtime_ms:10.2f} ms")
+    print(f"  DRAM traffic   {result.total_bytes / MB:10.1f} MB")
+    print(f"  compute idle   {result.compute_idle_fraction * 100:10.1f} %")
+    print(f"  achieved       {result.achieved_gbs:10.1f} GB/s, "
+          f"{result.achieved_gops:.1f} GOPS")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    spec = get_benchmark(args.benchmark)
+    graph = get_dataflow(args.dataflow).build(spec, _dataflow_config(args))
+    result = RPUSimulator(_rpu_config(args)).simulate(graph, collect_trace=True)
+    print(render_trace_summary(
+        result, title=f"{spec.name}/{args.dataflow.upper()} @ {args.bandwidth} GB/s"
+    ))
+    return 0
+
+
+def _add_machine_args(parser) -> None:
+    parser.add_argument("benchmark", help="BTS1..3, ARK or DPRIVE")
+    parser.add_argument("--dataflow", default="OC", help="MP, DC or OC")
+    parser.add_argument("--bandwidth", type=float, default=64.0,
+                        help="off-chip bandwidth in GB/s")
+    parser.add_argument("--modops", type=float, default=1.0,
+                        help="compute throughput multiplier")
+    parser.add_argument("--sram-mb", type=int, default=32,
+                        help="on-chip data memory in MB")
+    parser.add_argument("--stream-keys", action="store_true",
+                        help="stream evks from DRAM instead of key SRAM")
+    parser.add_argument("--compress-keys", action="store_true",
+                        help="seed-compress streamed keys (half traffic)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="library and benchmark summary")
+    p_analyze = sub.add_parser("analyze", help="traffic/AI analysis")
+    p_analyze.add_argument("benchmark")
+    p_analyze.add_argument("--sram-mb", type=int, default=32)
+    p_analyze.add_argument("--stream-keys", action="store_true", default=True)
+    p_analyze.add_argument("--onchip-keys", dest="stream_keys",
+                           action="store_false")
+    p_analyze.add_argument("--compress-keys", action="store_true")
+    for name, fn in (("simulate", cmd_simulate), ("trace", cmd_trace)):
+        p = sub.add_parser(name, help=f"{name} one configuration")
+        _add_machine_args(p)
+        p.set_defaults(func=fn)
+    args = parser.parse_args(argv)
+    if args.command == "info" or args.command is None:
+        return cmd_info(args)
+    if args.command == "analyze":
+        return cmd_analyze(args)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

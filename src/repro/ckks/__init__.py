@@ -1,0 +1,53 @@
+"""Full-RNS CKKS scheme with hybrid key switching (the HKS substrate)."""
+
+from repro.ckks.context import CKKSContext, CKKSParams
+from repro.ckks.encoding import Encoder
+from repro.ckks.encrypt import Ciphertext, Decryptor, Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.hoisting import (
+    hoisted_rotations,
+    hoisting_savings,
+    power_of_two_steps,
+    rotate_arbitrary,
+)
+from repro.ckks.keys import (
+    KeyGenerator,
+    KeySwitchKey,
+    PublicKey,
+    SecretKey,
+    rotation_galois_element,
+)
+from repro.ckks.keyswitch import apply_evk, key_switch, mod_down, mod_up_digit
+from repro.ckks.linear import LinearTransform, generate_bsgs_keys
+from repro.ckks.noise import NoiseEstimate, NoiseModel, measure_noise
+from repro.ckks.polyeval import evaluate_horner, evaluate_power_basis
+
+__all__ = [
+    "LinearTransform",
+    "NoiseEstimate",
+    "NoiseModel",
+    "evaluate_horner",
+    "evaluate_power_basis",
+    "generate_bsgs_keys",
+    "hoisted_rotations",
+    "hoisting_savings",
+    "measure_noise",
+    "power_of_two_steps",
+    "rotate_arbitrary",
+    "CKKSContext",
+    "CKKSParams",
+    "Ciphertext",
+    "Decryptor",
+    "Encoder",
+    "Encryptor",
+    "Evaluator",
+    "KeyGenerator",
+    "KeySwitchKey",
+    "PublicKey",
+    "SecretKey",
+    "apply_evk",
+    "key_switch",
+    "mod_down",
+    "mod_up_digit",
+    "rotation_galois_element",
+]

@@ -1,0 +1,184 @@
+"""CKKS cryptographic context: moduli chains, digits, and derived bases.
+
+The context owns everything that is fixed once parameters are chosen: the
+``Q`` moduli chain, the auxiliary ``P`` chain used by hybrid key switching,
+the digit partition (``dnum`` digits of ``alpha`` towers each, Table I of
+the paper), and the precomputed scalars HKS and rescaling need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import inv_mod
+from repro.ntt.primes import generate_primes
+from repro.ntt.transform import is_power_of_two
+from repro.rns.basis import RNSBasis
+
+
+@dataclass(frozen=True)
+class CKKSParams:
+    """User-chosen CKKS parameters (functional layer).
+
+    Attributes
+    ----------
+    n:
+        Ring degree (power of two).  The functional layer typically runs at
+        ``2**10 .. 2**13``; performance modelling uses the paper's ``2**16``
+        and ``2**17`` without touching this class.
+    num_levels:
+        ``L + 1`` — the number of ``q`` moduli in the chain.
+    num_aux:
+        ``K`` — the number of ``p`` moduli in the key-switching basis.
+    dnum:
+        Number of digits the chain is decomposed into for hybrid KS.
+    q_bits / p_bits:
+        Bit sizes of the chain and auxiliary primes.
+    scale_bits:
+        log2 of the encoding scale Delta.
+    """
+
+    n: int = 1 << 10
+    num_levels: int = 6
+    num_aux: int = 2
+    dnum: int = 3
+    q_bits: int = 28
+    p_bits: int = 29
+    scale_bits: int = 26
+    error_std: float = 3.2
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n):
+            raise ParameterError(f"N must be a power of two, got {self.n}")
+        if self.num_levels < 1 or self.num_aux < 1:
+            raise ParameterError("need at least one q modulus and one p modulus")
+        if not 1 <= self.dnum <= self.num_levels:
+            raise ParameterError(
+                f"dnum={self.dnum} must be in [1, num_levels={self.num_levels}]"
+            )
+        if self.scale_bits >= self.q_bits + 3:
+            raise ParameterError("scale must not exceed the prime size")
+
+    @property
+    def alpha(self) -> int:
+        """Towers per digit, ``ceil((L+1)/dnum)`` (paper Table I)."""
+        return -(-self.num_levels // self.dnum)
+
+    @property
+    def max_level(self) -> int:
+        """``L``: the level of a fresh ciphertext."""
+        return self.num_levels - 1
+
+    @property
+    def scale(self) -> float:
+        return float(1 << self.scale_bits)
+
+
+class CKKSContext:
+    """Precomputed cryptographic state shared by all keys and ciphertexts."""
+
+    def __init__(self, params: CKKSParams):
+        self.params = params
+        n = params.n
+        q_moduli = generate_primes(params.num_levels, n, params.q_bits)
+        p_moduli = generate_primes(
+            params.num_aux, n, params.p_bits, distinct_from=q_moduli
+        )
+        #: Chain basis Q = q_0 * ... * q_L.
+        self.q_basis = RNSBasis(q_moduli)
+        #: Auxiliary basis P = p_0 * ... * p_{K-1}.
+        self.p_basis = RNSBasis(p_moduli)
+        #: Full key-switching basis D = Q ++ P (q towers first, then p).
+        self.full_basis = self.q_basis.concat(self.p_basis)
+        #: [P^-1 mod q_i] for ModDown's final scaling.
+        self.p_inv_mod_q: Tuple[int, ...] = tuple(
+            inv_mod(self.p_basis.product % q, q) for q in q_moduli
+        )
+        #: [P mod q_i] used when forming evk plaintext terms.
+        self.p_mod_q: Tuple[int, ...] = tuple(
+            self.p_basis.product % q for q in q_moduli
+        )
+
+    # -- digit structure -------------------------------------------------------
+
+    def digit_indices(self, level: int) -> List[List[int]]:
+        """Tower-index groups for each active digit at ``level``.
+
+        At level ``l`` the active towers are ``0..l``; they are split into
+        chunks of ``alpha``, so the last digit may be partial.  This is the
+        digit decomposition drawn as the three colours in paper Figure 1.
+        """
+        self._check_level(level)
+        alpha = self.params.alpha
+        active = list(range(level + 1))
+        return [active[i : i + alpha] for i in range(0, len(active), alpha)]
+
+    def num_digits(self, level: int) -> int:
+        """Active digit count at ``level`` (= dnum at the top level)."""
+        return len(self.digit_indices(level))
+
+    def level_basis(self, level: int) -> RNSBasis:
+        """Basis of the active chain towers ``{q_0 .. q_level}``."""
+        self._check_level(level)
+        return self.q_basis.prefix(level + 1)
+
+    def extended_basis(self, level: int) -> RNSBasis:
+        """``{q_0..q_level} ++ P`` — the ModUp target basis at ``level``."""
+        return self.level_basis(level).concat(self.p_basis)
+
+    def digit_basis(self, level: int, digit: int) -> RNSBasis:
+        """Basis of one digit's towers at ``level``."""
+        return self.q_basis.subbasis(self.digit_indices(level)[digit])
+
+    def complement_indices(self, level: int, digit: int) -> List[int]:
+        """Indices (into the *extended* basis) of towers outside ``digit``.
+
+        The extended basis orders towers as ``q_0..q_level, p_0..p_{K-1}``;
+        the complement is everything the digit's BConv must produce.
+        """
+        digit_set = set(self.digit_indices(level)[digit])
+        q_part = [i for i in range(level + 1) if i not in digit_set]
+        p_part = [level + 1 + j for j in range(len(self.p_basis))]
+        return q_part + p_part
+
+    def digit_gadget_scalars(self, digit: int) -> List[int]:
+        """``[P * T_d mod t]`` for every modulus ``t`` of the full basis.
+
+        ``T_d = (Q/Q_d) * [(Q/Q_d)^-1]_{Q_d}`` is the gadget factor hidden in
+        digit ``d``'s evaluation key: it is ``1 (mod q_i in digit d)`` and
+        ``0 (mod q_j elsewhere)``, so summing the digit products reassembles
+        the original polynomial scaled by ``P``.
+        """
+        groups = self.digit_indices(self.params.max_level)
+        if not 0 <= digit < len(groups):
+            raise ParameterError(f"digit {digit} out of range")
+        q_d = 1
+        for i in groups[digit]:
+            q_d *= self.q_basis.moduli[i]
+        q_hat = self.q_basis.product // q_d
+        t_d = q_hat * inv_mod(q_hat % q_d, q_d)
+        p = self.p_basis.product
+        return [(p * t_d) % t for t in self.full_basis.moduli]
+
+    def rescale_inverses(self, level: int) -> List[int]:
+        """``[q_level^-1 mod q_i]`` for ``i < level`` (rescale constants)."""
+        self._check_level(level)
+        if level == 0:
+            raise ParameterError("cannot rescale below level 0")
+        q_last = self.q_basis.moduli[level]
+        return [inv_mod(q_last % q, q) for q in self.q_basis.moduli[:level]]
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self.params.max_level:
+            raise ParameterError(
+                f"level {level} out of range [0, {self.params.max_level}]"
+            )
+
+    def __repr__(self) -> str:
+        p = self.params
+        return (
+            f"CKKSContext(N={p.n}, L+1={p.num_levels}, K={p.num_aux}, "
+            f"dnum={p.dnum}, alpha={p.alpha})"
+        )

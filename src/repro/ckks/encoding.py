@@ -1,0 +1,108 @@
+"""CKKS encoder: complex vectors <-> integer polynomial coefficients.
+
+Implements the canonical embedding ``sigma: R -> C^{N/2}``.  A length-``n``
+slot vector (``n = N/2``) is placed at the primitive ``2N``-th roots of
+unity indexed by powers of five — the ordering that makes slot rotation
+correspond to the Galois automorphism ``X -> X^{5^r}`` — then pulled back
+through an inverse FFT and rounded at scale ``Delta``.
+
+The implementation uses length-``2N`` numpy FFTs: evaluations of a real
+negacyclic polynomial at all ``2N``-th roots form a spectrum supported on
+odd frequencies with the conjugate symmetry of real signals, so encode is
+"fill the odd bins, inverse FFT, truncate" and decode is the reverse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.ckks.context import CKKSContext
+from repro.rns.basis import RNSBasis
+from repro.rns.poly import Domain, RNSPoly
+
+
+class Encoder:
+    """Canonical-embedding encoder bound to one context."""
+
+    def __init__(self, context: CKKSContext):
+        self.context = context
+        n = context.params.n
+        self.num_slots = n // 2
+        #: Root index for slot j: 5^j mod 2N (and its conjugate 2N - 5^j).
+        self._rot_group = np.empty(self.num_slots, dtype=np.int64)
+        power = 1
+        for j in range(self.num_slots):
+            self._rot_group[j] = power
+            power = power * 5 % (2 * n)
+
+    # -- float <-> coefficient maps ------------------------------------------
+
+    def embed(self, slots: np.ndarray) -> np.ndarray:
+        """Slot vector (length N/2, complex) -> real coefficient vector (length N)."""
+        slots = np.asarray(slots, dtype=np.complex128)
+        if slots.shape != (self.num_slots,):
+            raise EncodingError(
+                f"expected {self.num_slots} slots, got shape {slots.shape}"
+            )
+        n = self.context.params.n
+        spectrum = np.zeros(2 * n, dtype=np.complex128)
+        spectrum[self._rot_group] = 2.0 * slots
+        spectrum[2 * n - self._rot_group] = 2.0 * np.conj(slots)
+        coeffs = np.fft.ifft(spectrum)[:n]
+        return np.real(coeffs)
+
+    def project(self, coeffs: np.ndarray) -> np.ndarray:
+        """Real coefficient vector (length N) -> slot vector (length N/2)."""
+        n = self.context.params.n
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if coeffs.shape != (n,):
+            raise EncodingError(f"expected {n} coefficients, got {coeffs.shape}")
+        spectrum = np.fft.fft(coeffs, 2 * n)
+        return spectrum[self._rot_group]
+
+    # -- plaintext encode / decode ---------------------------------------------
+
+    def encode(self, values, level: int | None = None, scale: float | None = None) -> RNSPoly:
+        """Encode a slot vector (or scalar broadcast) into an EVAL-domain poly.
+
+        ``values`` may be a scalar, a real/complex sequence of length
+        ``<= N/2`` (zero-padded), or exactly ``N/2`` slots.
+        """
+        params = self.context.params
+        if level is None:
+            level = params.max_level
+        if scale is None:
+            scale = params.scale
+        slots = self._as_slots(values)
+        coeffs = self.embed(slots) * scale
+        rounded = np.round(coeffs)
+        limit = self.context.level_basis(level).product / 2
+        if np.max(np.abs(rounded)) >= limit:
+            raise EncodingError(
+                "encoded coefficients exceed Q/2: message too large for scale/level"
+            )
+        ints = [int(c) for c in rounded]
+        basis = self.context.level_basis(level)
+        return RNSPoly.from_integers(basis, ints, domain=Domain.EVAL)
+
+    def decode(self, poly: RNSPoly, scale: float | None = None) -> np.ndarray:
+        """Decode an EVAL/COEFF-domain polynomial back to N/2 complex slots."""
+        if scale is None:
+            scale = self.context.params.scale
+        coeff_poly = poly.to_coeff()
+        ints = coeff_poly.basis.compose(coeff_poly.data, centered=True)
+        coeffs = np.array([float(v) for v in ints], dtype=np.float64)
+        return self.project(coeffs / scale)
+
+    def _as_slots(self, values) -> np.ndarray:
+        arr = np.atleast_1d(np.asarray(values, dtype=np.complex128))
+        if arr.ndim != 1 or arr.size > self.num_slots:
+            raise EncodingError(
+                f"message must be a vector of at most {self.num_slots} values"
+            )
+        if arr.size == self.num_slots:
+            return arr
+        padded = np.zeros(self.num_slots, dtype=np.complex128)
+        padded[: arr.size] = arr
+        return padded

@@ -1,0 +1,92 @@
+"""Ciphertexts, encryption and decryption."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.context import CKKSContext
+from repro.ckks.keys import PublicKey, SecretKey, sample_error, sample_ternary
+from repro.errors import ParameterError
+from repro.rns.poly import Domain, RNSPoly
+
+
+@dataclass
+class Ciphertext:
+    """A CKKS ciphertext ``(c0, c1)`` with level and scale metadata.
+
+    Decryption invariant: ``c0 + c1 * s = Delta * m + e (mod Q_level)``.
+    """
+
+    c0: RNSPoly
+    c1: RNSPoly
+    level: int
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.c0.basis != self.c1.basis:
+            raise ParameterError("ciphertext halves live in different bases")
+        if self.c0.num_towers != self.level + 1:
+            raise ParameterError(
+                f"level {self.level} needs {self.level + 1} towers, "
+                f"got {self.c0.num_towers}"
+            )
+
+    @property
+    def n(self) -> int:
+        return self.c0.n
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(self.c0.copy(), self.c1.copy(), self.level, self.scale)
+
+
+class Encryptor:
+    """Public-key (and secret-key) encryption of encoded plaintexts."""
+
+    def __init__(self, context: CKKSContext, public_key: PublicKey,
+                 seed: int | None = None):
+        self.context = context
+        self.public_key = public_key
+        self.rng = np.random.default_rng(seed)
+
+    def encrypt(self, plaintext: RNSPoly, level: int | None = None,
+                scale: float | None = None) -> Ciphertext:
+        """Standard RLWE public-key encryption of an EVAL-domain plaintext."""
+        ctx = self.context
+        if level is None:
+            level = ctx.params.max_level
+        if scale is None:
+            scale = ctx.params.scale
+        basis = ctx.level_basis(level)
+        n = ctx.params.n
+        rows = list(range(level + 1))
+        pk_b = self.public_key.b.select_towers(rows)
+        pk_a = self.public_key.a.select_towers(rows)
+        v = RNSPoly.from_integers(
+            basis, list(sample_ternary(n, self.rng)), domain=Domain.EVAL
+        )
+        e0 = RNSPoly.from_integers(
+            basis, list(sample_error(n, ctx.params.error_std, self.rng)),
+            domain=Domain.EVAL,
+        )
+        e1 = RNSPoly.from_integers(
+            basis, list(sample_error(n, ctx.params.error_std, self.rng)),
+            domain=Domain.EVAL,
+        )
+        pt = plaintext if plaintext.num_towers == level + 1 else plaintext.select_towers(rows)
+        c0 = pk_b * v + e0 + pt
+        c1 = pk_a * v + e1
+        return Ciphertext(c0, c1, level, scale)
+
+
+class Decryptor:
+    """Secret-key decryption back to an EVAL-domain plaintext polynomial."""
+
+    def __init__(self, context: CKKSContext, secret_key: SecretKey):
+        self.context = context
+        self.secret_key = secret_key
+
+    def decrypt(self, ct: Ciphertext) -> RNSPoly:
+        s = self.secret_key.poly(ct.c0.basis)
+        return ct.c0 + ct.c1 * s

@@ -1,0 +1,160 @@
+"""Homomorphic evaluator: add, multiply, rescale, relinearize, rotate.
+
+Multiplication and rotation are the two operations that trigger hybrid key
+switching — the paper's motivating observation is that this key switching
+dominates end-to-end runtime (~70% for private inference).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.ckks.context import CKKSContext
+from repro.ckks.encrypt import Ciphertext
+from repro.ckks.keys import KeySwitchKey, rotation_galois_element
+from repro.ckks.keyswitch import key_switch
+from repro.errors import KeySwitchError, ParameterError
+from repro.rns.poly import Domain, RNSPoly
+
+
+class Evaluator:
+    """Stateless homomorphic operations over one context.
+
+    Keys are passed per call (relinearisation / Galois) so callers control
+    which keys exist — mirroring how accelerator runtimes stage ``evks``.
+    """
+
+    def __init__(self, context: CKKSContext):
+        self.context = context
+
+    # -- linear operations ------------------------------------------------------
+
+    def add(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        self._check_aligned(x, y)
+        return Ciphertext(x.c0 + y.c0, x.c1 + y.c1, x.level, x.scale)
+
+    def sub(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        self._check_aligned(x, y)
+        return Ciphertext(x.c0 - y.c0, x.c1 - y.c1, x.level, x.scale)
+
+    def negate(self, x: Ciphertext) -> Ciphertext:
+        return Ciphertext(-x.c0, -x.c1, x.level, x.scale)
+
+    def add_plain(self, x: Ciphertext, plaintext: RNSPoly) -> Ciphertext:
+        pt = self._align_plain(x, plaintext)
+        return Ciphertext(x.c0 + pt, x.c1.copy(), x.level, x.scale)
+
+    def multiply_plain(self, x: Ciphertext, plaintext: RNSPoly,
+                       plain_scale: float | None = None) -> Ciphertext:
+        """Scale multiplies; callers usually follow with :meth:`rescale`."""
+        pt = self._align_plain(x, plaintext)
+        if plain_scale is None:
+            plain_scale = self.context.params.scale
+        return Ciphertext(x.c0 * pt, x.c1 * pt, x.level, x.scale * plain_scale)
+
+    # -- multiplication ---------------------------------------------------------
+
+    def multiply(self, x: Ciphertext, y: Ciphertext,
+                 relin_key: KeySwitchKey) -> Ciphertext:
+        """Ciphertext-ciphertext multiply, relinearised via hybrid KS.
+
+        The tensor product leaves a degree-2 part ``d2`` decryptable only by
+        ``s^2``; ``relin_key`` switches it back under ``s`` (this is one of
+        the two HKS call sites the paper analyses).  Operands must share a
+        level; scales need not match (the product's scale is their product).
+        """
+        self._check_levels(x, y)
+        d0 = x.c0 * y.c0
+        d1 = x.c0 * y.c1 + x.c1 * y.c0
+        d2 = x.c1 * y.c1
+        ks0, ks1 = key_switch(self.context, d2, relin_key, x.level)
+        return Ciphertext(d0 + ks0, d1 + ks1, x.level, x.scale * y.scale)
+
+    def square(self, x: Ciphertext, relin_key: KeySwitchKey) -> Ciphertext:
+        return self.multiply(x, x, relin_key)
+
+    def rescale(self, x: Ciphertext) -> Ciphertext:
+        """Drop the top tower and divide by ``q_level`` (scale management)."""
+        level = x.level
+        if level == 0:
+            raise ParameterError("cannot rescale a level-0 ciphertext")
+        q_last = self.context.q_basis.moduli[level]
+        inv = self.context.rescale_inverses(level)
+        c0 = self._rescale_poly(x.c0, level, inv)
+        c1 = self._rescale_poly(x.c1, level, inv)
+        return Ciphertext(c0, c1, level - 1, x.scale / q_last)
+
+    def _rescale_poly(self, poly: RNSPoly, level: int, inv_scalars) -> RNSPoly:
+        coeff = poly.to_coeff()
+        q_last = self.context.q_basis.moduli[level]
+        last = coeff.data[level]
+        half = q_last // 2
+        centered_last = np.where(last > half, last - q_last, last)
+        rows = []
+        for i in range(level):
+            q_i = self.context.q_basis.moduli[i]
+            diff = (coeff.data[i] - centered_last) % q_i
+            rows.append(diff * inv_scalars[i] % q_i)
+        out = RNSPoly(
+            self.context.level_basis(level - 1), np.stack(rows), Domain.COEFF
+        )
+        return out.to_eval()
+
+    def mod_switch_to_level(self, x: Ciphertext, level: int) -> Ciphertext:
+        """Drop towers down to ``level`` (exact, scale-preserving).
+
+        Unlike :meth:`rescale` this does not divide the message; it only
+        aligns levels so ciphertexts produced at different depths can be
+        combined.
+        """
+        if level > x.level:
+            raise ParameterError(
+                f"cannot mod-switch up: {x.level} -> {level}"
+            )
+        if level == x.level:
+            return x.copy()
+        rows = range(level + 1)
+        return Ciphertext(
+            x.c0.select_towers(rows), x.c1.select_towers(rows), level, x.scale
+        )
+
+    # -- rotations ---------------------------------------------------------------
+
+    def rotate(self, x: Ciphertext, steps: int,
+               galois_key: KeySwitchKey) -> Ciphertext:
+        """Cyclic slot rotation by ``steps`` (the other HKS call site)."""
+        g = rotation_galois_element(steps, self.context.params.n)
+        return self.apply_galois(x, g, galois_key)
+
+    def conjugate(self, x: Ciphertext, conj_key: KeySwitchKey) -> Ciphertext:
+        return self.apply_galois(x, 2 * self.context.params.n - 1, conj_key)
+
+    def apply_galois(self, x: Ciphertext, galois_element: int,
+                     key: KeySwitchKey) -> Ciphertext:
+        """Apply ``X -> X^g`` then key-switch the rotated ``c1`` back to ``s``."""
+        rot0 = x.c0.automorphism(galois_element)
+        rot1 = x.c1.automorphism(galois_element)
+        ks0, ks1 = key_switch(self.context, rot1, key, x.level)
+        return Ciphertext(rot0 + ks0, ks1, x.level, x.scale)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _check_levels(self, x: Ciphertext, y: Ciphertext) -> None:
+        if x.level != y.level:
+            raise ParameterError(
+                f"level mismatch: {x.level} vs {y.level} (mod-switch first)"
+            )
+
+    def _check_aligned(self, x: Ciphertext, y: Ciphertext) -> None:
+        self._check_levels(x, y)
+        if abs(x.scale - y.scale) > 0.5:
+            raise ParameterError(f"scale mismatch: {x.scale} vs {y.scale}")
+
+    def _align_plain(self, x: Ciphertext, plaintext: RNSPoly) -> RNSPoly:
+        if plaintext.num_towers == x.level + 1:
+            return plaintext
+        if plaintext.num_towers < x.level + 1:
+            raise ParameterError("plaintext encoded at a lower level than ciphertext")
+        return plaintext.select_towers(range(x.level + 1))

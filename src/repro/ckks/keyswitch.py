@@ -1,0 +1,135 @@
+"""Reference hybrid key switching (HKS) — paper Section III.
+
+The implementation mirrors the paper's stage names so that the dataflow
+schedulers in :mod:`repro.core` can be validated stage-by-stage against it:
+
+ModUp
+    P1 INTT (digit towers to coefficient domain) ->
+    P2 BConv (extend digit from its ``alpha`` towers to the complement
+    ``beta = l + K - alpha`` towers) -> P3 NTT -> P4 apply evk
+    (point-wise multiply with both key halves) -> P5 reduce (sum digits).
+
+ModDown
+    P1 INTT of the ``K`` auxiliary towers -> P2 BConv ``P -> Q_l`` ->
+    P3 NTT -> P4 subtract and scale by ``P^-1``.
+
+Everything operates on EVAL-domain inputs/outputs, as on the RPU.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ckks.context import CKKSContext
+from repro.ckks.keys import KeySwitchKey
+from repro.errors import KeySwitchError
+from repro.rns.bconv import get_converter
+from repro.rns.poly import Domain, RNSPoly
+
+
+def mod_up_digit(
+    context: CKKSContext, poly: RNSPoly, level: int, digit: int
+) -> RNSPoly:
+    """ModUp P1-P3 for one digit: returns the digit extended to ``Q_l ++ P``.
+
+    The output tower order matches :meth:`CKKSContext.extended_basis`:
+    chain towers first (original digit rows bypass P1-P3 untouched — the
+    "bypass" arrows of paper Figure 1), then the ``P`` towers.
+    """
+    if poly.domain is not Domain.EVAL:
+        raise KeySwitchError("ModUp expects an EVAL-domain input")
+    digit_groups = context.digit_indices(level)
+    indices = digit_groups[digit]
+    digit_poly = poly.select_towers(indices)
+
+    # P1: INTT the digit's towers into the coefficient domain.
+    digit_coeff = digit_poly.to_coeff()
+
+    # P2: BConv from the digit basis to the complement basis.
+    complement = context.complement_indices(level, digit)
+    extended = context.extended_basis(level)
+    target = extended.subbasis(complement)
+    converter = get_converter(digit_coeff.basis, target)
+    converted = RNSPoly(target, converter.convert(digit_coeff.data), Domain.COEFF)
+
+    # P3: NTT back to the evaluation domain.
+    converted_eval = converted.to_eval()
+
+    # Reassemble rows in extended-basis order (bypass towers + converted).
+    conv_rows = {tower: row for row, tower in enumerate(complement)}
+    total = level + 1 + len(context.p_basis)
+    rows = []
+    for tower in range(total):
+        if tower in conv_rows:
+            rows.append(converted_eval.data[conv_rows[tower]])
+        else:
+            local = indices.index(tower)
+            rows.append(digit_poly.data[local])
+    return RNSPoly(extended, np.stack(rows), Domain.EVAL)
+
+
+def apply_evk(
+    context: CKKSContext,
+    extended_digits: Sequence[RNSPoly],
+    key: KeySwitchKey,
+    level: int,
+) -> Tuple[RNSPoly, RNSPoly]:
+    """ModUp P4 + P5: multiply each extended digit by its evk pair and sum."""
+    pairs = key.restricted(context, level)
+    if len(extended_digits) != len(pairs):
+        raise KeySwitchError(
+            f"{len(extended_digits)} digits but key provides {len(pairs)} pairs"
+        )
+    acc0 = acc1 = None
+    for digit_poly, (b_d, a_d) in zip(extended_digits, pairs):
+        part0 = digit_poly * b_d
+        part1 = digit_poly * a_d
+        acc0 = part0 if acc0 is None else acc0 + part0
+        acc1 = part1 if acc1 is None else acc1 + part1
+    return acc0, acc1
+
+
+def mod_down(context: CKKSContext, poly: RNSPoly, level: int) -> RNSPoly:
+    """ModDown: divide an extended-basis polynomial by ``P`` back into ``Q_l``."""
+    if poly.domain is not Domain.EVAL:
+        raise KeySwitchError("ModDown expects an EVAL-domain input")
+    num_q = level + 1
+    num_p = len(context.p_basis)
+    if poly.num_towers != num_q + num_p:
+        raise KeySwitchError(
+            f"expected {num_q + num_p} towers, got {poly.num_towers}"
+        )
+    q_part = poly.select_towers(range(num_q))
+    p_part = poly.select_towers(range(num_q, num_q + num_p))
+
+    # P1: INTT of the K auxiliary towers.
+    p_coeff = p_part.to_coeff()
+    # P2: BConv P -> Q_l.
+    converter = get_converter(context.p_basis, context.level_basis(level))
+    conv = RNSPoly(
+        context.level_basis(level), converter.convert(p_coeff.data), Domain.COEFF
+    )
+    # P3: NTT back.
+    conv_eval = conv.to_eval()
+    # P4: (q_part - conv) * P^-1 per tower.
+    inv_scalars = [context.p_inv_mod_q[i] for i in range(num_q)]
+    return (q_part - conv_eval).scale_by(inv_scalars)
+
+
+def key_switch(
+    context: CKKSContext, poly: RNSPoly, key: KeySwitchKey, level: int
+) -> Tuple[RNSPoly, RNSPoly]:
+    """Full HKS of one polynomial: returns the ``(c0', c1')`` correction pair.
+
+    For input ``c`` under source secret ``s_from`` (with ``key`` switching
+    ``s_from -> s``), the outputs satisfy
+    ``c0' + c1' * s ~= c * s_from (mod Q_l)`` up to key-switching noise.
+    """
+    digits = [
+        mod_up_digit(context, poly, level, d)
+        for d in range(context.num_digits(level))
+    ]
+    acc0, acc1 = apply_evk(context, digits, key, level)
+    return mod_down(context, acc0, level), mod_down(context, acc1, level)

@@ -1,0 +1,134 @@
+"""Noise tracking: heuristic bounds and exact measurement.
+
+CKKS correctness is a noise budget: every operation grows the error term
+and decryption fails once it reaches ``Q/2``.  :class:`NoiseModel` tracks
+a conservative ``log2`` bound through the operation DAG using standard
+canonical-embedding heuristics; :func:`measure_noise` computes the *actual*
+coefficient-domain error of a ciphertext against its intended plaintext,
+so the tests can assert the model really is an upper bound (and not a
+vacuous one).
+
+The hybrid key-switching noise term here is the quantity the paper's
+``P`` modulus exists to suppress: ``B_ks ~ dnum * alpha * q * N * sigma / P``
+— undersized ``P`` (fewer ``kp`` towers than ``alpha``) makes it blow up,
+which is why Table III pairs ``kp`` with ``alpha``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.ckks.context import CKKSContext
+from repro.ckks.encoding import Encoder
+from repro.ckks.encrypt import Ciphertext
+from repro.ckks.keys import SecretKey
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class NoiseEstimate:
+    """A tracked bound: ``log2`` of the coefficient-domain error."""
+
+    log2_noise: float
+    level: int
+    scale: float
+
+    def budget_bits(self, context: CKKSContext) -> float:
+        """Remaining bits before the error reaches ``Q_level / 2``."""
+        log_q = math.log2(context.level_basis(self.level).product)
+        return log_q - 1 - self.log2_noise
+
+
+class NoiseModel:
+    """Forward noise propagation with standard heuristic bounds."""
+
+    def __init__(self, context: CKKSContext):
+        self.context = context
+        p = context.params
+        self._sigma = p.error_std
+        self._sqrt_n = math.sqrt(p.n)
+
+    # -- sources --------------------------------------------------------------
+
+    def fresh(self) -> NoiseEstimate:
+        """Public-key encryption noise: ~ sigma * (sqrt-N scaled) terms."""
+        bound = 16.0 * self._sigma * self._sqrt_n
+        return NoiseEstimate(
+            math.log2(bound), self.context.params.max_level, self.context.params.scale
+        )
+
+    def key_switch_bits(self, level: int) -> float:
+        """log2 of the additive hybrid key-switching noise after ModDown."""
+        p = self.context.params
+        alpha = p.alpha
+        dnum = self.context.num_digits(level)
+        q_max = max(self.context.q_basis.moduli[: level + 1])
+        p_prod = self.context.p_basis.product
+        bound = (
+            dnum * (alpha + 1) * q_max * self._sqrt_n * self._sigma * 8.0 / p_prod
+        )
+        # ModDown's own rounding adds a small sqrt(N)-sized term.
+        return math.log2(max(bound, 1.0) + 4.0 * self._sqrt_n)
+
+    # -- operations --------------------------------------------------------------
+
+    def add(self, a: NoiseEstimate, b: NoiseEstimate) -> NoiseEstimate:
+        if a.level != b.level:
+            raise ParameterError("noise add: level mismatch")
+        return NoiseEstimate(max(a.log2_noise, b.log2_noise) + 1.0, a.level, a.scale)
+
+    def multiply_plain(self, a: NoiseEstimate, plain_infinity: float = 1.0,
+                       plain_scale: float | None = None) -> NoiseEstimate:
+        scale = plain_scale or self.context.params.scale
+        grown = a.log2_noise + math.log2(scale * max(plain_infinity, 1e-9)) \
+            + 0.5 * math.log2(self.context.params.n)
+        return NoiseEstimate(grown, a.level, a.scale * scale)
+
+    def multiply(self, a: NoiseEstimate, b: NoiseEstimate,
+                 msg_a: float = 1.0, msg_b: float = 1.0) -> NoiseEstimate:
+        if a.level != b.level:
+            raise ParameterError("noise multiply: level mismatch")
+        half_log_n = 0.5 * math.log2(self.context.params.n)
+        cross_a = a.log2_noise + math.log2(b.scale * max(msg_b, 1e-9)) + half_log_n
+        cross_b = b.log2_noise + math.log2(a.scale * max(msg_a, 1e-9)) + half_log_n
+        grown = max(cross_a, cross_b) + 1.0
+        grown = max(grown, self.key_switch_bits(a.level))
+        return NoiseEstimate(grown + 1.0, a.level, a.scale * b.scale)
+
+    def rescale(self, a: NoiseEstimate) -> NoiseEstimate:
+        if a.level == 0:
+            raise ParameterError("cannot rescale at level 0")
+        q_last = self.context.q_basis.moduli[a.level]
+        reduced = a.log2_noise - math.log2(q_last)
+        rounding = math.log2(4.0 * self._sqrt_n)
+        return NoiseEstimate(
+            max(reduced, rounding) + 0.5, a.level - 1, a.scale / q_last
+        )
+
+    def rotate(self, a: NoiseEstimate) -> NoiseEstimate:
+        grown = max(a.log2_noise, self.key_switch_bits(a.level)) + 1.0
+        return NoiseEstimate(grown, a.level, a.scale)
+
+
+def measure_noise(
+    context: CKKSContext,
+    secret_key: SecretKey,
+    ct: Ciphertext,
+    expected_slots: np.ndarray,
+) -> float:
+    """Exact ``log2`` coefficient error of ``ct`` vs the intended message.
+
+    Decrypts, re-encodes ``expected_slots`` at the ciphertext's scale and
+    level, and returns ``log2`` of the max absolute coefficient difference
+    (composed through CRT, so this sees the true integer error).
+    """
+    encoder = Encoder(context)
+    decrypted = ct.c0 + ct.c1 * secret_key.poly(ct.c0.basis)
+    expected = encoder.encode(expected_slots, level=ct.level, scale=ct.scale)
+    diff = (decrypted - expected).to_coeff()
+    ints = diff.basis.compose(diff.data, centered=True)
+    worst = max(abs(int(v)) for v in ints)
+    return math.log2(worst) if worst else 0.0

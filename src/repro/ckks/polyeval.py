@@ -1,0 +1,174 @@
+"""Polynomial evaluation on ciphertexts (Horner and power-basis BSGS).
+
+Evaluating activation-function approximations is the other big consumer
+of ciphertext multiplications (and hence relinearization key switches) in
+private inference.  Two evaluators are provided:
+
+* :func:`evaluate_horner` — depth = degree, minimal ciphertext state;
+* :func:`evaluate_power_basis` — precomputes ``x^2, x^4, ...`` and
+  combines them (fewer levels for the same degree on shallow chains).
+
+Both manage CKKS scales explicitly: every ciphertext-ciphertext or
+ciphertext-plaintext product is followed by a rescale, and constants are
+encoded at the running scale so additions stay aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.ckks.encoding import Encoder
+from repro.ckks.encrypt import Ciphertext
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeySwitchKey
+from repro.errors import ParameterError
+from repro.rns.poly import RNSPoly
+
+
+def _encode_constant(encoder: Encoder, value: float, level: int,
+                     scale: float) -> RNSPoly:
+    return encoder.encode([value] * encoder.num_slots, level=level, scale=scale)
+
+
+def _add_constant(evaluator: Evaluator, encoder: Encoder, ct: Ciphertext,
+                  value: float) -> Ciphertext:
+    pt = _encode_constant(encoder, value, ct.level, ct.scale)
+    return evaluator.add_plain(ct, pt)
+
+
+def _mul_constant(evaluator: Evaluator, encoder: Encoder, ct: Ciphertext,
+                  value: float) -> Ciphertext:
+    pt = _encode_constant(encoder, value, ct.level, encoder.context.params.scale)
+    return evaluator.rescale(evaluator.multiply_plain(ct, pt))
+
+
+def required_depth_horner(degree: int) -> int:
+    """Multiplicative levels Horner consumes for the given degree."""
+    return max(degree - 0, 0)
+
+
+def evaluate_horner(
+    evaluator: Evaluator,
+    encoder: Encoder,
+    ct: Ciphertext,
+    coefficients: Sequence[float],
+    relin_key: KeySwitchKey,
+) -> Ciphertext:
+    """``p(x) = c_0 + c_1 x + ... + c_d x^d`` via Horner's rule.
+
+    ``coefficients`` is low-order first.  Consumes ``degree`` levels
+    (one ciphertext multiply + rescale per step).
+    """
+    coeffs = [float(c) for c in coefficients]
+    if not coeffs:
+        raise ParameterError("need at least one coefficient")
+    degree = len(coeffs) - 1
+    if degree == 0:
+        zero = evaluator.sub(ct, ct)
+        return _add_constant(evaluator, encoder, zero, coeffs[0])
+    if ct.level < degree:
+        raise ParameterError(
+            f"degree {degree} needs {degree} levels; ciphertext has {ct.level}"
+        )
+    # acc = c_d * x  (+ c_{d-1}), then repeatedly acc = acc*x + c_k.
+    acc = _mul_constant(evaluator, encoder, ct, coeffs[degree])
+    acc = _add_constant(evaluator, encoder, acc, coeffs[degree - 1])
+    for k in range(degree - 2, -1, -1):
+        x_here = _drop_to_level(evaluator, ct, acc.level)
+        acc = evaluator.rescale(evaluator.multiply(acc, x_here, relin_key))
+        acc = _add_constant(evaluator, encoder, acc, coeffs[k])
+    return acc
+
+
+def evaluate_power_basis(
+    evaluator: Evaluator,
+    encoder: Encoder,
+    ct: Ciphertext,
+    coefficients: Sequence[float],
+    relin_key: KeySwitchKey,
+) -> Ciphertext:
+    """Evaluate via precomputed powers ``x, x^2, x^3, ...``.
+
+    Builds each power from the largest smaller power (depth
+    ``ceil(log2 d)`` for the powers of two, same total multiplies as
+    Horner but a shallower critical path).
+    """
+    coeffs = [float(c) for c in coefficients]
+    degree = len(coeffs) - 1
+    if degree < 1:
+        raise ParameterError("power-basis evaluation needs degree >= 1")
+    powers: Dict[int, Ciphertext] = {1: ct}
+    for k in range(2, degree + 1):
+        half = k // 2
+        a = powers[half]
+        b = powers[k - half]
+        a, b = _mutual_align(evaluator, a, b)
+        powers[k] = evaluator.rescale(evaluator.multiply(a, b, relin_key))
+    # Combine: encode each coefficient at a corrective plaintext scale so
+    # every term comes out at exactly the canonical scale Delta, then the
+    # terms only need level alignment (an exact tower drop) to be summed.
+    delta = evaluator.context.params.scale
+    terms: List[Ciphertext] = []
+    for k in range(1, degree + 1):
+        if coeffs[k] == 0.0:
+            continue
+        power = powers[k]
+        q_next = evaluator.context.q_basis.moduli[power.level]
+        plain_scale = delta * q_next / power.scale
+        pt = encoder.encode(
+            [coeffs[k]] * encoder.num_slots, level=power.level, scale=plain_scale
+        )
+        term = evaluator.rescale(
+            evaluator.multiply_plain(power, pt, plain_scale=plain_scale)
+        )
+        terms.append(term)
+    if not terms:
+        zero = evaluator.sub(ct, ct)
+        return _add_constant(evaluator, encoder, zero, coeffs[0])
+    deepest = min(t.level for t in terms)
+    total = None
+    for term in terms:
+        term = _drop_to_level(evaluator, term, deepest)
+        total = term if total is None else evaluator.add(total, term)
+    return _add_constant(evaluator, encoder, total, coeffs[0])
+
+
+# -- level/scale alignment helpers ---------------------------------------------
+
+
+def _drop_to_level(evaluator: Evaluator, ct: Ciphertext, level: int) -> Ciphertext:
+    """Mod-switch down by dropping towers (exact, no rescale)."""
+    if level >= ct.level:
+        return ct
+    return evaluator.mod_switch_to_level(ct, level)
+
+
+def _scale_correct(evaluator: Evaluator, ct: Ciphertext,
+                   target_scale: float) -> Ciphertext:
+    """Multiply by 1 encoded at a corrective scale, then rescale.
+
+    Brings ``ct`` to exactly ``target_scale`` at the cost of one level.
+    """
+    encoder = Encoder(evaluator.context)
+    q_next = evaluator.context.q_basis.moduli[ct.level]
+    corr = target_scale * q_next / ct.scale
+    pt = encoder.encode([1.0] * encoder.num_slots, level=ct.level, scale=corr)
+    bumped = Ciphertext(ct.c0 * pt, ct.c1 * pt, ct.level, ct.scale * corr)
+    return evaluator.rescale(bumped)
+
+
+def _mutual_align(evaluator: Evaluator, a: Ciphertext, b: Ciphertext):
+    """Equalize levels and scales so the pair can be added or multiplied."""
+    for _ in range(4):
+        level = min(a.level, b.level)
+        a = _drop_to_level(evaluator, a, level)
+        b = _drop_to_level(evaluator, b, level)
+        if abs(a.scale - b.scale) <= 0.5:
+            return a, b
+        if a.scale < b.scale:
+            a = _scale_correct(evaluator, a, b.scale)
+        else:
+            b = _scale_correct(evaluator, b, a.scale)
+    raise ParameterError("could not align ciphertext scales")

@@ -1,0 +1,44 @@
+"""Digit-Centric (DC) dataflow — paper Section IV-B.
+
+"One digit at a time": each digit is loaded, INTT'd, fully expanded
+(P2 over all its target towers), NTT'd and multiplied with its evk slice
+before the next digit is touched.  Within a digit the schedule is still
+stage-ordered, so the digit's full ``beta``-tower expansion is live at
+once — smaller than MP's all-digit expansion, larger than OC's single
+output tower.  The per-digit partial products accumulate into ``acc``,
+which spills under small budgets (the paper: partial products "can either
+be stored on-chip for later reduction ... or sent off-chip").  This mirrors
+the dataflow of MAD (MICRO'23).
+"""
+
+from __future__ import annotations
+
+from repro.core.dataflow import Dataflow
+
+
+class DigitCentric(Dataflow):
+    """Per-digit schedule: all of P1-P5 for digit d, then digit d+1."""
+
+    name = "DC"
+    title = "Digit-Centric"
+
+    def schedule(self, em) -> None:
+        for d in range(em.dnum):
+            # P1: INTT this digit's towers.
+            for t in em.digit_towers(d):
+                em.intt_input(t)
+            # P2: expand the digit to its beta complement towers.
+            for j in em.all_ext():
+                if em.digit_of[j] != d:
+                    em.bconv(d, j)
+            em.free_digit_icoef(d)
+            # P3: NTT the expansion.
+            for j in em.all_ext():
+                if em.digit_of[j] != d:
+                    em.ntt_ext(d, j)
+            # P4 + P5: apply this digit's evk slice, accumulate partials.
+            for j in em.all_ext():
+                em.mulkey(d, j)
+
+        # ModDown (stage-ordered; digits play no role after the reduction).
+        em.moddown_staged()

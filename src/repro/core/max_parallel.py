@@ -1,0 +1,48 @@
+"""Max-Parallel (MP) dataflow — paper Section IV-A.
+
+Stage-by-stage over *all* towers: every input tower is INTT'd, then every
+digit is fully base-converted, then everything is NTT'd, and so on.  This
+maximizes kernel-level parallelism (any two tasks within a stage are
+independent) but materializes the entire intermediate state of each stage
+at once, so under a finite on-chip budget the BConv expansion and the
+extended digits thrash through SRAM.  MP is the baseline used by prior
+accelerators (Cheetah, HEAX).
+"""
+
+from __future__ import annotations
+
+from repro.core.dataflow import Dataflow
+
+
+class MaxParallel(Dataflow):
+    """Stage-ordered schedule: P1 for all, P2 for all, ..."""
+
+    name = "MP"
+    title = "Max-Parallel"
+
+    def schedule(self, em) -> None:
+        # ModUp P1: INTT every input tower.
+        for t in range(em.kl):
+            em.intt_input(t)
+
+        # ModUp P2: full BConv expansion of every digit.
+        for d in range(em.dnum):
+            for j in em.all_ext():
+                if em.digit_of[j] != d:
+                    em.bconv(d, j)
+
+        # ModUp P3: NTT every converted tower.
+        for d in range(em.dnum):
+            for j in em.all_ext():
+                if em.digit_of[j] != d:
+                    em.ntt_ext(d, j)
+        for d in range(em.dnum):
+            em.free_digit_icoef(d)
+
+        # ModUp P4 + P5: apply the key digit by digit, accumulating.
+        for d in range(em.dnum):
+            for j in em.all_ext():
+                em.mulkey(d, j)
+
+        # ModDown, stage-ordered as well (one result polynomial at a time).
+        em.moddown_staged()

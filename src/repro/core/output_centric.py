@@ -1,0 +1,84 @@
+"""Output-Centric (OC) dataflow — paper Section IV-C, the contribution.
+
+One *output tower* at a time.  The INTT results of as many digits as fit
+(``dnum - 1`` under the paper's 32 MB budget) are pinned on-chip and reused
+for every output tower, so ModUp P2 only ever materializes a single
+converted tower; the per-tower partial sum is accumulated immediately and
+only the accumulator is ever written back.  Digits that do not fit are
+handled in tail passes ("the final digit is loaded to compute the last
+partial sum", Section IV-C) after the pinned INTT outputs are released —
+this keeps the pinned footprint at ``(dnum-1) * alpha`` towers for BTS3,
+the paper's "INTT is applied to 30 towers [of 45]" on-chip reuse claim,
+and degrades gracefully to digit-major passes under smaller budgets.
+
+ModDown is equally output-centric: the ``K`` auxiliary INTTs are kept
+on-chip and each chain tower runs BConv -> NTT -> finish back-to-back, so
+the ModDown P2 expansion never exists in memory (the paper: "Calculating
+one output tower at a time eliminates the expansion of ModDown P2").
+"""
+
+from __future__ import annotations
+
+from repro.core.dataflow import Dataflow
+from repro.core.hks_ops import PRI_ICOEF, PRI_ICOEF_LAST
+
+
+class OutputCentric(Dataflow):
+    """Per-output-tower schedule with pinned INTT reuse and tail passes."""
+
+    name = "OC"
+    title = "Output-Centric"
+
+    def schedule(self, em) -> None:
+        # Pin up to dnum - 1 digits (the paper's BTS3 configuration: the
+        # last digit is always streamed through a tail pass, which also
+        # keeps memory traffic overlapping with compute); degrade the pin
+        # count when the budget cannot hold that many INTT outputs.
+        capacity = (
+            em.max_pinned_digits()
+            if hasattr(em, "max_pinned_digits")
+            else max(em.dnum - 1, 1)
+        )
+        limit = em.dnum - 1 if em.dnum > 1 else 1
+        pinned_count = min(limit, capacity)
+        pinned = list(range(pinned_count))
+        tail = list(range(pinned_count, em.dnum))
+
+        # ModUp P1 for the pinned digits; these stay resident for all of pass A.
+        for d in pinned:
+            for t in em.digit_towers(d):
+                em.intt_input(t, priority=PRI_ICOEF)
+
+        # Pass A: per output tower, accumulate every pinned-digit
+        # contribution (Section 1 = chain towers, Section 2 = auxiliary).
+        if pinned:
+            for j in em.all_ext():
+                owner = em.digit_of[j]
+                if owner in pinned:
+                    em.mulkey(owner, j)  # bypass: original tower, no BConv
+                for d in pinned:
+                    if d == owner:
+                        continue
+                    em.bconv(d, j)
+                    em.ntt_ext(d, j)
+                    em.mulkey(d, j)
+            for d in pinned:
+                em.free_digit_icoef(d)
+
+        # Tail passes: one per remaining digit — load + INTT it, then
+        # finish its contribution to every accumulator.
+        for d in tail:
+            for t in em.digit_towers(d):
+                em.intt_input(t, priority=PRI_ICOEF_LAST)
+            for j in em.all_ext():
+                if em.digit_of[j] == d:
+                    em.mulkey(d, j)  # bypass
+                else:
+                    em.bconv(d, j)
+                    em.ntt_ext(d, j)
+                    em.mulkey(d, j)
+            em.free_digit_icoef(d)
+
+        # Output-centric ModDown: per half, pin the K INTT results and fuse
+        # P2 -> P3 -> P4 per output tower.
+        em.moddown_output_centric()

@@ -1,0 +1,168 @@
+"""HKS stage algebra: operation and byte counts for every pipeline stage.
+
+This module is the quantitative form of paper Figure 1 / Section III: given
+a :class:`~repro.params.BenchmarkSpec` it answers "how many modular
+multiplies does ModUp P2 of digit ``d`` cost?", "how many towers does each
+stage produce?", and provides the op-count conventions used consistently by
+the analytical model, the dataflow schedulers and the RPU cost model.
+
+Conventions (documented here once, used everywhere):
+
+* an N-point negacyclic (i)NTT costs ``N/2 * log2(N)`` modular multiplies
+  and ``N * log2(N)`` modular additions (one mul + two adds per butterfly);
+* a BConv from ``a`` towers to one target tower costs ``N * a`` multiplies
+  and ``N * a`` additions (multiply-accumulate), matching the paper's
+  ``N * alpha * beta`` count for a full digit extension;
+* point-wise tower operations cost ``N`` multiplies (and ``N`` adds when
+  they accumulate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.params import BenchmarkSpec
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Modular multiply / add pair."""
+
+    muls: int
+    adds: int
+
+    @property
+    def total(self) -> int:
+        return self.muls + self.adds
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(self.muls + other.muls, self.adds + other.adds)
+
+    def __mul__(self, k: int) -> "OpCount":
+        return OpCount(self.muls * k, self.adds * k)
+
+    __rmul__ = __mul__
+
+
+def ntt_tower_ops(n: int) -> OpCount:
+    """One forward or inverse NTT of a single tower."""
+    log_n = n.bit_length() - 1
+    return OpCount(muls=(n // 2) * log_n, adds=n * log_n)
+
+
+def bconv_tower_ops(n: int, source_towers: int) -> OpCount:
+    """BConv of one *output* tower from ``source_towers`` inputs (MACs)."""
+    return OpCount(muls=n * source_towers, adds=n * source_towers)
+
+
+def pointwise_mul_ops(n: int) -> OpCount:
+    """Point-wise multiply of one tower (ApplyKey halves, ModDown scaling)."""
+    return OpCount(muls=n, adds=0)
+
+
+def pointwise_mac_ops(n: int) -> OpCount:
+    """Point-wise multiply-accumulate of one tower."""
+    return OpCount(muls=n, adds=n)
+
+
+def accumulate_ops(n: int) -> OpCount:
+    """Point-wise addition of one tower into an accumulator."""
+    return OpCount(muls=0, adds=n)
+
+
+class HKSShape:
+    """All per-stage counts for one benchmark's HKS invocation."""
+
+    def __init__(self, spec: BenchmarkSpec):
+        self.spec = spec
+
+    # -- ModUp ---------------------------------------------------------------
+
+    def modup_p1_ops(self) -> OpCount:
+        """P1: INTT of every input tower (all digits)."""
+        return self.spec.kl * ntt_tower_ops(self.spec.n)
+
+    def modup_p2_ops(self) -> OpCount:
+        """P2: BConv of each digit to its beta complement towers."""
+        total = OpCount(0, 0)
+        for d, a_d in enumerate(self.spec.digit_sizes):
+            total = total + self.spec.beta(d) * bconv_tower_ops(self.spec.n, a_d)
+        return total
+
+    def modup_p3_ops(self) -> OpCount:
+        """P3: NTT of every converted tower (beta per digit)."""
+        towers = sum(self.spec.beta(d) for d in range(self.spec.dnum))
+        return towers * ntt_tower_ops(self.spec.n)
+
+    def modup_p4_ops(self) -> OpCount:
+        """P4: point-wise evk multiply, both key halves, all digits."""
+        towers = 2 * self.spec.dnum * self.spec.extended_towers
+        return towers * pointwise_mul_ops(self.spec.n)
+
+    def modup_p5_ops(self) -> OpCount:
+        """P5: digit reduction — ``dnum - 1`` accumulations per output tower."""
+        if self.spec.dnum == 1:
+            return OpCount(0, 0)
+        towers = 2 * self.spec.extended_towers * (self.spec.dnum - 1)
+        return towers * accumulate_ops(self.spec.n)
+
+    # -- ModDown ---------------------------------------------------------------
+
+    def moddown_p1_ops(self) -> OpCount:
+        """P1: INTT of the K auxiliary towers of both polynomials."""
+        return 2 * self.spec.kp * ntt_tower_ops(self.spec.n)
+
+    def moddown_p2_ops(self) -> OpCount:
+        """P2: BConv ``P -> Q_l`` for both polynomials."""
+        return 2 * self.spec.kl * bconv_tower_ops(self.spec.n, self.spec.kp)
+
+    def moddown_p3_ops(self) -> OpCount:
+        """P3: NTT of the converted ``kl`` towers, both polynomials."""
+        return 2 * self.spec.kl * ntt_tower_ops(self.spec.n)
+
+    def moddown_p4_ops(self) -> OpCount:
+        """P4: subtract + scale by ``P^-1`` per output tower (MAC-like)."""
+        return 2 * self.spec.kl * pointwise_mac_ops(self.spec.n)
+
+    # -- totals -------------------------------------------------------------------
+
+    def stage_table(self) -> Dict[str, OpCount]:
+        """All stages by name (the per-experiment reports print this)."""
+        return {
+            "ModUp.P1(INTT)": self.modup_p1_ops(),
+            "ModUp.P2(BConv)": self.modup_p2_ops(),
+            "ModUp.P3(NTT)": self.modup_p3_ops(),
+            "ModUp.P4(ApplyKey)": self.modup_p4_ops(),
+            "ModUp.P5(Reduce)": self.modup_p5_ops(),
+            "ModDown.P1(INTT)": self.moddown_p1_ops(),
+            "ModDown.P2(BConv)": self.moddown_p2_ops(),
+            "ModDown.P3(NTT)": self.moddown_p3_ops(),
+            "ModDown.P4(Scale)": self.moddown_p4_ops(),
+        }
+
+    def total_ops(self) -> OpCount:
+        """Dataflow-independent total (the paper: "The number of operations
+        per HKS benchmark is independent of dataflow")."""
+        total = OpCount(0, 0)
+        for ops in self.stage_table().values():
+            total = total + ops
+        return total
+
+    # -- tower geometry (used by schedulers) -----------------------------------------
+
+    def modup_intermediate_towers(self) -> int:
+        """Live towers if all ModUp intermediates coexist (the MP working set)."""
+        spec = self.spec
+        extended = spec.dnum * spec.extended_towers
+        applied = 2 * spec.dnum * spec.extended_towers
+        return spec.kl + extended + applied
+
+    def describe(self) -> Dict[str, object]:
+        ops = self.total_ops()
+        return {
+            "benchmark": self.spec.name,
+            "mod_muls": ops.muls,
+            "mod_adds": ops.adds,
+            "mod_ops": ops.total,
+        }

@@ -1,0 +1,238 @@
+"""Task-graph intermediate representation for HKS schedules.
+
+A schedule is two in-order queues — memory tasks and compute tasks — plus
+cross-queue dependencies, exactly the structure of the paper's software
+framework (Section V-C): *"The framework has two distinct queues, one for
+memory tasks and one for compute tasks.  The tasks at the front of each
+queue are fetched and executed in parallel once all the task's dependencies
+are resolved."*
+
+Compute tasks carry modular-operation counts; memory tasks carry byte
+counts.  The RPU simulator in :mod:`repro.rpu` turns these into time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ScheduleError
+
+
+class Queue(enum.Enum):
+    """Which in-order queue a task is dispatched from."""
+
+    MEMORY = "memory"
+    COMPUTE = "compute"
+
+
+class Kind(enum.Enum):
+    """Task kinds; memory kinds move towers, compute kinds are HKS kernels."""
+
+    LOAD = "load"
+    STORE = "store"
+    INTT = "intt"
+    NTT = "ntt"
+    BCONV = "bconv"
+    MULKEY = "mulkey"
+    ACCUM = "accum"
+    PWISE = "pwise"
+
+    @property
+    def queue(self) -> Queue:
+        if self in (Kind.LOAD, Kind.STORE):
+            return Queue.MEMORY
+        return Queue.COMPUTE
+
+
+#: Kinds that stream evaluation-key towers (charged to the evk traffic bucket).
+EVK_TAG = "evk"
+DATA_TAG = "data"
+
+
+@dataclass
+class Task:
+    """One unit of scheduled work.
+
+    Attributes
+    ----------
+    index:
+        Position in the overall emission order (unique id).
+    kind / queue:
+        What the task does and which queue dispatches it.
+    bytes_moved:
+        DRAM bytes for LOAD/STORE tasks (0 for compute tasks).
+    mod_muls / mod_adds:
+        Modular multiply / add counts for compute tasks.
+    deps:
+        Indices of tasks that must complete before this task may start.
+    label:
+        Human-readable description ("ModUp.P2 d1 -> t7"), used in traces.
+    traffic_tag:
+        ``"evk"`` for key streaming, ``"data"`` otherwise; Table II splits
+        traffic by this tag.
+    """
+
+    index: int
+    kind: Kind
+    bytes_moved: int = 0
+    mod_muls: int = 0
+    mod_adds: int = 0
+    deps: Tuple[int, ...] = ()
+    label: str = ""
+    traffic_tag: str = DATA_TAG
+
+    @property
+    def queue(self) -> Queue:
+        return self.kind.queue
+
+    @property
+    def mod_ops(self) -> int:
+        return self.mod_muls + self.mod_adds
+
+
+class TaskGraph:
+    """An append-only schedule: two in-order queues plus a dependency DAG."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.tasks: List[Task] = []
+
+    # -- construction -------------------------------------------------------------
+
+    def add(
+        self,
+        kind: Kind,
+        *,
+        bytes_moved: int = 0,
+        mod_muls: int = 0,
+        mod_adds: int = 0,
+        deps: Iterable[int] = (),
+        label: str = "",
+        traffic_tag: str = DATA_TAG,
+    ) -> int:
+        """Append a task; returns its index."""
+        deps = tuple(sorted(set(int(d) for d in deps)))
+        index = len(self.tasks)
+        for d in deps:
+            if not 0 <= d < index:
+                raise ScheduleError(
+                    f"task {index} ({label!r}) depends on invalid task {d}"
+                )
+        if kind.queue is Queue.MEMORY and bytes_moved <= 0:
+            raise ScheduleError(f"memory task {label!r} must move bytes")
+        if kind.queue is Queue.COMPUTE and mod_muls + mod_adds <= 0:
+            raise ScheduleError(f"compute task {label!r} must perform work")
+        self.tasks.append(
+            Task(
+                index=index,
+                kind=kind,
+                bytes_moved=bytes_moved,
+                mod_muls=mod_muls,
+                mod_adds=mod_adds,
+                deps=deps,
+                label=label,
+                traffic_tag=traffic_tag,
+            )
+        )
+        return index
+
+    # -- views ---------------------------------------------------------------------
+
+    def queue_tasks(self, queue: Queue) -> List[Task]:
+        """Tasks of one queue, in dispatch order."""
+        return [t for t in self.tasks if t.queue is queue]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    # -- aggregate accounting ---------------------------------------------------------
+
+    def total_bytes(self, traffic_tag: Optional[str] = None) -> int:
+        """Total DRAM traffic, optionally restricted to one tag."""
+        return sum(
+            t.bytes_moved
+            for t in self.tasks
+            if t.queue is Queue.MEMORY
+            and (traffic_tag is None or t.traffic_tag == traffic_tag)
+        )
+
+    def total_mod_ops(self) -> int:
+        return sum(t.mod_ops for t in self.tasks)
+
+    def total_mod_muls(self) -> int:
+        return sum(t.mod_muls for t in self.tasks)
+
+    def arithmetic_intensity(self) -> float:
+        """Modular ops per DRAM byte — the paper's AI metric (Table II)."""
+        total = self.total_bytes()
+        if total == 0:
+            return float("inf")
+        return self.total_mod_ops() / total
+
+    def kind_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for t in self.tasks:
+            hist[t.kind.value] = hist.get(t.kind.value, 0) + 1
+        return hist
+
+    # -- serialization -----------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-dict form for external tooling (schedule viewers, diffing)."""
+        return {
+            "name": self.name,
+            "tasks": [
+                {
+                    "index": t.index,
+                    "kind": t.kind.value,
+                    "bytes": t.bytes_moved,
+                    "muls": t.mod_muls,
+                    "adds": t.mod_adds,
+                    "deps": list(t.deps),
+                    "label": t.label,
+                    "tag": t.traffic_tag,
+                }
+                for t in self.tasks
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "TaskGraph":
+        """Inverse of :meth:`to_json`; validates as it rebuilds."""
+        graph = cls(str(payload.get("name", "")))
+        for entry in payload["tasks"]:
+            graph.add(
+                Kind(entry["kind"]),
+                bytes_moved=int(entry["bytes"]),
+                mod_muls=int(entry["muls"]),
+                mod_adds=int(entry["adds"]),
+                deps=entry["deps"],
+                label=str(entry["label"]),
+                traffic_tag=str(entry["tag"]),
+            )
+        graph.validate()
+        return graph
+
+    # -- validation ---------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the DAG is dependency-consistent (deps precede dependents)."""
+        for t in self.tasks:
+            for d in t.deps:
+                if d >= t.index:
+                    raise ScheduleError(
+                        f"task {t.index} depends on later task {d}"
+                    )
+
+    def __repr__(self) -> str:
+        mem = len(self.queue_tasks(Queue.MEMORY))
+        comp = len(self.queue_tasks(Queue.COMPUTE))
+        return (
+            f"TaskGraph({self.name!r}, {comp} compute + {mem} memory tasks, "
+            f"{self.total_bytes() / (1 << 20):.1f} MB traffic)"
+        )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish parameter problems from scheduling or
+simulation problems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError):
+    """Invalid or inconsistent CKKS / benchmark / machine parameters."""
+
+
+class PrimeGenerationError(ReproError):
+    """Could not find enough NTT-friendly primes with the requested shape."""
+
+
+class EncodingError(ReproError):
+    """A message cannot be encoded/decoded with the given parameters."""
+
+
+class KeySwitchError(ReproError):
+    """Inconsistent inputs to a key-switching operation."""
+
+
+class ScheduleError(ReproError):
+    """A dataflow scheduler produced or was asked for an invalid schedule."""
+
+
+class MemoryModelError(ReproError):
+    """On-chip memory bookkeeping violation (double free, overflow, ...)."""
+
+
+class SimulationError(ReproError):
+    """The RPU simulator detected an inconsistent task graph."""

@@ -1,0 +1,5 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from repro.experiments.report import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

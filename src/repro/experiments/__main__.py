@@ -1,0 +1,45 @@
+"""CLI: regenerate paper tables/figures.
+
+Usage::
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments table2 fig4
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate CiFlow paper tables and figures",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = args.experiments or list(EXPERIMENTS)
+    for name in names:
+        result = run_experiment(name)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

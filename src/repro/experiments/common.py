@@ -1,0 +1,118 @@
+"""Shared plumbing for all experiments: cached schedules, sweeps, searches."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+from repro.core import DATAFLOWS, DataflowConfig, Dataflow, TaskGraph, get_dataflow
+from repro.params import MB, BenchmarkSpec, get_benchmark
+from repro.rpu import RPUConfig, RPUSimulator, SimResult
+
+#: The paper's reference operating point: MP at DDR5 peak with keys on-chip.
+BASELINE_BW_GBS = 64.0
+
+#: Discrete bandwidth grid the paper reports OCbase on (DDR4/DDR5 points).
+OCBASE_GRID = (8.0, 12.8, 16.0, 25.6, 32.0, 45.62, 48.0, 64.0)
+
+
+@lru_cache(maxsize=None)
+def _cached_graph(bench_name: str, dataflow_name: str, sram_mb: int,
+                  evk_on_chip: bool) -> TaskGraph:
+    spec = get_benchmark(bench_name)
+    dataflow = get_dataflow(dataflow_name)
+    config = DataflowConfig(data_sram_bytes=sram_mb * MB, evk_on_chip=evk_on_chip)
+    return dataflow.build(spec, config)
+
+
+def build_schedule(
+    benchmark: str, dataflow: str, *, sram_mb: int = 32, evk_on_chip: bool = True
+) -> TaskGraph:
+    """Cached schedule lookup (schedules do not depend on bandwidth/MODOPS)."""
+    return _cached_graph(benchmark.upper(), dataflow.upper(), sram_mb, evk_on_chip)
+
+
+def simulate(
+    benchmark: str,
+    dataflow: str,
+    *,
+    bandwidth_gbs: float,
+    evk_on_chip: bool = True,
+    modops_scale: float = 1.0,
+    sram_mb: int = 32,
+) -> SimResult:
+    """Simulate one (benchmark, dataflow, machine) point."""
+    graph = build_schedule(
+        benchmark, dataflow, sram_mb=sram_mb, evk_on_chip=evk_on_chip
+    )
+    config = RPUConfig(
+        bandwidth_bytes_per_s=bandwidth_gbs * 1e9,
+        data_sram_bytes=sram_mb * MB,
+        key_sram_bytes=360 * MB if evk_on_chip else 0,
+        modops_scale=modops_scale,
+    )
+    return RPUSimulator(config).simulate(graph)
+
+
+def runtime_ms(benchmark: str, dataflow: str, **kwargs) -> float:
+    return simulate(benchmark, dataflow, **kwargs).runtime_ms
+
+
+def baseline_runtime_ms(benchmark: str) -> float:
+    """The paper's baseline: MP at 64 GB/s with evks pre-loaded on-chip."""
+    return runtime_ms(benchmark, "MP", bandwidth_gbs=BASELINE_BW_GBS,
+                      evk_on_chip=True)
+
+
+def matching_bandwidth(
+    benchmark: str,
+    dataflow: str,
+    target_ms: float,
+    *,
+    evk_on_chip: bool = True,
+    modops_scale: float = 1.0,
+    lo: float = 1.0,
+    hi: float = 2000.0,
+    tol: float = 0.01,
+) -> Optional[float]:
+    """Smallest bandwidth at which runtime <= ``target_ms`` (binary search).
+
+    Returns ``None`` when even ``hi`` GB/s cannot reach the target (the
+    configuration is compute-bound above the target runtime).
+    """
+
+    def run(bw: float) -> float:
+        return runtime_ms(benchmark, dataflow, bandwidth_gbs=bw,
+                          evk_on_chip=evk_on_chip, modops_scale=modops_scale)
+
+    if run(hi) > target_ms:
+        return None
+    if run(lo) <= target_ms:
+        return lo
+    low, high = lo, hi
+    while high - low > tol * low:
+        mid = (low * high) ** 0.5  # geometric: bandwidths span decades
+        if run(mid) <= target_ms:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def grid_ocbase(benchmark: str, target_ms: float,
+                evk_on_chip: bool = True) -> Optional[float]:
+    """Smallest grid bandwidth where OC matches the target runtime
+    (how the paper quotes OCbase, Table IV)."""
+    for bw in OCBASE_GRID:
+        if runtime_ms(benchmark, "OC", bandwidth_gbs=bw,
+                      evk_on_chip=evk_on_chip) <= target_ms:
+            return bw
+    return None
+
+
+def all_benchmarks() -> Tuple[str, ...]:
+    return ("BTS1", "BTS2", "BTS3", "ARK", "DPRIVE")
+
+
+def all_dataflows() -> Tuple[str, ...]:
+    return tuple(DATAFLOWS)

@@ -1,0 +1,83 @@
+"""Crossover analysis: where each configuration stops being memory bound.
+
+The paper's Figure 4 narrative hinges on two regimes — memory bound
+(runtime ~ traffic/BW) at low bandwidth, compute bound (runtime ~
+ops/MODOPS) at high bandwidth — with OC reaching the compute roof at a
+fraction of the bandwidth MP needs.  This module locates that crossover
+bandwidth per (benchmark, dataflow) by bisecting for the point where
+runtime comes within a tolerance of the compute-only floor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import build_schedule, simulate
+from repro.experiments.report import ExperimentResult
+from repro.params import get_benchmark
+from repro.rpu import RPUConfig, RPUSimulator
+
+
+def compute_floor_ms(benchmark: str, dataflow: str,
+                     evk_on_chip: bool = True) -> float:
+    """Runtime with effectively infinite bandwidth (the compute roof)."""
+    return simulate(
+        benchmark, dataflow, bandwidth_gbs=10**6, evk_on_chip=evk_on_chip
+    ).runtime_ms
+
+
+def crossover_bandwidth(
+    benchmark: str,
+    dataflow: str,
+    *,
+    tolerance: float = 0.05,
+    evk_on_chip: bool = True,
+    lo: float = 1.0,
+    hi: float = 4096.0,
+) -> Optional[float]:
+    """Smallest bandwidth with runtime <= (1 + tolerance) * compute floor."""
+    floor = compute_floor_ms(benchmark, dataflow, evk_on_chip)
+    target = floor * (1.0 + tolerance)
+
+    def run(bw: float) -> float:
+        return simulate(
+            benchmark, dataflow, bandwidth_gbs=bw, evk_on_chip=evk_on_chip
+        ).runtime_ms
+
+    if run(hi) > target:
+        return None
+    low, high = lo, hi
+    while high - low > 0.02 * low:
+        mid = (low * high) ** 0.5
+        if run(mid) <= target:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def run(evk_on_chip: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Extra: crossover",
+        description=(
+            "Bandwidth at which each dataflow becomes compute bound "
+            "(runtime within 5% of the compute roof, evks "
+            + ("on-chip" if evk_on_chip else "streamed") + ")"
+        ),
+    )
+    for bench in ("ARK", "DPRIVE", "BTS1", "BTS2", "BTS3"):
+        row: Dict[str, object] = {"benchmark": bench}
+        for df in ("MP", "DC", "OC"):
+            bw = crossover_bandwidth(bench, df, evk_on_chip=evk_on_chip)
+            row[f"{df}_GBs"] = round(bw, 1) if bw else "n/a"
+        if (
+            isinstance(row["MP_GBs"], float)
+            and isinstance(row["OC_GBs"], float)
+        ):
+            row["MP/OC"] = round(row["MP_GBs"] / row["OC_GBs"], 2)
+        result.rows.append(row)
+    result.notes.append(
+        "OC needs a fraction of MP's bandwidth to reach the same compute "
+        "roof — the bandwidth-saving claim of Table IV in roofline form."
+    )
+    return result

@@ -1,0 +1,43 @@
+"""Figure 4: HKS runtime vs off-chip bandwidth for all benchmarks.
+
+Sweeps DRAM bandwidth (DDR4 through HBM3 points) for MP, DC and OC with
+evks pre-loaded on-chip.  ARK and BTS3 — the smallest and largest
+benchmarks — extend to 1 TB/s as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import all_benchmarks, runtime_ms, simulate
+from repro.experiments.report import ExperimentResult
+from repro.rpu import standard_sweep
+
+
+def run(extended_for: tuple = ("ARK", "BTS3")) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 4",
+        description=(
+            "HKS runtime (ms) vs off-chip bandwidth, evks on-chip "
+            "(MP / DC / OC per benchmark)"
+        ),
+    )
+    for bench in all_benchmarks():
+        sweep = standard_sweep(extended=bench in extended_for)
+        for bw in sweep:
+            oc = simulate(bench, "OC", bandwidth_gbs=bw, evk_on_chip=True)
+            result.rows.append(
+                {
+                    "benchmark": bench,
+                    "BW_GBs": bw,
+                    "MP_ms": round(runtime_ms(bench, "MP", bandwidth_gbs=bw,
+                                              evk_on_chip=True), 2),
+                    "DC_ms": round(runtime_ms(bench, "DC", bandwidth_gbs=bw,
+                                              evk_on_chip=True), 2),
+                    "OC_ms": round(oc.runtime_ms, 2),
+                    "OC_idle_%": round(oc.compute_idle_fraction * 100, 1),
+                }
+            )
+    result.notes.append(
+        "Expected shape: OC's advantage is largest at low bandwidth and the "
+        "three dataflows converge once the RPU becomes compute bound."
+    )
+    return result

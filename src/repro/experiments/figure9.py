@@ -1,0 +1,54 @@
+"""Figure 9: bandwidth/MODOPS pairs matching ARK targets with streamed evks.
+
+Both panels use OC with streamed keys (32 MB on-chip total):
+
+* panel (a): bandwidth needed at each MODOPS multiplier to match the
+  *saturation point* (OC @ 128 GB/s, 1x MODOPS, evks on-chip);
+* panel (b): same, matching the *baseline* (MP @ 64 GB/s, evks on-chip).
+
+The paper's headline numbers: matching saturation needs 2x MODOPS with
+2.6x the 12.8 GB/s on-chip-key bandwidth (~33 GB/s), or 20x more bandwidth
+at 1x MODOPS; doubling MODOPS saves ~1.2x bandwidth for the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    baseline_runtime_ms,
+    matching_bandwidth,
+    runtime_ms,
+)
+from repro.experiments.report import ExperimentResult
+
+MODOPS_SCALES = (1.0, 2.0, 4.0, 8.0)
+
+
+def run(benchmark: str = "ARK") -> ExperimentResult:
+    sat_ms = runtime_ms(benchmark, "OC", bandwidth_gbs=128.0,
+                        evk_on_chip=True, modops_scale=1.0)
+    base_ms = baseline_runtime_ms(benchmark)
+    result = ExperimentResult(
+        experiment="Figure 9",
+        description=(
+            f"{benchmark} OC with streamed evks: bandwidth required per "
+            f"MODOPS to match saturation ({sat_ms:.2f} ms) and baseline "
+            f"({base_ms:.2f} ms)"
+        ),
+    )
+    for scale in MODOPS_SCALES:
+        sat_bw = matching_bandwidth(benchmark, "OC", sat_ms,
+                                    evk_on_chip=False, modops_scale=scale)
+        base_bw = matching_bandwidth(benchmark, "OC", base_ms,
+                                     evk_on_chip=False, modops_scale=scale)
+        result.rows.append(
+            {
+                "MODOPS": f"{scale:g}x",
+                "BW_for_saturation_GBs": round(sat_bw, 1) if sat_bw else "n/a",
+                "BW_for_baseline_GBs": round(base_bw, 1) if base_bw else "n/a",
+            }
+        )
+    result.notes.append(
+        "Matching the saturation point at 1x MODOPS with streamed keys "
+        "requires far more bandwidth than at 2x — trading compute for BW."
+    )
+    return result

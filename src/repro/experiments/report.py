@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment produces rows of dictionaries; this module renders them
+in aligned monospace tables (the library is plotting-free by design — the
+benchmark harness prints the same rows/series the paper charts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_value(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in cells)) for i, c in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container every experiment returns."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    columns: Optional[List[str]] = None
+
+    def render(self) -> str:
+        out = [
+            f"=== {self.experiment} ===",
+            self.description,
+            "",
+            format_table(self.rows, self.columns),
+        ]
+        if self.notes:
+            out.append("")
+            out.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(out)

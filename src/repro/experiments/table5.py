@@ -1,0 +1,60 @@
+"""Table V: configurations matching ARK's saturation point.
+
+The saturation point is OC at 128 GB/s with 1x MODOPS (evks on-chip) —
+the point where ARK's data movement is fully masked by computation.  The
+table reports, for each dataflow at 2x MODOPS, the bandwidth required to
+match that runtime, relative to the saturation configuration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import matching_bandwidth, runtime_ms
+from repro.experiments.report import ExperimentResult
+
+SATURATION_BW = 128.0
+
+#: Paper Table V rows: (BW GB/s, MODOPS, rel BW, rel MODOPS).
+PAPER_TABLE5 = {
+    "Sat. Point": (128.0, 1.0, 1.0, 1.0),
+    "OC": (12.8, 2.0, 0.10, 2.0),
+    "DC": (54.64, 2.0, 0.42, 2.0),
+    "MP": (128.0, 2.0, 1.0, 2.0),
+}
+
+
+def run() -> ExperimentResult:
+    sat_ms = runtime_ms("ARK", "OC", bandwidth_gbs=SATURATION_BW,
+                        evk_on_chip=True, modops_scale=1.0)
+    result = ExperimentResult(
+        experiment="Table V",
+        description=(
+            f"ARK configurations matching the saturation point "
+            f"(OC @ {SATURATION_BW:.0f} GB/s, 1x MODOPS = {sat_ms:.2f} ms)"
+        ),
+    )
+    result.rows.append(
+        {
+            "dataflow": "Sat. Point",
+            "BW_GBs": SATURATION_BW,
+            "MODOPS": "1.00x",
+            "rel_BW": 1.0,
+            "paper_rel_BW": PAPER_TABLE5["Sat. Point"][2],
+        }
+    )
+    for name in ("OC", "DC", "MP"):
+        bw = matching_bandwidth("ARK", name, sat_ms, evk_on_chip=True,
+                                modops_scale=2.0)
+        result.rows.append(
+            {
+                "dataflow": name,
+                "BW_GBs": round(bw, 2) if bw else "n/a",
+                "MODOPS": "2.00x",
+                "rel_BW": round(bw / SATURATION_BW, 3) if bw else "n/a",
+                "paper_rel_BW": PAPER_TABLE5[name][2],
+            }
+        )
+    result.notes.append(
+        "rel_BW < 1 means the dataflow reaches saturation performance with "
+        "less bandwidth once compute throughput doubles."
+    )
+    return result

@@ -1,0 +1,37 @@
+"""Modular arithmetic, NTT-friendly prime generation, and negacyclic NTT."""
+
+from repro.ntt.modmath import (
+    MAX_MODULUS_BITS,
+    add_mod,
+    centered,
+    check_modulus,
+    inv_mod,
+    is_probable_prime,
+    mul_mod,
+    neg_mod,
+    pow_mod,
+    sub_mod,
+    to_residues,
+)
+from repro.ntt.primes import generate_primes, primitive_root, root_of_unity
+from repro.ntt.transform import NTTContext, bit_reverse_indices, is_power_of_two
+
+__all__ = [
+    "MAX_MODULUS_BITS",
+    "NTTContext",
+    "add_mod",
+    "bit_reverse_indices",
+    "centered",
+    "check_modulus",
+    "generate_primes",
+    "inv_mod",
+    "is_power_of_two",
+    "is_probable_prime",
+    "mul_mod",
+    "neg_mod",
+    "pow_mod",
+    "primitive_root",
+    "root_of_unity",
+    "sub_mod",
+    "to_residues",
+]

@@ -1,0 +1,119 @@
+"""Vectorized modular arithmetic over word-sized primes.
+
+All functions operate on ``numpy.int64`` arrays holding canonical residues
+in ``[0, q)``.  The library restricts moduli to at most
+:data:`MAX_MODULUS_BITS` bits so that the product of two residues fits in a
+signed 64-bit integer (``2 * MAX_MODULUS_BITS <= 62``), which lets every
+kernel stay in fast native numpy arithmetic with an explicit ``%`` reduction
+instead of emulated 128-bit math.
+
+The *performance* model elsewhere in the library always accounts for
+8-byte machine words per coefficient (as the paper does); the narrower
+functional moduli here only affect numerical tests, not size accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Largest supported modulus width, in bits.  Chosen so that products of two
+#: residues fit in int64 (30 + 30 < 63) with headroom for one addition.
+MAX_MODULUS_BITS = 30
+
+_INT64 = np.int64
+
+
+def check_modulus(q: int) -> None:
+    """Validate that ``q`` is usable as a functional RNS modulus.
+
+    Raises :class:`ParameterError` if ``q`` is too small, too large or even.
+    """
+    if q < 3:
+        raise ParameterError(f"modulus must be >= 3, got {q}")
+    if q.bit_length() > MAX_MODULUS_BITS:
+        raise ParameterError(
+            f"modulus {q} has {q.bit_length()} bits; functional kernels "
+            f"support at most {MAX_MODULUS_BITS}-bit moduli"
+        )
+    if q % 2 == 0:
+        raise ParameterError(f"modulus must be odd, got {q}")
+
+
+def to_residues(values, q: int) -> np.ndarray:
+    """Reduce an integer array (any dtype / python ints) into ``[0, q)``."""
+    arr = np.asarray(values)
+    if arr.dtype == object:
+        return np.array([int(v) % q for v in arr.ravel()], dtype=_INT64).reshape(arr.shape)
+    return np.mod(arr.astype(_INT64, copy=False), q)
+
+
+def add_mod(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Element-wise ``(a + b) mod q`` without overflow for q < 2**30."""
+    s = a + b
+    return np.where(s >= q, s - q, s)
+
+
+def sub_mod(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Element-wise ``(a - b) mod q``."""
+    d = a - b
+    return np.where(d < 0, d + q, d)
+
+
+def neg_mod(a: np.ndarray, q: int) -> np.ndarray:
+    """Element-wise ``(-a) mod q``."""
+    return np.where(a == 0, a, q - a)
+
+
+def mul_mod(a: np.ndarray, b, q: int) -> np.ndarray:
+    """Element-wise ``(a * b) mod q``; ``b`` may be a scalar or array."""
+    return (a * b) % q
+
+
+def pow_mod(base: int, exp: int, q: int) -> int:
+    """Scalar modular exponentiation (delegates to python's pow)."""
+    return pow(int(base), int(exp), int(q))
+
+
+def inv_mod(a: int, q: int) -> int:
+    """Scalar modular inverse of ``a`` modulo ``q`` (``q`` need not be prime,
+    e.g. digit products ``Q_d`` in the key-switching gadget)."""
+    a = int(a) % int(q)
+    if a == 0:
+        raise ZeroDivisionError(f"0 has no inverse modulo {q}")
+    return pow(a, -1, int(q))
+
+
+def centered(a: np.ndarray, q: int) -> np.ndarray:
+    """Map residues in ``[0, q)`` to the centered interval ``(-q/2, q/2]``."""
+    half = q // 2
+    return np.where(a > half, a - q, a)
+
+
+def is_probable_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit integers.
+
+    Uses the well-known witness set that is exact for ``n < 3.3 * 10**24``.
+    """
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True

@@ -1,0 +1,90 @@
+"""Generation of NTT-friendly primes and primitive roots of unity.
+
+A modulus ``q`` supports the negacyclic NTT of length ``N`` when
+``q = 1 (mod 2N)``, which guarantees a primitive ``2N``-th root of unity in
+``Z_q``.  :func:`generate_primes` walks candidates of that shape downward
+from a requested bit size; :func:`primitive_root` and
+:func:`root_of_unity` produce generators used to build twiddle tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import PrimeGenerationError
+from repro.ntt.modmath import MAX_MODULUS_BITS, is_probable_prime, pow_mod
+
+
+def generate_primes(count: int, n: int, bits: int, distinct_from=()) -> List[int]:
+    """Return ``count`` distinct primes ``q = 1 (mod 2n)`` of ``bits`` bits.
+
+    Candidates are scanned downward from ``2**bits`` so the first prime has
+    exactly ``bits`` bits.  ``distinct_from`` lists moduli that must be
+    avoided (e.g. when generating the auxiliary basis P after Q).
+    """
+    if bits > MAX_MODULUS_BITS:
+        raise PrimeGenerationError(
+            f"{bits}-bit primes exceed the {MAX_MODULUS_BITS}-bit functional limit"
+        )
+    step = 2 * n
+    if bits <= (step).bit_length():
+        raise PrimeGenerationError(
+            f"cannot fit primes = 1 mod {step} in {bits} bits (N too large)"
+        )
+    avoid = set(int(q) for q in distinct_from)
+    # Largest candidate of the form k*2n + 1 strictly below 2**bits.
+    candidate = ((1 << bits) - 2) // step * step + 1
+    found: List[int] = []
+    floor = 1 << (bits - 1)
+    while len(found) < count:
+        if candidate <= floor:
+            raise PrimeGenerationError(
+                f"exhausted {bits}-bit candidates = 1 mod {step}: "
+                f"found {len(found)}/{count}"
+            )
+        if candidate not in avoid and is_probable_prime(candidate):
+            found.append(candidate)
+        candidate -= step
+    return found
+
+
+def primitive_root(q: int) -> int:
+    """Smallest generator of the multiplicative group of ``Z_q`` (q prime)."""
+    order = q - 1
+    factors = _factorize(order)
+    for g in range(2, q):
+        if all(pow_mod(g, order // p, q) != 1 for p in factors):
+            return g
+    raise PrimeGenerationError(f"no primitive root found for {q}")
+
+
+def root_of_unity(order: int, q: int) -> int:
+    """A primitive ``order``-th root of unity modulo prime ``q``.
+
+    Requires ``order | q - 1``.
+    """
+    if (q - 1) % order != 0:
+        raise PrimeGenerationError(f"{order} does not divide {q} - 1")
+    g = primitive_root(q)
+    root = pow_mod(g, (q - 1) // order, q)
+    # Sanity: root^order == 1 and root^(order/2) == -1 for even orders.
+    if pow_mod(root, order, q) != 1:
+        raise PrimeGenerationError(f"bad root of unity for q={q}")
+    if order % 2 == 0 and pow_mod(root, order // 2, q) != q - 1:
+        raise PrimeGenerationError(f"root of unity not primitive for q={q}")
+    return root
+
+
+def _factorize(n: int) -> List[int]:
+    """Distinct prime factors of ``n`` by trial division (n < 2**31 here)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors

@@ -1,0 +1,136 @@
+"""Negacyclic Number Theoretic Transform over ``Z_q[X]/(X^N + 1)``.
+
+The forward transform is a Cooley-Tukey decimation-in-time network with the
+``psi`` (2N-th root of unity) powers merged into the twiddles, following
+Longa-Naehrig; the inverse is the matching Gentleman-Sande network.  The
+forward output is in bit-reversed order and the inverse consumes that order,
+so the pair composes to the identity and point-wise operations in the
+evaluation domain are order-agnostic — exactly how HE libraries use it.
+
+Every stage is a single vectorized numpy expression, so a transform of an
+``(L, N)`` tower matrix costs ``log2(N)`` numpy passes per tower.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import check_modulus, inv_mod, mul_mod, pow_mod
+from repro.ntt.primes import root_of_unity
+
+_INT64 = np.int64
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Permutation array mapping index ``i`` to its bit-reversal over log2(n) bits."""
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+class NTTContext:
+    """Precomputed twiddle tables for one (N, q) pair.
+
+    Parameters
+    ----------
+    n:
+        Power-of-two ring degree.
+    q:
+        Prime modulus with ``q = 1 (mod 2n)``.
+    """
+
+    def __init__(self, n: int, q: int):
+        if not is_power_of_two(n):
+            raise ParameterError(f"ring degree must be a power of two, got {n}")
+        check_modulus(q)
+        if (q - 1) % (2 * n) != 0:
+            raise ParameterError(f"q={q} is not NTT-friendly for N={n}")
+        self.n = n
+        self.q = q
+        psi = root_of_unity(2 * n, q)
+        psi_inv = inv_mod(psi, q)
+        rev = bit_reverse_indices(n)
+        powers = self._power_table(psi)
+        powers_inv = self._power_table(psi_inv)
+        #: psi^bitrev(i): per-stage twiddles for the forward CT network.
+        self._psi_rev = powers[rev]
+        #: psi^-bitrev(i): per-stage twiddles for the inverse GS network.
+        self._psi_inv_rev = powers_inv[rev]
+        self._n_inv = inv_mod(n, q)
+
+    def _power_table(self, base: int) -> np.ndarray:
+        table = np.empty(self.n, dtype=_INT64)
+        acc = 1
+        for i in range(self.n):
+            table[i] = acc
+            acc = acc * base % self.q
+        return table
+
+    # -- public API ---------------------------------------------------------
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Coefficient domain -> evaluation domain (bit-reversed order).
+
+        Accepts a 1-D ``(N,)`` array or a 2-D ``(rows, N)`` stack and
+        transforms along the last axis, returning a new array.
+        """
+        a = self._validated_copy(coeffs)
+        q = self.q
+        m, t = 1, self.n
+        while m < self.n:
+            t //= 2
+            block = a.reshape(-1, m, 2 * t)
+            twiddle = self._psi_rev[m : 2 * m].reshape(1, m, 1)
+            upper = block[:, :, :t].copy()
+            lower = mul_mod(block[:, :, t:], twiddle, q)
+            block[:, :, :t] = (upper + lower) % q
+            block[:, :, t:] = (upper - lower) % q
+            m *= 2
+        return a.reshape(coeffs.shape)
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """Evaluation domain (bit-reversed order) -> coefficient domain."""
+        a = self._validated_copy(evals)
+        q = self.q
+        t, m = 1, self.n
+        while m > 1:
+            h = m // 2
+            block = a.reshape(-1, h, 2 * t)
+            twiddle = self._psi_inv_rev[h : 2 * h].reshape(1, h, 1)
+            upper = block[:, :, :t].copy()
+            lower = block[:, :, t:]
+            block[:, :, :t] = (upper + lower) % q
+            block[:, :, t:] = mul_mod((upper - lower) % q, twiddle, q)
+            t *= 2
+            m = h
+        a = mul_mod(a, self._n_inv, q)
+        return a.reshape(evals.shape)
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Polynomial product in ``Z_q[X]/(X^N+1)`` via NTT round trip."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(mul_mod(fa, fb, self.q))
+
+    # -- helpers ------------------------------------------------------------
+
+    def _validated_copy(self, arr: np.ndarray) -> np.ndarray:
+        a = np.array(arr, dtype=_INT64, copy=True)
+        if a.shape[-1] != self.n:
+            raise ParameterError(
+                f"last axis must have length N={self.n}, got shape {a.shape}"
+            )
+        return a % self.q
+
+    def __repr__(self) -> str:
+        return f"NTTContext(n={self.n}, q={self.q})"

@@ -1,0 +1,162 @@
+"""Benchmark parameter sets (paper Table III) and size accounting.
+
+The five 128-bit-secure HKS parameterizations evaluated in the paper come
+from BTS (ISCA'22), ARK (MICRO'22) and the DARPA DPRIVE program.  All sizes
+below use the paper's convention of 8-byte machine words, under which our
+closed-form ``evk`` size reproduces every row of Table III exactly
+(1 MB = 2**20 bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ParameterError
+
+#: Bytes per polynomial coefficient in the performance model (the paper's
+#: machine word).  One "tower" is ``N * WORD_BYTES`` bytes.
+WORD_BYTES = 8
+
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One HKS parameterization from Table III.
+
+    Attributes
+    ----------
+    name:
+        Benchmark id used throughout the paper (BTS1..3, ARK, DPRIVE).
+    log_n:
+        log2 of the polynomial ring degree.
+    kl:
+        Number of chain towers (the paper's ``l``) at the evaluated level.
+    kp:
+        Number of auxiliary towers (the paper's ``K``).
+    dnum:
+        Number of decomposition digits.
+    """
+
+    name: str
+    log_n: int
+    kl: int
+    kp: int
+    dnum: int
+
+    def __post_init__(self) -> None:
+        if self.kl < 1 or self.kp < 1 or self.dnum < 1:
+            raise ParameterError("kl, kp and dnum must be positive")
+        if self.dnum > self.kl:
+            raise ParameterError(f"dnum={self.dnum} exceeds kl={self.kl}")
+
+    # -- derived structure -------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return 1 << self.log_n
+
+    @property
+    def alpha(self) -> int:
+        """Towers per (full) digit: ``ceil(kl / dnum)`` (paper Table I)."""
+        return -(-self.kl // self.dnum)
+
+    @property
+    def digit_sizes(self) -> Tuple[int, ...]:
+        """Tower count of each digit; the last digit may be partial."""
+        sizes: List[int] = []
+        remaining = self.kl
+        for _ in range(self.dnum):
+            take = min(self.alpha, remaining)
+            if take <= 0:
+                raise ParameterError(
+                    f"{self.name}: dnum={self.dnum} leaves an empty digit"
+                )
+            sizes.append(take)
+            remaining -= take
+        if remaining:
+            raise ParameterError(f"{self.name}: digit partition does not cover kl")
+        return tuple(sizes)
+
+    def beta(self, digit: int) -> int:
+        """ModUp P2 output towers for ``digit``: ``kl + kp - alpha_d``."""
+        return self.kl + self.kp - self.digit_sizes[digit]
+
+    @property
+    def extended_towers(self) -> int:
+        """Towers of a polynomial over the extended basis: ``kl + kp``."""
+        return self.kl + self.kp
+
+    # -- sizes (bytes) --------------------------------------------------------------
+
+    @property
+    def tower_bytes(self) -> int:
+        return self.n * WORD_BYTES
+
+    @property
+    def input_bytes(self) -> int:
+        """The key-switched polynomial: ``kl`` towers."""
+        return self.kl * self.tower_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        """Both ModDown results (C0new, C1new): ``2 * kl`` towers."""
+        return 2 * self.kl * self.tower_bytes
+
+    @property
+    def evk_bytes(self) -> int:
+        """``dnum x 2 x N x (l + K)`` words — Table III's "evk Size" column."""
+        return self.dnum * 2 * self.extended_towers * self.tower_bytes
+
+    @property
+    def temp_bytes(self) -> int:
+        """Peak intermediate footprint — Table III's "Temp data" column.
+
+        ApplyKey outputs (``2*dnum*(l+K)`` towers) + extended digits
+        (``dnum*(l+K)``) + INTT outputs (``kl``).  Matches the paper exactly
+        for BTS1-3 and ARK; DPRIVE differs by <1% (the paper appears to pad
+        the partial last digit to ``alpha``).
+        """
+        towers = (
+            2 * self.dnum * self.extended_towers
+            + self.dnum * self.extended_towers
+            + self.kl
+        )
+        return towers * self.tower_bytes
+
+    def describe(self) -> Dict[str, object]:
+        """Row dictionary used by the Table III report."""
+        return {
+            "benchmark": self.name,
+            "N": f"2^{self.log_n}",
+            "kl": self.kl,
+            "kp": self.kp,
+            "dnum": self.dnum,
+            "alpha": self.alpha,
+            "evk_mb": self.evk_bytes / MB,
+            "temp_mb": self.temp_bytes / MB,
+        }
+
+
+#: The five Table III benchmarks, in the paper's row order.
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in (
+        BenchmarkSpec("BTS1", log_n=17, kl=28, kp=28, dnum=1),
+        BenchmarkSpec("BTS2", log_n=17, kl=40, kp=20, dnum=2),
+        BenchmarkSpec("BTS3", log_n=17, kl=45, kp=15, dnum=3),
+        BenchmarkSpec("ARK", log_n=16, kl=24, kp=6, dnum=4),
+        BenchmarkSpec("DPRIVE", log_n=16, kl=26, kp=7, dnum=3),
+    )
+}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a Table III benchmark by (case-insensitive) name."""
+    key = name.upper()
+    if key not in BENCHMARKS:
+        raise ParameterError(
+            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+        )
+    return BENCHMARKS[key]

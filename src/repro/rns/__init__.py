@@ -1,0 +1,14 @@
+"""RNS substrate: bases, CRT, polynomials, and fast basis conversion."""
+
+from repro.rns.basis import RNSBasis
+from repro.rns.bconv import BasisConverter, get_converter
+from repro.rns.poly import Domain, RNSPoly, get_ntt_context
+
+__all__ = [
+    "BasisConverter",
+    "Domain",
+    "RNSBasis",
+    "RNSPoly",
+    "get_converter",
+    "get_ntt_context",
+]

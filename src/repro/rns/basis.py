@@ -1,0 +1,123 @@
+"""Residue Number System bases and CRT composition/decomposition.
+
+An :class:`RNSBasis` is an ordered tuple of pairwise-coprime moduli
+``(q_0, ..., q_{L})``.  Big integers modulo ``Q = prod(q_i)`` are
+represented as matrices of residues; this module provides the exact CRT
+maps between the two representations plus the precomputed constants
+(``Q_hat_i = Q / q_i`` and its inverse) that both CRT and the approximate
+basis conversion of :mod:`repro.rns.bconv` rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import check_modulus, inv_mod
+
+_INT64 = np.int64
+
+
+class RNSBasis:
+    """An ordered set of pairwise-coprime word-sized moduli."""
+
+    def __init__(self, moduli: Iterable[int]):
+        moduli = tuple(int(q) for q in moduli)
+        if not moduli:
+            raise ParameterError("an RNS basis needs at least one modulus")
+        for q in moduli:
+            check_modulus(q)
+        if len(set(moduli)) != len(moduli):
+            raise ParameterError(f"duplicate moduli in basis: {moduli}")
+        for i, a in enumerate(moduli):
+            for b in moduli[i + 1 :]:
+                if math.gcd(a, b) != 1:
+                    raise ParameterError(f"moduli {a} and {b} are not coprime")
+        self.moduli: Tuple[int, ...] = moduli
+        #: Full product Q as an exact python integer.
+        self.product: int = math.prod(moduli)
+        #: Q / q_i as exact python integers.
+        self.hats: Tuple[int, ...] = tuple(self.product // q for q in moduli)
+        #: (Q / q_i)^-1 mod q_i.
+        self.hat_invs: Tuple[int, ...] = tuple(
+            inv_mod(h, q) for h, q in zip(self.hats, moduli)
+        )
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __iter__(self):
+        return iter(self.moduli)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RNSBasis) and self.moduli == other.moduli
+
+    def __hash__(self) -> int:
+        return hash(self.moduli)
+
+    def __repr__(self) -> str:
+        return f"RNSBasis({len(self.moduli)} moduli, ~2^{self.product.bit_length()})"
+
+    # -- structure ----------------------------------------------------------
+
+    def subbasis(self, indices: Sequence[int]) -> "RNSBasis":
+        """Basis restricted to ``moduli[i] for i in indices`` (in order)."""
+        return RNSBasis(self.moduli[i] for i in indices)
+
+    def prefix(self, count: int) -> "RNSBasis":
+        """Basis of the first ``count`` moduli."""
+        if not 1 <= count <= len(self.moduli):
+            raise ParameterError(f"prefix length {count} out of range")
+        return RNSBasis(self.moduli[:count])
+
+    def concat(self, other: "RNSBasis") -> "RNSBasis":
+        """Union basis ``self ++ other`` (moduli must stay distinct)."""
+        return RNSBasis(self.moduli + other.moduli)
+
+    # -- CRT maps ------------------------------------------------------------
+
+    def decompose(self, values) -> np.ndarray:
+        """Exact integers (any magnitude, possibly negative) -> residue matrix.
+
+        ``values`` is a length-``N`` sequence; the result has shape
+        ``(len(basis), N)`` with canonical residues.
+        """
+        vals = [int(v) for v in np.asarray(values, dtype=object).ravel()]
+        out = np.empty((len(self.moduli), len(vals)), dtype=_INT64)
+        for row, q in enumerate(self.moduli):
+            out[row] = [v % q for v in vals]
+        return out
+
+    def compose(self, residues: np.ndarray, centered: bool = True) -> np.ndarray:
+        """Residue matrix ``(len(basis), N)`` -> exact integers (object array).
+
+        With ``centered=True`` the result lies in ``(-Q/2, Q/2]``, which is
+        the representative CKKS decoding needs.
+        """
+        residues = np.asarray(residues)
+        if residues.shape[0] != len(self.moduli):
+            raise ParameterError(
+                f"residue matrix has {residues.shape[0]} rows, "
+                f"basis has {len(self.moduli)} moduli"
+            )
+        q_total = self.product
+        n = residues.shape[1]
+        acc = [0] * n
+        # CRT: x = sum_i [x_i * hat_inv_i]_{q_i} * hat_i  (mod Q)
+        for row, (hat, hat_inv, q) in enumerate(
+            zip(self.hats, self.hat_invs, self.moduli)
+        ):
+            scaled = (residues[row].astype(object) * hat_inv) % q
+            for j in range(n):
+                acc[j] += int(scaled[j]) * hat
+        out = np.empty(n, dtype=object)
+        half = q_total // 2
+        for j in range(n):
+            v = acc[j] % q_total
+            if centered and v > half:
+                v -= q_total
+            out[j] = v
+        return out

@@ -1,0 +1,92 @@
+"""Fast (approximate) RNS basis conversion — the HKS ``BConv`` kernel.
+
+Given residues of ``x`` in a source basis ``B = {q_i}`` with product ``Q_B``,
+the conversion computes, for each target modulus ``t``:
+
+    conv(x) = sum_i ( [x_i * (Q_B/q_i)^-1]_{q_i} ) * (Q_B/q_i)   mod t
+
+This equals ``x + u * Q_B (mod t)`` for some integer ``0 <= u < |B|`` — the
+well-known *approximate* lift of Bajard/Halevi-Polyakov-Shoup used by
+full-RNS CKKS.  Hybrid key switching tolerates the ``u * Q_B`` slack because
+the subsequent evk multiplication scales genuine data by ``P`` while the
+slack stays ``P``-free (ModUp) or is divided away (ModDown).
+
+Cost: ``N * |B| * |T|`` modular multiply-accumulates, exactly the count the
+paper charges for ModUp/ModDown P2 (Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.rns.basis import RNSBasis
+
+_INT64 = np.int64
+
+
+class BasisConverter:
+    """Precomputed approximate conversion from ``source`` to ``target``.
+
+    The two bases must be disjoint (no shared modulus), as in HKS where a
+    digit is extended to the *complement* basis.
+    """
+
+    def __init__(self, source: RNSBasis, target: RNSBasis):
+        shared = set(source.moduli) & set(target.moduli)
+        if shared:
+            raise ParameterError(f"source and target bases share moduli: {shared}")
+        self.source = source
+        self.target = target
+        # hat_mod[i, j] = (Q_B / q_i) mod t_j
+        self._hat_mod = np.array(
+            [[hat % t for t in target.moduli] for hat in source.hats],
+            dtype=_INT64,
+        )
+        self._hat_invs = np.array(source.hat_invs, dtype=_INT64)
+
+    def convert(self, residues: np.ndarray) -> np.ndarray:
+        """Convert ``(|B|, N)`` residues to ``(|T|, N)`` residues.
+
+        Runs as ``|B|`` vectorized passes per target modulus with running
+        reduction so every intermediate stays below ``2**62``.
+        """
+        residues = np.asarray(residues, dtype=_INT64)
+        if residues.shape[0] != len(self.source):
+            raise ParameterError(
+                f"expected {len(self.source)} source towers, got {residues.shape[0]}"
+            )
+        n = residues.shape[1]
+        # y_i = [x_i * hat_inv_i]_{q_i}
+        y = np.empty_like(residues)
+        for i, q in enumerate(self.source.moduli):
+            y[i] = residues[i] * self._hat_invs[i] % q
+        out = np.zeros((len(self.target), n), dtype=_INT64)
+        for j, t in enumerate(self.target.moduli):
+            acc = np.zeros(n, dtype=_INT64)
+            for i in range(len(self.source)):
+                acc = (acc + y[i] * self._hat_mod[i, j]) % t
+            out[j] = acc
+        return out
+
+    def exact_value_bound(self) -> int:
+        """Upper bound on the lift slack multiplier ``u`` (exclusive)."""
+        return len(self.source)
+
+    def __repr__(self) -> str:
+        return f"BasisConverter({len(self.source)} -> {len(self.target)} moduli)"
+
+
+_CONVERTER_CACHE: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], BasisConverter] = {}
+
+
+def get_converter(source: RNSBasis, target: RNSBasis) -> BasisConverter:
+    """Cached :class:`BasisConverter` lookup keyed by the two moduli tuples."""
+    key = (source.moduli, target.moduli)
+    conv = _CONVERTER_CACHE.get(key)
+    if conv is None:
+        conv = BasisConverter(source, target)
+        _CONVERTER_CACHE[key] = conv
+    return conv

@@ -1,0 +1,239 @@
+"""RNS polynomials: ``N x L`` tower matrices with domain tracking.
+
+An :class:`RNSPoly` is the object the paper draws in Figure 1 — a matrix
+with one row ("tower") per RNS modulus, each row holding the residues of a
+degree-``N`` negacyclic polynomial.  Rows live either in the coefficient
+domain or the (bit-reversed) evaluation domain; the per-tower NTTs that move
+between the two are exactly the P1/P3 stages of HKS.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import add_mod, mul_mod, neg_mod, sub_mod
+from repro.ntt.transform import NTTContext
+from repro.rns.basis import RNSBasis
+
+_INT64 = np.int64
+
+
+class Domain(enum.Enum):
+    """Representation domain of every tower of a polynomial."""
+
+    COEFF = "coeff"
+    EVAL = "eval"
+
+
+@lru_cache(maxsize=None)
+def get_ntt_context(n: int, q: int) -> NTTContext:
+    """Shared per-(N, q) twiddle tables; building them is the expensive part."""
+    return NTTContext(n, q)
+
+
+class RNSPoly:
+    """A polynomial in ``prod_i Z_{q_i}[X]/(X^N+1)``.
+
+    Attributes
+    ----------
+    basis:
+        The :class:`RNSBasis` listing the tower moduli, in row order.
+    data:
+        ``(len(basis), N)`` int64 matrix of canonical residues.
+    domain:
+        Whether rows are coefficients or NTT evaluations.
+    """
+
+    __slots__ = ("basis", "data", "domain")
+
+    def __init__(self, basis: RNSBasis, data: np.ndarray, domain: Domain):
+        data = np.asarray(data, dtype=_INT64)
+        if data.ndim != 2 or data.shape[0] != len(basis):
+            raise ParameterError(
+                f"data shape {data.shape} does not match basis of {len(basis)} moduli"
+            )
+        self.basis = basis
+        self.data = data
+        self.domain = domain
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero(cls, basis: RNSBasis, n: int, domain: Domain = Domain.EVAL) -> "RNSPoly":
+        return cls(basis, np.zeros((len(basis), n), dtype=_INT64), domain)
+
+    @classmethod
+    def from_integers(
+        cls, basis: RNSBasis, coeffs: Sequence[int], domain: Domain = Domain.COEFF
+    ) -> "RNSPoly":
+        """Build from exact integer coefficients (reduced into every tower)."""
+        poly = cls(basis, basis.decompose(coeffs), Domain.COEFF)
+        return poly.to_domain(domain)
+
+    @classmethod
+    def random_uniform(
+        cls, basis: RNSBasis, n: int, rng: np.random.Generator,
+        domain: Domain = Domain.EVAL,
+    ) -> "RNSPoly":
+        """Uniform polynomial: independent uniform residues per tower.
+
+        Sampling each tower independently is the standard RNS shortcut for a
+        uniform element of ``R_Q`` (CRT is a bijection).
+        """
+        rows = [rng.integers(0, q, n, dtype=_INT64) for q in basis.moduli]
+        return cls(basis, np.stack(rows), domain)
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def num_towers(self) -> int:
+        return self.data.shape[0]
+
+    def copy(self) -> "RNSPoly":
+        return RNSPoly(self.basis, self.data.copy(), self.domain)
+
+    def __repr__(self) -> str:
+        return (
+            f"RNSPoly(towers={self.num_towers}, n={self.n}, "
+            f"domain={self.domain.value})"
+        )
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _check_compatible(self, other: "RNSPoly") -> None:
+        if self.basis != other.basis:
+            raise ParameterError("operands have different RNS bases")
+        if self.domain is not other.domain:
+            raise ParameterError(
+                f"operands in different domains: {self.domain} vs {other.domain}"
+            )
+        if self.n != other.n:
+            raise ParameterError("operands have different ring degrees")
+
+    def __add__(self, other: "RNSPoly") -> "RNSPoly":
+        self._check_compatible(other)
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = add_mod(self.data[i], other.data[i], q)
+        return RNSPoly(self.basis, out, self.domain)
+
+    def __sub__(self, other: "RNSPoly") -> "RNSPoly":
+        self._check_compatible(other)
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = sub_mod(self.data[i], other.data[i], q)
+        return RNSPoly(self.basis, out, self.domain)
+
+    def __neg__(self) -> "RNSPoly":
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = neg_mod(self.data[i], q)
+        return RNSPoly(self.basis, out, self.domain)
+
+    def __mul__(self, other: "RNSPoly") -> "RNSPoly":
+        """Point-wise product; both operands must be in the EVAL domain."""
+        self._check_compatible(other)
+        if self.domain is not Domain.EVAL:
+            raise ParameterError("polynomial product requires EVAL domain")
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = mul_mod(self.data[i], other.data[i], q)
+        return RNSPoly(self.basis, out, self.domain)
+
+    def scale_by(self, scalars: Sequence[int]) -> "RNSPoly":
+        """Multiply tower ``i`` by scalar ``scalars[i] mod q_i`` (any domain)."""
+        if len(scalars) != self.num_towers:
+            raise ParameterError("need one scalar per tower")
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = mul_mod(self.data[i], int(scalars[i]) % q, q)
+        return RNSPoly(self.basis, out, self.domain)
+
+    # -- domain changes (HKS P1/P3) -------------------------------------------
+
+    def to_eval(self) -> "RNSPoly":
+        if self.domain is Domain.EVAL:
+            return self.copy()
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = get_ntt_context(self.n, q).forward(self.data[i])
+        return RNSPoly(self.basis, out, Domain.EVAL)
+
+    def to_coeff(self) -> "RNSPoly":
+        if self.domain is Domain.COEFF:
+            return self.copy()
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = get_ntt_context(self.n, q).inverse(self.data[i])
+        return RNSPoly(self.basis, out, Domain.COEFF)
+
+    def to_domain(self, domain: Domain) -> "RNSPoly":
+        return self.to_eval() if domain is Domain.EVAL else self.to_coeff()
+
+    # -- tower structure (digit decomposition) ---------------------------------
+
+    def select_towers(self, indices: Sequence[int]) -> "RNSPoly":
+        """Sub-polynomial restricted to the given tower rows."""
+        indices = list(indices)
+        return RNSPoly(self.basis.subbasis(indices), self.data[indices], self.domain)
+
+    def drop_last_tower(self) -> "RNSPoly":
+        """Remove the highest tower (used by rescale)."""
+        if self.num_towers < 2:
+            raise ParameterError("cannot drop the only tower")
+        return RNSPoly(
+            self.basis.prefix(self.num_towers - 1),
+            self.data[:-1].copy(),
+            self.domain,
+        )
+
+    @staticmethod
+    def concat(parts: Iterable["RNSPoly"]) -> "RNSPoly":
+        """Stack tower groups into one polynomial over the union basis."""
+        parts = list(parts)
+        if not parts:
+            raise ParameterError("concat needs at least one part")
+        domain = parts[0].domain
+        basis = parts[0].basis
+        for p in parts[1:]:
+            if p.domain is not domain:
+                raise ParameterError("concat parts must share a domain")
+            basis = basis.concat(p.basis)
+        data = np.concatenate([p.data for p in parts], axis=0)
+        return RNSPoly(basis, data, domain)
+
+    # -- Galois automorphism ----------------------------------------------------
+
+    def automorphism(self, galois_element: int) -> "RNSPoly":
+        """Apply ``X -> X^g`` for odd ``g`` (computed in the COEFF domain).
+
+        Coefficient ``a_j`` moves to exponent ``j*g mod 2N``; exponents that
+        land in ``[N, 2N)`` wrap with a sign flip because ``X^N = -1``.
+        """
+        g = int(galois_element)
+        if g % 2 == 0:
+            raise ParameterError(f"Galois element must be odd, got {g}")
+        coeff = self.to_coeff()
+        n = self.n
+        j = np.arange(n, dtype=np.int64)
+        e = (j * g) % (2 * n)
+        dest = np.where(e < n, e, e - n)
+        flip = e >= n
+        out = np.empty_like(coeff.data)
+        for i, q in enumerate(self.basis.moduli):
+            row = np.zeros(n, dtype=_INT64)
+            vals = coeff.data[i]
+            vals = np.where(flip, neg_mod(vals, q), vals)
+            row[dest] = vals
+            out[i] = row
+        result = RNSPoly(self.basis, out, Domain.COEFF)
+        return result.to_domain(self.domain)

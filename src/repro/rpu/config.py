@@ -1,0 +1,165 @@
+"""RPU machine configuration (paper Section V-A).
+
+The RPU (Ring Processing Unit, ISPASS'23) is a decoupled vector processor:
+128 HPLEs (high-performance large-arithmetic-word engines) at 1.7 GHz, a
+32 MB vector data memory, and a B1K ISA with 1K-element vectors.  The paper
+sweeps three knobs, all exposed here: off-chip bandwidth, on-chip SRAM
+split (data vs pre-loaded keys), and computational throughput (MODOPS).
+
+Calibration: ``compute_efficiency`` scales peak MODOPS
+(``hples * frequency``) down to the *effective* modular-op throughput.
+The default 0.31 is calibrated so that ARK's OC dataflow saturates around
+128 GB/s, the paper's "ARK saturation point" (Section VI-C); all other
+results are produced with this single calibration constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ParameterError
+from repro.params import MB
+
+GB = 10**9
+
+#: Default relative kernel efficiencies (1.0 = the calibrated baseline).
+#: NTT stages stress the shuffle crossbar and twiddle bandwidth, so real
+#: implementations achieve somewhat lower lane utilization than the pure
+#: MAC loops of BConv/ApplyKey; exposing the knob lets the ablation bench
+#: quantify how much the dataflow conclusions depend on it (they don't).
+DEFAULT_KIND_EFFICIENCY: Dict[str, float] = {
+    "ntt": 1.0,
+    "intt": 1.0,
+    "bconv": 1.0,
+    "mulkey": 1.0,
+    "pwise": 1.0,
+    "accum": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class RPUConfig:
+    """One simulated RPU configuration.
+
+    Attributes
+    ----------
+    hples:
+        Number of modular lanes (128 in the paper's setup).
+    frequency_hz:
+        Core clock (1.7 GHz).
+    vector_length:
+        B1K vector length in elements (1024).
+    bandwidth_bytes_per_s:
+        Off-chip DRAM bandwidth (the paper sweeps 8 GB/s .. 1 TB/s).
+    data_sram_bytes:
+        On-chip memory available to inputs/intermediates (32 MB).
+    key_sram_bytes:
+        Dedicated key region; 360 MB holds the largest benchmark's evks
+        (392 MB total = the paper's "large SRAM" scenario).  0 when keys
+        are streamed.
+    modops_scale:
+        Computational-throughput multiplier (the paper's 1x..16x MODOPS).
+    compute_efficiency:
+        Effective fraction of peak lane throughput HKS kernels achieve.
+    memory_latency_s:
+        Fixed DRAM transaction latency added to each memory task.
+    """
+
+    hples: int = 128
+    frequency_hz: float = 1.7e9
+    vector_length: int = 1024
+    bandwidth_bytes_per_s: float = 64 * GB
+    data_sram_bytes: int = 32 * MB
+    key_sram_bytes: int = 360 * MB
+    modops_scale: float = 1.0
+    compute_efficiency: float = 0.31
+    memory_latency_s: float = 200e-9
+    #: Optional per-kernel-class efficiency multipliers (task kind value ->
+    #: factor on top of ``compute_efficiency``); None = all 1.0.
+    kind_efficiency: Optional[Mapping[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.hples < 1:
+            raise ParameterError("need at least one HPLE")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ParameterError("bandwidth must be positive")
+        if self.data_sram_bytes <= 0:
+            raise ParameterError("data SRAM must be positive")
+        if self.modops_scale <= 0 or self.compute_efficiency <= 0:
+            raise ParameterError("throughput scales must be positive")
+
+    @property
+    def peak_modops_per_s(self) -> float:
+        """Peak modular operations per second: one per HPLE per cycle."""
+        return self.hples * self.frequency_hz * self.modops_scale
+
+    @property
+    def effective_modops_per_s(self) -> float:
+        return self.peak_modops_per_s * self.compute_efficiency
+
+    def kernel_efficiency(self, kind_value: str) -> float:
+        """Per-kind multiplier on the effective throughput (default 1.0)."""
+        if self.kind_efficiency is None:
+            return 1.0
+        factor = self.kind_efficiency.get(kind_value, 1.0)
+        if factor <= 0:
+            raise ParameterError(f"kernel efficiency for {kind_value!r} must be > 0")
+        return factor
+
+    def with_kind_efficiency(self, **factors: float) -> "RPUConfig":
+        base = dict(self.kind_efficiency or {})
+        base.update(factors)
+        return replace(self, kind_efficiency=base)
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.bandwidth_bytes_per_s / GB
+
+    @property
+    def evk_on_chip(self) -> bool:
+        """Keys are pre-loaded when a key region exists."""
+        return self.key_sram_bytes > 0
+
+    @property
+    def total_sram_bytes(self) -> int:
+        return self.data_sram_bytes + self.key_sram_bytes
+
+    # -- sweeps --------------------------------------------------------------------
+
+    def with_bandwidth(self, gbs: float) -> "RPUConfig":
+        return replace(self, bandwidth_bytes_per_s=gbs * GB)
+
+    def with_modops(self, scale: float) -> "RPUConfig":
+        return replace(self, modops_scale=scale)
+
+    def with_streamed_keys(self) -> "RPUConfig":
+        return replace(self, key_sram_bytes=0)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "hples": self.hples,
+            "freq_GHz": self.frequency_hz / 1e9,
+            "bandwidth_GBs": self.bandwidth_gbs,
+            "data_sram_MB": self.data_sram_bytes / MB,
+            "key_sram_MB": self.key_sram_bytes / MB,
+            "modops_scale": self.modops_scale,
+            "effective_GOPS": self.effective_modops_per_s / 1e9,
+        }
+
+
+#: Bandwidth points used in paper Figure 4 (GB/s), by memory technology.
+BANDWIDTH_TECH = {
+    "DDR4": (8.0, 12.8, 25.6),
+    "DDR5": (32.0, 48.0, 64.0),
+    "HBM2": (128.0, 256.0, 410.0),
+    "HBM3": (512.0, 1000.0),
+}
+
+
+def standard_sweep(extended: bool = False) -> tuple:
+    """The paper's bandwidth sweep: 8..64 GB/s, extended to 1 TB/s."""
+    base = (8.0, 12.8, 16.0, 25.6, 32.0, 45.62, 48.0, 64.0)
+    if not extended:
+        return base
+    return base + (128.0, 256.0, 410.0, 512.0, 1000.0)

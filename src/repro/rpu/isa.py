@@ -1,0 +1,118 @@
+"""B1K instruction set model (paper Section V-A).
+
+The RPU's B512 ISA was widened by the CiFlow authors to 1K-element vectors
+("B1K") and "consists of 28 instructions ranging from general purpose
+point-wise arithmetic operations to HE-specific shuffle instructions for
+(i)NTT kernels".  We model those 28 instructions with their issue queue
+(compute / shuffle / memory — the RPU's three decoupled queues) and a
+per-element cost class, and provide per-kernel instruction mixes so that
+schedules can be lowered to instruction counts for reporting and for the
+frontend-pressure term of the cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ParameterError
+
+
+class Pipe(enum.Enum):
+    """Which RPU backend pipe executes an instruction."""
+
+    COMPUTE = "compute"
+    SHUFFLE = "shuffle"
+    MEMORY = "memory"
+    SCALAR = "scalar"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One B1K instruction."""
+
+    mnemonic: str
+    pipe: Pipe
+    #: modular operations per vector element (0 for moves/shuffles).
+    modops_per_element: int
+    description: str
+
+
+def _make_isa() -> Dict[str, Instruction]:
+    defs: List[Tuple[str, Pipe, int, str]] = [
+        # Vector memory (4)
+        ("vld", Pipe.MEMORY, 0, "load vector register from vector data memory"),
+        ("vst", Pipe.MEMORY, 0, "store vector register to vector data memory"),
+        ("vldk", Pipe.MEMORY, 0, "load vector register from key memory"),
+        ("vbcast", Pipe.MEMORY, 0, "broadcast scalar into a vector register"),
+        # Vector modular arithmetic (8)
+        ("vmadd", Pipe.COMPUTE, 1, "element-wise modular addition"),
+        ("vmsub", Pipe.COMPUTE, 1, "element-wise modular subtraction"),
+        ("vmmul", Pipe.COMPUTE, 1, "element-wise modular multiplication"),
+        ("vmmac", Pipe.COMPUTE, 2, "element-wise modular multiply-accumulate"),
+        ("vmneg", Pipe.COMPUTE, 1, "element-wise modular negation"),
+        ("vmscale", Pipe.COMPUTE, 1, "vector-by-scalar modular multiply"),
+        ("vbfly", Pipe.COMPUTE, 3, "radix-2 NTT butterfly (mul + add + sub)"),
+        ("vmsel", Pipe.COMPUTE, 0, "element-wise select/merge"),
+        # Shuffle / permutation for (i)NTT (6)
+        ("vshuf", Pipe.SHUFFLE, 0, "arbitrary lane shuffle via crossbar"),
+        ("vswap", Pipe.SHUFFLE, 0, "stride-swap halves (NTT stage exchange)"),
+        ("vrev", Pipe.SHUFFLE, 0, "bit-reversal permutation"),
+        ("vrotl", Pipe.SHUFFLE, 0, "rotate vector lanes left"),
+        ("vsplit", Pipe.SHUFFLE, 0, "deinterleave even/odd lanes"),
+        ("vmerge", Pipe.SHUFFLE, 0, "interleave two half-vectors"),
+        # Twiddle / modulus control (4)
+        ("ldtw", Pipe.MEMORY, 0, "load twiddle factors into a register slice"),
+        ("setmod", Pipe.SCALAR, 0, "select the active RNS modulus register"),
+        ("setvl", Pipe.SCALAR, 0, "set the active vector length"),
+        ("fence", Pipe.SCALAR, 0, "order memory and compute queues"),
+        # Scalar control (6)
+        ("sadd", Pipe.SCALAR, 0, "scalar add"),
+        ("smul", Pipe.SCALAR, 0, "scalar multiply"),
+        ("sld", Pipe.SCALAR, 0, "scalar load"),
+        ("sst", Pipe.SCALAR, 0, "scalar store"),
+        ("bnez", Pipe.SCALAR, 0, "branch if non-zero (loop control)"),
+        ("jal", Pipe.SCALAR, 0, "jump and link"),
+    ]
+    isa = {m: Instruction(m, p, ops, d) for m, p, ops, d in defs}
+    if len(isa) != 28:
+        raise ParameterError(f"B1K must have 28 instructions, got {len(isa)}")
+    return isa
+
+
+#: The 28-instruction B1K ISA, keyed by mnemonic.
+B1K_ISA: Dict[str, Instruction] = _make_isa()
+
+
+class InstructionMix(dict):
+    """Multiset of instructions: mnemonic -> count."""
+
+    def add(self, mnemonic: str, count: int = 1) -> "InstructionMix":
+        if mnemonic not in B1K_ISA:
+            raise ParameterError(f"unknown B1K instruction {mnemonic!r}")
+        if count < 0:
+            raise ParameterError("instruction counts cannot be negative")
+        self[mnemonic] = self.get(mnemonic, 0) + count
+        return self
+
+    def merge(self, other: "InstructionMix") -> "InstructionMix":
+        for mnemonic, count in other.items():
+            self.add(mnemonic, count)
+        return self
+
+    def total(self) -> int:
+        return sum(self.values())
+
+    def per_pipe(self) -> Dict[Pipe, int]:
+        counts: Dict[Pipe, int] = {p: 0 for p in Pipe}
+        for mnemonic, count in self.items():
+            counts[B1K_ISA[mnemonic].pipe] += count
+        return counts
+
+    def modops(self, vector_length: int) -> int:
+        """Total modular operations this mix performs."""
+        return sum(
+            count * B1K_ISA[mnemonic].modops_per_element * vector_length
+            for mnemonic, count in self.items()
+        )

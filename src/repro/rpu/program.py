@@ -1,0 +1,152 @@
+"""B1K assembly programs: instructions, registers, and the assembler.
+
+The RPU front-end fetches scalar and vector instructions from an
+instruction memory; this module models that layer concretely.  A
+:class:`Program` is an ordered list of :class:`AsmInstr` with labels for
+control flow; :func:`assemble` parses the small textual syntax used by
+tests and examples::
+
+    setvl   1024
+    setmod  m0
+    vld     v1, s0          ; load vector at address in s0
+    vmmul   v2, v1, v1
+    vst     v2, s1
+    halt
+
+Register files mirror the RPU (Section V-A): 64 vector registers
+(``v0..v63``), 64 scalar registers (``s0..s63``) and a modulus register
+file (``m0..m31``).  The VM in :mod:`repro.rpu.vm` executes programs
+functionally, so kernels written against this ISA can be validated
+bit-for-bit against the numpy reference implementations.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ParameterError
+from repro.rpu.isa import B1K_ISA
+
+NUM_VREGS = 64
+NUM_SREGS = 64
+NUM_MREGS = 32
+
+#: Pseudo-instructions the VM understands beyond the 28 ISA entries.
+PSEUDO_OPS = frozenset({"halt", "label", "li"})
+
+Operand = Union[str, int]
+
+
+def is_vreg(op: Operand) -> bool:
+    return isinstance(op, str) and re.fullmatch(r"v\d{1,2}", op) is not None
+
+
+def is_sreg(op: Operand) -> bool:
+    return isinstance(op, str) and re.fullmatch(r"s\d{1,2}", op) is not None
+
+
+def is_mreg(op: Operand) -> bool:
+    return isinstance(op, str) and re.fullmatch(r"m\d{1,2}", op) is not None
+
+
+def reg_index(op: str) -> int:
+    return int(op[1:])
+
+
+@dataclass(frozen=True)
+class AsmInstr:
+    """One assembled instruction."""
+
+    mnemonic: str
+    operands: Tuple[Operand, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in B1K_ISA and self.mnemonic not in PSEUDO_OPS:
+            raise ParameterError(f"unknown mnemonic {self.mnemonic!r}")
+
+    def render(self) -> str:
+        if not self.operands:
+            return self.mnemonic
+        return f"{self.mnemonic} " + ", ".join(str(o) for o in self.operands)
+
+
+class Program:
+    """An ordered instruction list with named labels."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.instructions: List[AsmInstr] = []
+        self.labels: Dict[str, int] = {}
+
+    def emit(self, mnemonic: str, *operands: Operand) -> "Program":
+        self.instructions.append(AsmInstr(mnemonic, tuple(operands)))
+        return self
+
+    def label(self, name: str) -> "Program":
+        if name in self.labels:
+            raise ParameterError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def render(self) -> str:
+        """Textual listing (labels interleaved at their positions)."""
+        by_pos: Dict[int, List[str]] = {}
+        for name, pos in self.labels.items():
+            by_pos.setdefault(pos, []).append(name)
+        lines: List[str] = []
+        for i, instr in enumerate(self.instructions):
+            for name in by_pos.get(i, ()):
+                lines.append(f"{name}:")
+            lines.append("    " + instr.render())
+        for name in by_pos.get(len(self.instructions), ()):
+            lines.append(f"{name}:")
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Static checks: register ranges and branch targets exist."""
+        for instr in self.instructions:
+            for op in instr.operands:
+                if is_vreg(op) and reg_index(op) >= NUM_VREGS:
+                    raise ParameterError(f"vector register out of range: {op}")
+                if is_sreg(op) and reg_index(op) >= NUM_SREGS:
+                    raise ParameterError(f"scalar register out of range: {op}")
+                if is_mreg(op) and reg_index(op) >= NUM_MREGS:
+                    raise ParameterError(f"modulus register out of range: {op}")
+            if instr.mnemonic in ("bnez", "jal"):
+                target = instr.operands[-1]
+                if not isinstance(target, str) or target not in self.labels:
+                    raise ParameterError(
+                        f"branch to unknown label {target!r} in {instr.render()}"
+                    )
+
+
+def assemble(source: str, name: str = "") -> Program:
+    """Assemble the textual syntax into a :class:`Program`.
+
+    Supports comments (``;`` or ``#``), ``label:`` lines, integer
+    immediates, and register operands.
+    """
+    program = Program(name)
+    for raw in source.splitlines():
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            program.label(line[:-1].strip())
+            continue
+        parts = line.replace(",", " ").split()
+        mnemonic, ops = parts[0], parts[1:]
+        operands: List[Operand] = []
+        for op in ops:
+            if re.fullmatch(r"-?\d+", op):
+                operands.append(int(op))
+            else:
+                operands.append(op)
+        program.emit(mnemonic, *operands)
+    program.validate()
+    return program

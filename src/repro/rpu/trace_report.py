@@ -1,0 +1,95 @@
+"""Human-readable reports from simulation timelines.
+
+Turns a traced :class:`~repro.rpu.simulator.SimResult` into text: a
+per-kind time breakdown (where do the cycles go?) and an ASCII Gantt
+strip showing the memory/compute overlap that the decoupled queues
+achieve — the visual version of the paper's idle-time numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.taskgraph import Kind
+from repro.errors import SimulationError
+from repro.rpu.simulator import SimResult
+
+_MEMORY_KINDS = {Kind.LOAD.value, Kind.STORE.value}
+
+
+def kind_breakdown(result: SimResult) -> List[Dict[str, object]]:
+    """Busy time and task count per task kind, sorted by time."""
+    if result.timeline is None:
+        raise SimulationError("simulate with collect_trace=True first")
+    totals: Dict[str, Tuple[float, int]] = {}
+    for t in result.timeline:
+        busy, count = totals.get(t.kind, (0.0, 0))
+        totals[t.kind] = (busy + (t.end - t.start), count + 1)
+    rows = []
+    for kind, (busy, count) in sorted(totals.items(), key=lambda kv: -kv[1][0]):
+        rows.append(
+            {
+                "kind": kind,
+                "tasks": count,
+                "busy_ms": round(busy * 1e3, 3),
+                "share_%": round(100 * busy / result.runtime_s, 1),
+            }
+        )
+    return rows
+
+
+def occupancy_strip(result: SimResult, width: int = 72) -> str:
+    """Two-row ASCII strip: when each resource was busy across the run.
+
+    ``#`` marks a busy time bucket, ``.`` an idle one.  A mostly-idle
+    compute row at low bandwidth is MP's signature; OC's rows are dense.
+    """
+    if result.timeline is None:
+        raise SimulationError("simulate with collect_trace=True first")
+    if result.runtime_s <= 0:
+        raise SimulationError("empty timeline")
+    buckets = {"memory": [0.0] * width, "compute": [0.0] * width}
+    scale = width / result.runtime_s
+    for t in result.timeline:
+        row = "memory" if t.kind in _MEMORY_KINDS else "compute"
+        lo = int(t.start * scale)
+        hi = min(width - 1, int(t.end * scale))
+        for b in range(lo, hi + 1):
+            span = min(t.end, (b + 1) / scale) - max(t.start, b / scale)
+            buckets[row][b] += max(span, 0.0)
+    bucket_span = result.runtime_s / width
+    lines = []
+    for row in ("memory", "compute"):
+        cells = "".join(
+            "#" if busy > 0.5 * bucket_span else
+            "+" if busy > 0.05 * bucket_span else "."
+            for busy in buckets[row]
+        )
+        lines.append(f"{row:8} |{cells}|")
+    lines.append(
+        f"{'':8}  0 ms{'':{max(width - 18, 1)}}{result.runtime_ms:.2f} ms"
+    )
+    return "\n".join(lines)
+
+
+def render_trace_summary(result: SimResult, title: str = "") -> str:
+    """Breakdown table + occupancy strip in one report string."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"runtime {result.runtime_ms:.2f} ms | compute idle "
+        f"{result.compute_idle_fraction * 100:.1f}% | memory idle "
+        f"{result.memory_idle_fraction * 100:.1f}% | "
+        f"{result.achieved_gbs:.1f} GB/s | {result.achieved_gops:.1f} GOPS"
+    )
+    lines.append("")
+    lines.append(f"{'kind':8} {'tasks':>6} {'busy_ms':>9} {'share_%':>8}")
+    for row in kind_breakdown(result):
+        lines.append(
+            f"{row['kind']:8} {row['tasks']:>6} {row['busy_ms']:>9} "
+            f"{row['share_%']:>8}"
+        )
+    lines.append("")
+    lines.append(occupancy_strip(result))
+    return "\n".join(lines)

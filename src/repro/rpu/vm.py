@@ -1,0 +1,278 @@
+"""Functional B1K virtual machine.
+
+Executes :class:`~repro.rpu.program.Program` objects instruction by
+instruction on real data: 64 vector registers of ``vector_length`` 64-bit
+lanes, 64 scalar registers, a 32-entry modulus register file (the RPU's
+dedicated RNS-modulus state) and a flat word-addressed data memory.  All
+vector arithmetic is performed modulo the *active* modulus selected by
+``setmod`` — exactly how the RPU threads the current RNS tower through
+its HPLEs.
+
+The VM exists so that kernels written in B1K assembly (see
+:mod:`repro.rpu.codegen`) can be validated bit-for-bit against the numpy
+reference implementations — closing the loop between the ISA-level model
+and the functional layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.rpu.isa import B1K_ISA, Pipe
+from repro.rpu.program import (
+    NUM_MREGS,
+    NUM_SREGS,
+    NUM_VREGS,
+    AsmInstr,
+    Program,
+    is_mreg,
+    is_sreg,
+    is_vreg,
+    reg_index,
+)
+
+_INT64 = np.int64
+
+
+@dataclass
+class VMStats:
+    """Dynamic execution statistics."""
+
+    executed: int = 0
+    per_mnemonic: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, mnemonic: str) -> None:
+        self.executed += 1
+        self.per_mnemonic[mnemonic] = self.per_mnemonic.get(mnemonic, 0) + 1
+
+    def per_pipe(self) -> Dict[Pipe, int]:
+        out = {p: 0 for p in Pipe}
+        for mnemonic, count in self.per_mnemonic.items():
+            if mnemonic in B1K_ISA:
+                out[B1K_ISA[mnemonic].pipe] += count
+        return out
+
+
+class B1KVM:
+    """A functional interpreter for B1K programs."""
+
+    def __init__(self, vector_length: int = 1024, memory_words: int = 1 << 20):
+        self.vl_max = vector_length
+        self.vl = vector_length
+        self.vregs = np.zeros((NUM_VREGS, vector_length), dtype=_INT64)
+        self.sregs = [0] * NUM_SREGS
+        self.mregs = [0] * NUM_MREGS
+        self.memory = np.zeros(memory_words, dtype=_INT64)
+        self.active_modulus = 0
+        self.stats = VMStats()
+
+    # -- host-side setup -----------------------------------------------------------
+
+    def set_modulus_register(self, index: int, q: int) -> None:
+        self.mregs[index] = int(q)
+
+    def write_memory(self, address: int, values) -> None:
+        arr = np.asarray(values, dtype=_INT64)
+        self.memory[address : address + arr.size] = arr
+
+    def read_memory(self, address: int, count: int) -> np.ndarray:
+        return self.memory[address : address + count].copy()
+
+    def write_scalar(self, index: int, value: int) -> None:
+        self.sregs[index] = int(value)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, program: Program, max_steps: int = 2_000_000) -> VMStats:
+        program.validate()
+        pc = 0
+        steps = 0
+        n = len(program.instructions)
+        while pc < n:
+            if steps >= max_steps:
+                raise SimulationError(f"VM exceeded {max_steps} steps (runaway loop?)")
+            instr = program.instructions[pc]
+            steps += 1
+            self.stats.count(instr.mnemonic)
+            next_pc = pc + 1
+            jump = self._execute(instr, program, pc)
+            if jump is not None:
+                next_pc = jump
+            if instr.mnemonic == "halt":
+                break
+            pc = next_pc
+        return self.stats
+
+    # -- operand helpers --------------------------------------------------------------
+
+    def _v(self, op) -> np.ndarray:
+        if not is_vreg(op):
+            raise SimulationError(f"expected vector register, got {op!r}")
+        return self.vregs[reg_index(op)]
+
+    def _s(self, op) -> int:
+        if isinstance(op, int):
+            return op
+        if not is_sreg(op):
+            raise SimulationError(f"expected scalar register/immediate, got {op!r}")
+        return self.sregs[reg_index(op)]
+
+    def _q(self) -> int:
+        if self.active_modulus < 2:
+            raise SimulationError("no active modulus: execute setmod first")
+        return self.active_modulus
+
+    def _lanes(self) -> slice:
+        return slice(0, self.vl)
+
+    # -- semantics ----------------------------------------------------------------------
+
+    def _execute(self, instr: AsmInstr, program: Program, pc: int) -> Optional[int]:
+        m = instr.mnemonic
+        ops = instr.operands
+        lanes = self._lanes()
+
+        if m == "halt" or m == "fence":
+            return None
+        if m == "setvl":
+            vl = self._s(ops[0])
+            if not 1 <= vl <= self.vl_max:
+                raise SimulationError(f"setvl {vl} out of range 1..{self.vl_max}")
+            self.vl = vl
+            return None
+        if m == "setmod":
+            if not is_mreg(ops[0]):
+                raise SimulationError(f"setmod expects a modulus register, got {ops[0]!r}")
+            self.active_modulus = self.mregs[reg_index(ops[0])]
+            return None
+        if m == "li":
+            self.sregs[reg_index(ops[0])] = self._s(ops[1])
+            return None
+
+        # -- scalar ALU / memory ------------------------------------------------
+        if m == "sadd":
+            self.sregs[reg_index(ops[0])] = self._s(ops[1]) + self._s(ops[2])
+            return None
+        if m == "smul":
+            self.sregs[reg_index(ops[0])] = self._s(ops[1]) * self._s(ops[2])
+            return None
+        if m == "sld":
+            self.sregs[reg_index(ops[0])] = int(self.memory[self._s(ops[1])])
+            return None
+        if m == "sst":
+            self.memory[self._s(ops[1])] = self._s(ops[0])
+            return None
+        if m == "bnez":
+            return program.labels[ops[1]] if self._s(ops[0]) != 0 else None
+        if m == "jal":
+            self.sregs[reg_index(ops[0])] = pc + 1
+            return program.labels[ops[1]]
+
+        # -- vector memory --------------------------------------------------------
+        if m in ("vld", "vldk", "ldtw"):
+            addr = self._s(ops[1])
+            self._v(ops[0])[lanes] = self.memory[addr : addr + self.vl]
+            return None
+        if m == "vst":
+            addr = self._s(ops[1])
+            self.memory[addr : addr + self.vl] = self._v(ops[0])[lanes]
+            return None
+        if m == "vbcast":
+            self._v(ops[0])[lanes] = self._s(ops[1])
+            return None
+
+        # -- vector modular arithmetic ----------------------------------------------
+        q = None
+        if m in ("vmadd", "vmsub", "vmmul", "vmmac", "vmneg", "vmscale", "vbfly"):
+            q = self._q()
+        if m == "vmadd":
+            self._v(ops[0])[lanes] = (self._v(ops[1])[lanes] + self._v(ops[2])[lanes]) % q
+            return None
+        if m == "vmsub":
+            self._v(ops[0])[lanes] = (self._v(ops[1])[lanes] - self._v(ops[2])[lanes]) % q
+            return None
+        if m == "vmmul":
+            self._v(ops[0])[lanes] = self._v(ops[1])[lanes] * self._v(ops[2])[lanes] % q
+            return None
+        if m == "vmmac":
+            acc = self._v(ops[0])[lanes]
+            self._v(ops[0])[lanes] = (acc + self._v(ops[1])[lanes] * self._v(ops[2])[lanes] % q) % q
+            return None
+        if m == "vmneg":
+            src = self._v(ops[1])[lanes]
+            self._v(ops[0])[lanes] = np.where(src == 0, src, q - src)
+            return None
+        if m == "vmscale":
+            scalar = self._s(ops[2]) % q
+            self._v(ops[0])[lanes] = self._v(ops[1])[lanes] * scalar % q
+            return None
+        if m == "vmsel":
+            mask = self._v(ops[3])[lanes]
+            self._v(ops[0])[lanes] = np.where(
+                mask != 0, self._v(ops[1])[lanes], self._v(ops[2])[lanes]
+            )
+            return None
+        if m == "vbfly":
+            # Bit-split layout: lanes [0, vl/2) are the butterfly uppers,
+            # lanes [vl/2, vl) the lowers; the twiddle sits in the first
+            # vl/2 lanes of the twiddle register.  mode 0 = Cooley-Tukey
+            # (forward), mode 1 = Gentleman-Sande (inverse).
+            half = self.vl // 2
+            src = self._v(ops[1])
+            tw = self._v(ops[2])[:half]
+            mode = self._s(ops[3]) if len(ops) > 3 else 0
+            upper = src[:half].copy()
+            lower = src[half : 2 * half].copy()
+            dst = self._v(ops[0])
+            if mode == 0:
+                scaled = lower * tw % q
+                dst[:half] = (upper + scaled) % q
+                dst[half : 2 * half] = (upper - scaled) % q
+            else:
+                dst[:half] = (upper + lower) % q
+                dst[half : 2 * half] = (upper - lower) % q * tw % q
+            return None
+
+        # -- shuffles ----------------------------------------------------------------
+        if m == "vshuf":
+            idx = self._v(ops[2])[lanes]
+            if idx.min() < 0 or idx.max() >= self.vl:
+                raise SimulationError("vshuf index out of range")
+            self._v(ops[0])[lanes] = self._v(ops[1])[lanes][idx]
+            return None
+        if m == "vswap":
+            t = self._s(ops[2])
+            if t <= 0 or self.vl % (2 * t) != 0:
+                raise SimulationError(f"vswap width {t} incompatible with vl {self.vl}")
+            src = self._v(ops[1])[lanes].reshape(-1, 2, t)
+            self._v(ops[0])[lanes] = src[:, ::-1, :].reshape(-1)
+            return None
+        if m == "vrev":
+            from repro.ntt.transform import bit_reverse_indices
+
+            rev = bit_reverse_indices(self.vl)
+            self._v(ops[0])[lanes] = self._v(ops[1])[lanes][rev]
+            return None
+        if m == "vrotl":
+            k = self._s(ops[2]) % self.vl
+            self._v(ops[0])[lanes] = np.roll(self._v(ops[1])[lanes], -k)
+            return None
+        if m == "vsplit":
+            src = self._v(ops[2])[lanes]
+            half = self.vl // 2
+            self._v(ops[0])[:half] = src[0::2]
+            self._v(ops[1])[:half] = src[1::2]
+            return None
+        if m == "vmerge":
+            half = self.vl // 2
+            merged = np.empty(self.vl, dtype=_INT64)
+            merged[0::2] = self._v(ops[1])[:half]
+            merged[1::2] = self._v(ops[2])[:half]
+            self._v(ops[0])[lanes] = merged
+            return None
+
+        raise SimulationError(f"VM has no semantics for {m!r}")

@@ -1,0 +1,80 @@
+"""Shared fixtures: small CKKS worlds sized for fast functional testing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CKKSContext,
+    CKKSParams,
+    Decryptor,
+    Encoder,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC1F10)
+
+
+@pytest.fixture(scope="session")
+def params() -> CKKSParams:
+    return CKKSParams(
+        n=256,
+        num_levels=6,
+        num_aux=2,
+        dnum=3,
+        q_bits=28,
+        p_bits=29,
+        scale_bits=26,
+    )
+
+
+@pytest.fixture(scope="session")
+def context(params) -> CKKSContext:
+    return CKKSContext(params)
+
+
+@pytest.fixture(scope="session")
+def keygen(context) -> KeyGenerator:
+    return KeyGenerator(context, seed=7)
+
+
+@pytest.fixture(scope="session")
+def public_key(keygen):
+    return keygen.public_key()
+
+
+@pytest.fixture(scope="session")
+def relin_key(keygen):
+    return keygen.relinearization_key()
+
+
+@pytest.fixture(scope="session")
+def encoder(context) -> Encoder:
+    return Encoder(context)
+
+
+@pytest.fixture(scope="session")
+def encryptor(context, public_key) -> Encryptor:
+    return Encryptor(context, public_key, seed=11)
+
+
+@pytest.fixture(scope="session")
+def decryptor(context, keygen) -> Decryptor:
+    return Decryptor(context, keygen.secret_key)
+
+
+@pytest.fixture(scope="session")
+def evaluator(context) -> Evaluator:
+    return Evaluator(context)
+
+
+def decode_error(encoder, decryptor, ct, expected, scale=None):
+    """Max absolute slot error after decryption."""
+    got = encoder.decode(decryptor.decrypt(ct), scale=scale or ct.scale)
+    return float(np.max(np.abs(got - np.asarray(expected))))

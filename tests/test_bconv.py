@@ -1,0 +1,85 @@
+"""Tests for the fast (approximate) basis conversion kernel."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ntt.primes import generate_primes
+from repro.rns.basis import RNSBasis
+from repro.rns.bconv import BasisConverter, get_converter
+
+PRIMES = generate_primes(6, 64, 26)
+SRC = RNSBasis(PRIMES[:3])
+DST = RNSBasis(PRIMES[3:])
+
+
+def lift_holds(x, converted, src, dst):
+    """conv(x) must equal x + u*Q_src (mod t) for some 0 <= u < |src|."""
+    for row, t in enumerate(dst.moduli):
+        for k in range(len(x)):
+            got = int(converted[row][k])
+            if not any(
+                (x[k] + u * src.product) % t == got for u in range(len(src) + 1)
+            ):
+                return False
+    return True
+
+
+class TestConvert:
+    def test_lift_property_random(self):
+        pyrng = random.Random(3)
+        x = [pyrng.randrange(SRC.product) for _ in range(48)]
+        out = BasisConverter(SRC, DST).convert(SRC.decompose(x))
+        assert lift_holds(x, out, SRC, DST)
+
+    def test_small_values_convert_exactly_or_with_q_slack(self):
+        x = [0, 1, 2, 3]
+        out = BasisConverter(SRC, DST).convert(SRC.decompose(x))
+        assert lift_holds(x, out, SRC, DST)
+
+    def test_zero_maps_to_zero(self):
+        out = BasisConverter(SRC, DST).convert(SRC.decompose([0] * 8))
+        assert int(np.abs(out).max()) == 0
+
+    def test_single_source_tower_is_exact(self):
+        src1 = RNSBasis(PRIMES[:1])
+        x = [5, 17, src1.product - 1]
+        out = BasisConverter(src1, DST).convert(src1.decompose(x))
+        for row, t in enumerate(DST.moduli):
+            for k, xv in enumerate(x):
+                assert int(out[row][k]) == xv % t  # hat = 1, exact copy
+
+    def test_shape_validation(self):
+        conv = BasisConverter(SRC, DST)
+        with pytest.raises(ParameterError):
+            conv.convert(np.zeros((2, 8), dtype=np.int64))
+
+    def test_overlapping_bases_rejected(self):
+        with pytest.raises(ParameterError):
+            BasisConverter(SRC, RNSBasis([PRIMES[0]]))
+
+    def test_exact_value_bound(self):
+        assert BasisConverter(SRC, DST).exact_value_bound() == 3
+
+
+class TestCache:
+    def test_get_converter_caches(self):
+        a = get_converter(SRC, DST)
+        b = get_converter(SRC, DST)
+        assert a is b
+
+    def test_cache_distinguishes_direction(self):
+        a = get_converter(SRC, DST)
+        b = get_converter(DST, SRC)
+        assert a is not b
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=int(SRC.product) - 1))
+def test_lift_slack_bounded_property(x):
+    out = BasisConverter(SRC, DST).convert(SRC.decompose([x]))
+    assert lift_holds([x], out, SRC, DST)

@@ -1,0 +1,99 @@
+"""Tests for CKKS context: chains, digits, gadget scalars, rescale constants."""
+
+import pytest
+
+from repro.ckks.context import CKKSContext, CKKSParams
+from repro.errors import ParameterError
+
+
+class TestParams:
+    def test_alpha(self, params):
+        assert params.alpha == 2  # 6 levels / dnum 3
+
+    def test_alpha_ceils(self):
+        p = CKKSParams(n=64, num_levels=7, num_aux=2, dnum=3)
+        assert p.alpha == 3
+
+    def test_invalid_n(self):
+        with pytest.raises(ParameterError):
+            CKKSParams(n=100)
+
+    def test_dnum_bounds(self):
+        with pytest.raises(ParameterError):
+            CKKSParams(n=64, num_levels=4, dnum=5)
+
+    def test_scale_must_fit(self):
+        with pytest.raises(ParameterError):
+            CKKSParams(n=64, q_bits=20, scale_bits=28)
+
+
+class TestContext:
+    def test_basis_sizes(self, context, params):
+        assert len(context.q_basis) == params.num_levels
+        assert len(context.p_basis) == params.num_aux
+        assert len(context.full_basis) == params.num_levels + params.num_aux
+
+    def test_moduli_are_ntt_friendly(self, context, params):
+        for q in context.full_basis.moduli:
+            assert q % (2 * params.n) == 1
+
+    def test_p_inverse_constants(self, context):
+        p = context.p_basis.product
+        for inv, q in zip(context.p_inv_mod_q, context.q_basis.moduli):
+            assert (p % q) * inv % q == 1
+
+    def test_digit_indices_full_level(self, context, params):
+        groups = context.digit_indices(params.max_level)
+        assert [len(g) for g in groups] == [2, 2, 2]
+        assert sorted(sum(groups, [])) == list(range(params.num_levels))
+
+    def test_digit_indices_partial_level(self, context):
+        groups = context.digit_indices(2)  # towers 0..2, alpha=2
+        assert groups == [[0, 1], [2]]
+
+    def test_num_digits_decreases_with_level(self, context):
+        assert context.num_digits(5) == 3
+        assert context.num_digits(1) == 1
+
+    def test_level_bounds(self, context):
+        with pytest.raises(ParameterError):
+            context.digit_indices(99)
+        with pytest.raises(ParameterError):
+            context.level_basis(-1)
+
+    def test_extended_basis_layout(self, context):
+        ext = context.extended_basis(3)
+        assert ext.moduli[:4] == context.q_basis.moduli[:4]
+        assert ext.moduli[4:] == context.p_basis.moduli
+
+    def test_complement_indices(self, context):
+        comp = context.complement_indices(5, 1)
+        # digit 1 owns towers 2,3; complement = other q towers + p towers
+        assert comp == [0, 1, 4, 5, 6, 7]
+
+    def test_gadget_scalars_indicator_property(self, context, params):
+        """P*T_d must be P (mod q_i in digit d) and 0 (mod q_j elsewhere)."""
+        p = context.p_basis.product
+        groups = context.digit_indices(params.max_level)
+        for d in range(params.dnum):
+            scalars = context.digit_gadget_scalars(d)
+            for i, q in enumerate(context.q_basis.moduli):
+                expected = p % q if i in groups[d] else 0
+                assert scalars[i] == expected
+
+    def test_gadget_digit_bounds(self, context):
+        with pytest.raises(ParameterError):
+            context.digit_gadget_scalars(99)
+
+    def test_rescale_inverses(self, context):
+        invs = context.rescale_inverses(3)
+        q3 = context.q_basis.moduli[3]
+        for inv, q in zip(invs, context.q_basis.moduli[:3]):
+            assert (q3 % q) * inv % q == 1
+
+    def test_rescale_at_level_zero_rejected(self, context):
+        with pytest.raises(ParameterError):
+            context.rescale_inverses(0)
+
+    def test_repr(self, context):
+        assert "dnum=3" in repr(context)

@@ -1,0 +1,163 @@
+"""Schedule-level invariants for the three dataflows across all benchmarks."""
+
+import pytest
+
+from repro.core import (
+    DATAFLOWS,
+    DataflowConfig,
+    HKSShape,
+    analyze_dataflow,
+    get_dataflow,
+    minimum_mp_working_set_bytes,
+)
+from repro.core.taskgraph import DATA_TAG, EVK_TAG, Kind, Queue
+from repro.params import BENCHMARKS, MB, get_benchmark
+
+SMALL = DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=False)
+SMALL_ONCHIP = DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=True)
+HUGE = DataflowConfig(data_sram_bytes=4096 * MB, evk_on_chip=True)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """All (benchmark, dataflow) traffic reports under the Table II config."""
+    out = {}
+    for bench, spec in BENCHMARKS.items():
+        for df in DATAFLOWS.values():
+            out[(bench, df.name)] = analyze_dataflow(spec, df, SMALL)
+    return out
+
+
+class TestRegistry:
+    def test_three_dataflows(self):
+        assert set(DATAFLOWS) == {"MP", "DC", "OC"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_dataflow("oc").name == "OC"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_dataflow("XX")
+
+
+class TestScheduleInvariants:
+    """analyze_dataflow internally asserts op totals, evk traffic and
+    compulsory traffic; these tests re-check the structural properties."""
+
+    @pytest.mark.parametrize("bench", list(BENCHMARKS))
+    @pytest.mark.parametrize("df", ["MP", "DC", "OC"])
+    def test_graph_validates(self, bench, df):
+        graph = get_dataflow(df).build(get_benchmark(bench), SMALL)
+        graph.validate()
+
+    @pytest.mark.parametrize("df", ["MP", "DC", "OC"])
+    def test_compute_work_is_dataflow_independent(self, reports, df):
+        for bench, spec in BENCHMARKS.items():
+            expected = HKSShape(spec).total_ops()
+            report = reports[(bench, df)]
+            assert report.mod_muls == expected.muls
+            assert report.mod_ops == expected.total
+
+    def test_streamed_evk_traffic_equals_key_size(self, reports):
+        for bench, spec in BENCHMARKS.items():
+            for df in DATAFLOWS:
+                assert reports[(bench, df)].evk_bytes == spec.evk_bytes
+
+    def test_peak_usage_within_budget(self, reports):
+        for report in reports.values():
+            assert report.peak_on_chip_bytes <= SMALL.data_sram_bytes
+
+    def test_output_stores_present(self):
+        spec = get_benchmark("ARK")
+        graph = get_dataflow("OC").build(spec, SMALL)
+        out_stores = [
+            t for t in graph.tasks
+            if t.kind is Kind.STORE and t.label.startswith("store out")
+        ]
+        assert len(out_stores) == 2 * spec.kl
+
+    def test_memory_queue_in_emission_order(self):
+        graph = get_dataflow("MP").build(get_benchmark("ARK"), SMALL)
+        mem = graph.queue_tasks(Queue.MEMORY)
+        assert [t.index for t in mem] == sorted(t.index for t in mem)
+
+
+class TestTrafficOrdering:
+    """The paper's Table II ordering: OC < DC <= MP on every benchmark."""
+
+    @pytest.mark.parametrize("bench", list(BENCHMARKS))
+    def test_oc_moves_least_data(self, reports, bench):
+        assert reports[(bench, "OC")].total_bytes < reports[(bench, "DC")].total_bytes
+        assert reports[(bench, "OC")].total_bytes < reports[(bench, "MP")].total_bytes
+
+    @pytest.mark.parametrize("bench", list(BENCHMARKS))
+    def test_dc_never_worse_than_mp(self, reports, bench):
+        assert reports[(bench, "DC")].total_bytes <= reports[(bench, "MP")].total_bytes
+
+    @pytest.mark.parametrize("bench", list(BENCHMARKS))
+    def test_oc_ai_gain_matches_paper_range(self, reports, bench):
+        """OC improves AI by 1.4x-2.5x over MP (paper: 1.43x-2.4x)."""
+        gain = (
+            reports[(bench, "OC")].arithmetic_intensity
+            / reports[(bench, "MP")].arithmetic_intensity
+        )
+        assert 1.2 < gain < 3.0
+
+    def test_paper_table2_within_factor(self, reports):
+        """Every absolute MB value lands within 35% of the paper's Table II."""
+        paper = {
+            ("BTS1", "MP"): 600, ("BTS1", "DC"): 600, ("BTS1", "OC"): 420,
+            ("BTS2", "MP"): 1352, ("BTS2", "DC"): 1278, ("BTS2", "OC"): 716,
+            ("BTS3", "MP"): 1850, ("BTS3", "DC"): 1766, ("BTS3", "OC"): 1119,
+            ("ARK", "MP"): 432, ("ARK", "DC"): 356, ("ARK", "OC"): 180,
+            ("DPRIVE", "MP"): 365, ("DPRIVE", "DC"): 336, ("DPRIVE", "OC"): 170,
+        }
+        for key, mb in paper.items():
+            ours = reports[key].total_mb
+            assert abs(ours - mb) / mb < 0.35, (key, ours, mb)
+
+
+class TestLargeMemory:
+    """With SRAM covering the whole working set, traffic collapses to the
+    compulsory input + output (+ streamed keys) for every dataflow."""
+
+    @pytest.mark.parametrize("df", ["MP", "DC", "OC"])
+    def test_no_spills_with_huge_sram(self, df):
+        spec = get_benchmark("ARK")
+        report = analyze_dataflow(spec, get_dataflow(df), HUGE)
+        assert report.spill_stores == 0
+        # input towers may be loaded twice (INTT + bypass read after eviction
+        # cannot happen without pressure), so traffic == compulsory exactly:
+        assert report.data_bytes == spec.input_bytes + spec.output_bytes
+
+    def test_dataflows_equivalent_without_pressure(self):
+        """The paper: "Assuming unlimited on-chip memory, the performance gap
+        between these dataflows would decrease significantly"."""
+        spec = get_benchmark("BTS3")
+        totals = {
+            df: analyze_dataflow(spec, get_dataflow(df), HUGE).total_bytes
+            for df in DATAFLOWS
+        }
+        assert len(set(totals.values())) == 1
+
+    def test_minimum_mp_working_set_is_huge(self):
+        """The paper quotes ~675 MB-class footprints for spill-free MP."""
+        assert minimum_mp_working_set_bytes(get_benchmark("BTS3")) > 600 * MB
+
+
+class TestEvkPlacement:
+    @pytest.mark.parametrize("df", ["MP", "DC", "OC"])
+    def test_onchip_keys_remove_evk_traffic(self, df):
+        spec = get_benchmark("DPRIVE")
+        report = analyze_dataflow(spec, get_dataflow(df), SMALL_ONCHIP)
+        assert report.evk_bytes == 0
+
+    def test_streaming_adds_key_bytes_plus_small_pressure(self):
+        """Streaming adds the key size, plus a little extra data spill
+        because evk towers transit through the same 32 MB budget."""
+        spec = get_benchmark("DPRIVE")
+        onchip = analyze_dataflow(spec, get_dataflow("OC"), SMALL_ONCHIP)
+        streamed = analyze_dataflow(spec, get_dataflow("OC"), SMALL)
+        extra = streamed.total_bytes - onchip.total_bytes
+        assert extra >= spec.evk_bytes
+        assert extra <= spec.evk_bytes * 1.15

@@ -1,0 +1,141 @@
+"""Tests for the canonical-embedding CKKS encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.encoding import Encoder
+from repro.errors import EncodingError
+
+
+def random_slots(encoder, rng, scale=1.0):
+    return scale * (
+        rng.uniform(-1, 1, encoder.num_slots)
+        + 1j * rng.uniform(-1, 1, encoder.num_slots)
+    )
+
+
+class TestEmbedding:
+    def test_embed_project_roundtrip(self, encoder, rng):
+        z = random_slots(encoder, rng)
+        back = encoder.project(encoder.embed(z))
+        assert np.max(np.abs(back - z)) < 1e-9
+
+    def test_embed_produces_reals(self, encoder, rng):
+        coeffs = encoder.embed(random_slots(encoder, rng))
+        assert coeffs.dtype == np.float64
+        assert coeffs.shape == (encoder.context.params.n,)
+
+    def test_embedding_is_linear(self, encoder, rng):
+        a = random_slots(encoder, rng)
+        b = random_slots(encoder, rng)
+        lhs = encoder.embed(a + 2 * b)
+        rhs = encoder.embed(a) + 2 * encoder.embed(b)
+        assert np.max(np.abs(lhs - rhs)) < 1e-9
+
+    def test_constant_vector_embeds_to_constant_poly(self, encoder):
+        z = np.full(encoder.num_slots, 2.5, dtype=np.complex128)
+        coeffs = encoder.embed(z)
+        assert abs(coeffs[0] - 2.5) < 1e-9
+        assert np.max(np.abs(coeffs[1:])) < 1e-9
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, encoder, rng):
+        z = random_slots(encoder, rng)
+        assert np.max(np.abs(encoder.decode(encoder.encode(z)) - z)) < 1e-4
+
+    def test_scalar_broadcast(self, encoder):
+        pt = encoder.encode(1.5)
+        decoded = encoder.decode(pt)
+        assert abs(decoded[0] - 1.5) < 1e-4
+        assert np.max(np.abs(decoded[1:])) < 1e-4
+
+    def test_short_vector_zero_pads(self, encoder):
+        decoded = encoder.decode(encoder.encode([1.0, 2.0]))
+        assert abs(decoded[0] - 1) < 1e-4
+        assert abs(decoded[1] - 2) < 1e-4
+        assert np.max(np.abs(decoded[2:])) < 1e-4
+
+    def test_encode_at_lower_level(self, encoder, context):
+        pt = encoder.encode([1.0], level=2)
+        assert pt.num_towers == 3
+
+    def test_custom_scale(self, encoder):
+        scale = 2.0**20
+        pt = encoder.encode([0.5], scale=scale)
+        decoded = encoder.decode(pt, scale=scale)
+        assert abs(decoded[0] - 0.5) < 1e-3
+
+    def test_plaintext_multiply_matches_slotwise(self, encoder, rng):
+        """Negacyclic poly product == slot-wise product (the CKKS identity)."""
+        a = random_slots(encoder, rng)
+        b = rng.uniform(-1, 1, encoder.num_slots)
+        pa = encoder.encode(a)
+        pb = encoder.encode(b)
+        prod = pa * pb
+        decoded = encoder.decode(prod, scale=encoder.context.params.scale ** 2)
+        assert np.max(np.abs(decoded - a * b)) < 1e-3
+
+    def test_rotation_indexing_matches_galois(self, encoder, context, rng):
+        """kappa_{5^r} on the plaintext rotates slots left by r."""
+        z = random_slots(encoder, rng)
+        pt = encoder.encode(z)
+        r = 3
+        g = pow(5, r, 2 * context.params.n)
+        rotated = pt.automorphism(g)
+        decoded = encoder.decode(rotated)
+        assert np.max(np.abs(decoded - np.roll(z, -r))) < 1e-3
+
+    def test_conjugation_galois_element(self, encoder, context, rng):
+        z = random_slots(encoder, rng)
+        pt = encoder.encode(z)
+        conj = pt.automorphism(2 * context.params.n - 1)
+        decoded = encoder.decode(conj)
+        assert np.max(np.abs(decoded - np.conj(z))) < 1e-3
+
+
+class TestValidation:
+    def test_too_many_slots_rejected(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.encode(np.ones(encoder.num_slots + 1))
+
+    def test_too_large_message_rejected(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.encode([1e30], level=0)
+
+    def test_embed_shape_check(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.embed(np.ones(3, dtype=np.complex128))
+
+    def test_project_shape_check(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.project(np.ones(7))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False),
+                min_size=4, max_size=16))
+def test_encode_decode_property(values):
+    # Build a tiny standalone encoder to keep hypothesis independent of fixtures.
+    from repro.ckks.context import CKKSContext, CKKSParams
+
+    ctx = _cached_ctx()
+    enc = Encoder(ctx)
+    decoded = enc.decode(enc.encode(values))
+    for i, v in enumerate(values):
+        assert abs(decoded[i] - v) < 1e-2
+
+
+_CTX_CACHE = {}
+
+
+def _cached_ctx():
+    if "ctx" not in _CTX_CACHE:
+        from repro.ckks.context import CKKSContext, CKKSParams
+
+        _CTX_CACHE["ctx"] = CKKSContext(
+            CKKSParams(n=64, num_levels=3, num_aux=1, dnum=1, scale_bits=26)
+        )
+    return _CTX_CACHE["ctx"]

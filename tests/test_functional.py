@@ -1,0 +1,127 @@
+"""Functional equivalence: the three dataflows executed on real RNS data
+must be bit-identical to the reference HKS implementation."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CKKSContext, CKKSParams, KeyGenerator, key_switch
+from repro.ckks.keys import sample_ternary
+from repro.core import DATAFLOWS, get_dataflow
+from repro.core.functional import FunctionalEmitter, execute_dataflow
+from repro.errors import ScheduleError
+from repro.rns.poly import Domain, RNSPoly
+
+
+@pytest.fixture(scope="module")
+def world(context):
+    kg = KeyGenerator(context, seed=31)
+    rng = np.random.default_rng(32)
+    key = kg.switch_key(sample_ternary(context.params.n, rng))
+    return kg, rng, key
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("df", ["MP", "DC", "OC"])
+    @pytest.mark.parametrize("level", [0, 2, 5])
+    def test_matches_reference(self, context, world, df, level):
+        _, rng, key = world
+        poly = RNSPoly.random_uniform(
+            context.level_basis(level), context.params.n, rng
+        )
+        r0, r1 = key_switch(context, poly, key, level)
+        f0, f1 = execute_dataflow(get_dataflow(df), context, poly, key, level)
+        assert np.array_equal(f0.data, r0.data)
+        assert np.array_equal(f1.data, r1.data)
+
+    def test_all_dataflows_agree_pairwise(self, context, world):
+        _, rng, key = world
+        level = 4
+        poly = RNSPoly.random_uniform(
+            context.level_basis(level), context.params.n, rng
+        )
+        results = [
+            execute_dataflow(df, context, poly, key, level)
+            for df in DATAFLOWS.values()
+        ]
+        for (a0, a1), (b0, b1) in zip(results, results[1:]):
+            assert np.array_equal(a0.data, b0.data)
+            assert np.array_equal(a1.data, b1.data)
+
+    def test_other_decompositions(self):
+        """Equivalence holds for dnum=1 (no reduce) and dnum=4."""
+        for dnum, aux in ((1, 4), (4, 1)):
+            params = CKKSParams(
+                n=64, num_levels=4, num_aux=aux, dnum=dnum,
+                q_bits=28, p_bits=29, scale_bits=24,
+            )
+            ctx = CKKSContext(params)
+            kg = KeyGenerator(ctx, seed=41)
+            rng = np.random.default_rng(42)
+            key = kg.switch_key(sample_ternary(params.n, rng))
+            level = params.max_level
+            poly = RNSPoly.random_uniform(ctx.level_basis(level), params.n, rng)
+            r0, r1 = key_switch(ctx, poly, key, level)
+            for df in DATAFLOWS.values():
+                f0, f1 = execute_dataflow(df, ctx, poly, key, level)
+                assert np.array_equal(f0.data, r0.data), (dnum, df.name)
+                assert np.array_equal(f1.data, r1.data), (dnum, df.name)
+
+
+class TestFunctionalEmitter:
+    def test_rejects_coeff_domain_input(self, context, world):
+        _, rng, key = world
+        poly = RNSPoly.random_uniform(
+            context.level_basis(2), context.params.n, rng, domain=Domain.COEFF
+        )
+        with pytest.raises(ScheduleError):
+            FunctionalEmitter(context, poly, key, 2)
+
+    def test_geometry_matches_context(self, context, world):
+        _, rng, key = world
+        level = 3
+        poly = RNSPoly.random_uniform(
+            context.level_basis(level), context.params.n, rng
+        )
+        em = FunctionalEmitter(context, poly, key, level)
+        assert em.kl == level + 1
+        assert em.kp == len(context.p_basis)
+        assert em.dnum == context.num_digits(level)
+        assert list(em.all_ext()) == list(range(em.kl + em.kp))
+
+    def test_bypass_guard(self, context, world):
+        """BConv onto a tower the digit owns is a schedule bug."""
+        _, rng, key = world
+        level = context.params.max_level
+        poly = RNSPoly.random_uniform(
+            context.level_basis(level), context.params.n, rng
+        )
+        em = FunctionalEmitter(context, poly, key, level)
+        em.intt_input(0)
+        # Tower 0 belongs to digit 0 -> converting digit 0 onto it is invalid
+        # in the schedule emitter; the functional emitter mirrors the math,
+        # so we simply check the geometry is consistent instead.
+        assert em.digit_of[0] == 0
+
+
+class TestEndToEndViaDataflow:
+    def test_relinearization_through_oc_dataflow(
+        self, context, encoder, encryptor, decryptor, evaluator, relin_key, rng
+    ):
+        """A ciphertext multiply whose key switch runs through the OC
+        dataflow decrypts to the right product."""
+        from repro.ckks.encrypt import Ciphertext
+
+        z = rng.uniform(-1, 1, encoder.num_slots)
+        w = rng.uniform(-1, 1, encoder.num_slots)
+        x = encryptor.encrypt(encoder.encode(z))
+        y = encryptor.encrypt(encoder.encode(w))
+        d0 = x.c0 * y.c0
+        d1 = x.c0 * y.c1 + x.c1 * y.c0
+        d2 = x.c1 * y.c1
+        ks0, ks1 = execute_dataflow(
+            get_dataflow("OC"), context, d2, relin_key, x.level
+        )
+        ct = Ciphertext(d0 + ks0, d1 + ks1, x.level, x.scale * y.scale)
+        ct = evaluator.rescale(ct)
+        got = encoder.decode(decryptor.decrypt(ct), scale=ct.scale)
+        assert np.max(np.abs(got - z * w)) < 1e-2

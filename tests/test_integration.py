@@ -1,0 +1,101 @@
+"""Integration matrix: the full encrypt-compute-decrypt pipeline across
+several context shapes (ring sizes, chain lengths, digit counts)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CKKSContext,
+    CKKSParams,
+    Decryptor,
+    Encoder,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    key_switch,
+)
+from repro.ckks.keys import sample_ternary
+from repro.core import DATAFLOWS
+from repro.core.functional import execute_dataflow
+from repro.rns.poly import RNSPoly
+
+# Valid shapes require num_aux >= alpha = ceil(num_levels/dnum): hybrid KS
+# needs P >= Q_d (see docs/hks.md).  (n, num_levels, num_aux, dnum).
+SHAPES = [
+    (128, 4, 2, 2),
+    (256, 3, 3, 1),   # single digit: no ModUp reduce (the BTS1 shape)
+    (512, 8, 2, 4),
+]
+
+
+@pytest.fixture(scope="module", params=SHAPES, ids=lambda s: f"n{s[0]}d{s[3]}")
+def world(request):
+    n, levels, aux, dnum = request.param
+    params = CKKSParams(n=n, num_levels=levels, num_aux=aux, dnum=dnum,
+                        q_bits=28, p_bits=29, scale_bits=26)
+    context = CKKSContext(params)
+    keygen = KeyGenerator(context, seed=100 + n)
+    encoder = Encoder(context)
+    encryptor = Encryptor(context, keygen.public_key(), seed=200 + n)
+    decryptor = Decryptor(context, keygen.secret_key)
+    evaluator = Evaluator(context)
+    rng = np.random.default_rng(300 + n)
+    return context, keygen, encoder, encryptor, decryptor, evaluator, rng
+
+
+class TestPipelineAcrossShapes:
+    def test_encrypt_decrypt(self, world):
+        _, _, encoder, encryptor, decryptor, _, rng = world
+        z = rng.uniform(-1, 1, encoder.num_slots)
+        ct = encryptor.encrypt(encoder.encode(z))
+        got = encoder.decode(decryptor.decrypt(ct))
+        assert np.max(np.abs(got - z)) < 1e-3
+
+    def test_multiply_chain_to_bottom(self, world):
+        """Squaring down to level 0 keeps decrypting correctly."""
+        context, keygen, encoder, encryptor, decryptor, evaluator, rng = world
+        rlk = keygen.relinearization_key()
+        x = rng.uniform(-0.9, 0.9, encoder.num_slots)
+        ct = encryptor.encrypt(encoder.encode(x))
+        expected = x.copy()
+        # Two squarings (all shapes have >= 2 usable levels).
+        for _ in range(2):
+            ct = evaluator.rescale(evaluator.square(ct, rlk))
+            expected = expected * expected
+        got = encoder.decode(decryptor.decrypt(ct), scale=ct.scale).real
+        assert np.max(np.abs(got - expected)) < 5e-2
+
+    def test_rotation(self, world):
+        context, keygen, encoder, encryptor, decryptor, evaluator, rng = world
+        z = rng.uniform(-1, 1, encoder.num_slots)
+        key = keygen.rotation_key(2)
+        ct = evaluator.rotate(encryptor.encrypt(encoder.encode(z)), 2, key)
+        got = encoder.decode(decryptor.decrypt(ct))
+        assert np.max(np.abs(got - np.roll(z, -2))) < 1e-2
+
+    def test_dataflow_equivalence(self, world):
+        """MP/DC/OC remain bit-identical to the reference for every shape."""
+        context, keygen, _, _, _, _, rng = world
+        params = context.params
+        key = keygen.switch_key(sample_ternary(params.n, rng))
+        level = params.max_level
+        poly = RNSPoly.random_uniform(context.level_basis(level), params.n, rng)
+        r0, r1 = key_switch(context, poly, key, level)
+        for df in DATAFLOWS.values():
+            f0, f1 = execute_dataflow(df, context, poly, key, level)
+            assert np.array_equal(f0.data, r0.data), df.name
+            assert np.array_equal(f1.data, r1.data), df.name
+
+    def test_rotate_multiply_compose(self, world):
+        """rot(x)*y decrypts to roll(x)*y — rotations and products mix."""
+        context, keygen, encoder, encryptor, decryptor, evaluator, rng = world
+        rlk = keygen.relinearization_key()
+        rk = keygen.rotation_key(1)
+        x = rng.uniform(-0.9, 0.9, encoder.num_slots)
+        y = rng.uniform(-0.9, 0.9, encoder.num_slots)
+        ct_x = encryptor.encrypt(encoder.encode(x))
+        ct_y = encryptor.encrypt(encoder.encode(y))
+        rotated = evaluator.rotate(ct_x, 1, rk)
+        prod = evaluator.rescale(evaluator.multiply(rotated, ct_y, rlk))
+        got = encoder.decode(decryptor.decrypt(prod), scale=prod.scale).real
+        assert np.max(np.abs(got - np.roll(x, -1) * y)) < 5e-2

@@ -1,0 +1,117 @@
+"""Tests for the B1K ISA model and kernel lowerings."""
+
+import pytest
+
+from repro.core import DataflowConfig, get_dataflow
+from repro.core.taskgraph import Kind, Queue
+from repro.errors import ParameterError
+from repro.params import MB, get_benchmark
+from repro.rpu.isa import B1K_ISA, InstructionMix, Pipe
+from repro.rpu.kernels import (
+    bconv_kernel_mix,
+    graph_instruction_histogram,
+    mulkey_kernel_mix,
+    ntt_kernel_mix,
+    pwise_kernel_mix,
+    task_instruction_mix,
+)
+
+N = 1 << 16
+VL = 1024
+
+
+class TestISA:
+    def test_exactly_28_instructions(self):
+        assert len(B1K_ISA) == 28
+
+    def test_pipes_covered(self):
+        pipes = {i.pipe for i in B1K_ISA.values()}
+        assert pipes == set(Pipe)
+
+    def test_ntt_butterfly_counts_three_ops(self):
+        assert B1K_ISA["vbfly"].modops_per_element == 3
+
+    def test_mac_counts_two_ops(self):
+        assert B1K_ISA["vmmac"].modops_per_element == 2
+
+
+class TestInstructionMix:
+    def test_add_and_total(self):
+        mix = InstructionMix().add("vmadd", 3).add("vld", 2)
+        assert mix.total() == 5
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(ParameterError):
+            InstructionMix().add("fma512")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParameterError):
+            InstructionMix().add("vld", -1)
+
+    def test_merge(self):
+        a = InstructionMix().add("vld", 1)
+        b = InstructionMix().add("vld", 2).add("vst", 1)
+        assert a.merge(b)["vld"] == 3
+
+    def test_per_pipe(self):
+        mix = InstructionMix().add("vmmul", 4).add("vshuf", 2).add("vld", 1)
+        pipes = mix.per_pipe()
+        assert pipes[Pipe.COMPUTE] == 4
+        assert pipes[Pipe.SHUFFLE] == 2
+        assert pipes[Pipe.MEMORY] == 1
+
+    def test_modops(self):
+        mix = InstructionMix().add("vmmac", 2)
+        assert mix.modops(VL) == 2 * 2 * VL
+
+
+class TestKernelMixes:
+    def test_ntt_modops_match_stage_algebra(self):
+        """vbfly ops must equal the N/2*logN butterflies' 3 ops each."""
+        mix = ntt_kernel_mix(N, VL)
+        log_n = N.bit_length() - 1
+        assert mix["vbfly"] * VL == (N // 2) * log_n
+
+    def test_bconv_mac_count(self):
+        mix = bconv_kernel_mix(N, 7, VL)
+        assert mix["vmmac"] * VL == N * 7
+
+    def test_mulkey_accumulate_switches_opcode(self):
+        fresh = mulkey_kernel_mix(N, accumulate=False, vector_length=VL)
+        acc = mulkey_kernel_mix(N, accumulate=True, vector_length=VL)
+        assert "vmmul" in fresh and "vmmac" not in fresh
+        assert "vmmac" in acc and "vmmul" not in acc
+
+    def test_pwise_has_sub_and_scale(self):
+        mix = pwise_kernel_mix(N, VL)
+        assert mix["vmsub"] == mix["vmscale"]
+
+
+class TestTaskLowering:
+    def test_memory_task_rejected(self):
+        from repro.core.taskgraph import TaskGraph
+
+        g = TaskGraph()
+        g.add(Kind.LOAD, bytes_moved=8)
+        with pytest.raises(ParameterError):
+            task_instruction_mix(g.tasks[0], N, VL)
+
+    def test_graph_histogram(self):
+        spec = get_benchmark("ARK")
+        graph = get_dataflow("OC").build(
+            spec, DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=True)
+        )
+        hist = graph_instruction_histogram(graph.tasks, spec.n, VL)
+        assert hist["vbfly"] > 0
+        assert hist["vmmac"] > 0
+        assert all(m in B1K_ISA for m in hist)
+
+    def test_ntt_task_mix_scales_with_towers(self):
+        spec = get_benchmark("ARK")
+        graph = get_dataflow("MP").build(
+            spec, DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=True)
+        )
+        ntt_tasks = [t for t in graph.tasks if t.kind in (Kind.NTT, Kind.INTT)]
+        mix = task_instruction_mix(ntt_tasks[0], spec.n, VL)
+        log_n = spec.n.bit_length() - 1
+        assert mix["vbfly"] == (spec.n // 2 // VL) * log_n

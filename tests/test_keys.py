@@ -1,0 +1,85 @@
+"""Tests for key generation: secret/public keys and switching keys."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.keys import (
+    KeyGenerator,
+    rotation_galois_element,
+    sample_error,
+    sample_ternary,
+)
+from repro.errors import KeySwitchError
+from repro.ntt.modmath import centered
+from repro.rns.poly import Domain, RNSPoly
+
+
+class TestSampling:
+    def test_ternary_values(self, rng):
+        s = sample_ternary(1024, rng)
+        assert set(np.unique(s)).issubset({-1, 0, 1})
+
+    def test_error_is_small(self, rng):
+        e = sample_error(4096, 3.2, rng)
+        assert np.max(np.abs(e)) < 40  # ~12 sigma
+        assert abs(float(np.mean(e))) < 1.0
+
+
+class TestSecretAndPublic:
+    def test_secret_is_ternary(self, keygen):
+        assert set(np.unique(keygen.secret_key.coeffs)).issubset({-1, 0, 1})
+
+    def test_public_key_relation(self, context, keygen, public_key):
+        """b + a*s must be a small error polynomial."""
+        s = keygen.secret_key.poly(context.q_basis)
+        residual = (public_key.b + public_key.a * s).to_coeff()
+        ints = residual.basis.compose(residual.data)
+        assert max(abs(int(v)) for v in ints) < 40
+
+
+class TestSwitchKeys:
+    def test_digit_count(self, context, keygen, relin_key):
+        assert relin_key.dnum == context.params.dnum
+
+    def test_hidden_plaintext_per_digit(self, context, keygen, rng):
+        """b_d + a_d*s - P*T_d*s_from must be small, for every digit."""
+        s_from = sample_ternary(context.params.n, rng)
+        key = keygen.switch_key(s_from)
+        s = keygen.secret_key.poly(context.full_basis)
+        src = RNSPoly.from_integers(
+            context.full_basis, list(s_from), domain=Domain.EVAL
+        )
+        for d, (b_d, a_d) in enumerate(key.digit_pairs):
+            gadget = context.digit_gadget_scalars(d)
+            residual = (b_d + a_d * s - src.scale_by(gadget)).to_coeff()
+            ints = residual.basis.compose(residual.data)
+            assert max(abs(int(v)) for v in ints) < 40
+
+    def test_restriction_tower_layout(self, context, relin_key):
+        level = 3
+        pairs = relin_key.restricted(context, level)
+        assert len(pairs) == context.num_digits(level)
+        expected = (
+            context.q_basis.moduli[: level + 1] + context.p_basis.moduli
+        )
+        for b_d, a_d in pairs:
+            assert b_d.basis.moduli == expected
+            assert a_d.basis.moduli == expected
+
+    def test_restriction_drops_inactive_digits(self, context, relin_key):
+        pairs = relin_key.restricted(context, 1)  # one active digit
+        assert len(pairs) == 1
+
+
+class TestGaloisElements:
+    def test_rotation_element_is_power_of_five(self):
+        assert rotation_galois_element(1, 64) == 5
+        assert rotation_galois_element(2, 64) == 25
+
+    def test_rotation_element_wraps(self):
+        n = 64
+        assert rotation_galois_element(n // 2, n) == rotation_galois_element(0, n)
+
+    def test_rotation_element_is_odd(self):
+        for steps in range(8):
+            assert rotation_galois_element(steps, 128) % 2 == 1

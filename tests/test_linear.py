@@ -1,0 +1,97 @@
+"""Tests for BSGS encrypted linear transforms."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.linear import LinearTransform, generate_bsgs_keys
+from repro.errors import ParameterError
+
+
+def tiled(encoder, vec):
+    return np.tile(vec, encoder.num_slots // len(vec))
+
+
+@pytest.fixture(scope="module")
+def dim():
+    return 16
+
+
+@pytest.fixture(scope="module")
+def matvec_setup(encoder, keygen, rng, dim):
+    matrix = rng.uniform(-1, 1, (dim, dim))
+    transform = LinearTransform(encoder, matrix)
+    baby, giant = generate_bsgs_keys(keygen, transform)
+    return matrix, transform, baby, giant
+
+
+class TestConstruction:
+    def test_bsgs_split(self, matvec_setup, dim):
+        _, transform, _, _ = matvec_setup
+        assert transform.baby * transform.giant >= dim
+
+    def test_non_square_rejected(self, encoder):
+        with pytest.raises(ParameterError):
+            LinearTransform(encoder, np.ones((2, 3)))
+
+    def test_non_divisor_dim_rejected(self, encoder):
+        with pytest.raises(ParameterError):
+            LinearTransform(encoder, np.ones((3, 3)))
+
+    def test_zero_diagonals_skipped(self, encoder):
+        transform = LinearTransform(encoder, np.eye(8))
+        needed = transform.required_rotations()
+        assert needed["baby"] == [] or all(
+            transform._diagonals.get((0, j)) is None for j in needed["baby"]
+        )
+        assert needed["giant"] == []
+
+
+class TestEvaluation:
+    def test_matches_plain_matvec(
+        self, matvec_setup, encoder, encryptor, decryptor, evaluator, rng, dim
+    ):
+        matrix, transform, baby, giant = matvec_setup
+        vec = rng.uniform(-1, 1, dim)
+        ct = encryptor.encrypt(encoder.encode(tiled(encoder, vec)))
+        out = transform.evaluate(evaluator, ct, baby, giant)
+        got = encoder.decode(decryptor.decrypt(out), scale=out.scale)[:dim].real
+        assert np.max(np.abs(got - matrix @ vec)) < 5e-2
+
+    def test_hoisted_and_unhoisted_agree(
+        self, matvec_setup, encoder, encryptor, decryptor, evaluator, rng, dim
+    ):
+        matrix, transform, baby, giant = matvec_setup
+        vec = rng.uniform(-1, 1, dim)
+        ct = encryptor.encrypt(encoder.encode(tiled(encoder, vec)))
+        a = transform.evaluate(evaluator, ct, baby, giant, hoist=True)
+        b = transform.evaluate(evaluator, ct, baby, giant, hoist=False)
+        pa = encoder.decode(decryptor.decrypt(a), scale=a.scale)[:dim]
+        pb = encoder.decode(decryptor.decrypt(b), scale=b.scale)[:dim]
+        assert np.max(np.abs(pa - pb)) < 1e-3
+
+    def test_identity_matrix(self, encoder, encryptor, decryptor, evaluator,
+                             keygen, rng):
+        dim = 8
+        transform = LinearTransform(encoder, np.eye(dim))
+        baby, giant = generate_bsgs_keys(keygen, transform)
+        vec = rng.uniform(-1, 1, dim)
+        ct = encryptor.encrypt(encoder.encode(tiled(encoder, vec)))
+        out = transform.evaluate(evaluator, ct, baby, giant)
+        got = encoder.decode(decryptor.decrypt(out), scale=out.scale)[:dim].real
+        assert np.max(np.abs(got - vec)) < 2e-2
+
+    def test_missing_keys_rejected(
+        self, matvec_setup, encoder, encryptor, evaluator, rng, dim
+    ):
+        matrix, transform, baby, giant = matvec_setup
+        ct = encryptor.encrypt(encoder.encode(tiled(encoder, rng.uniform(-1, 1, dim))))
+        with pytest.raises(ParameterError):
+            transform.evaluate(evaluator, ct, {}, giant)
+
+    def test_consumes_one_level(
+        self, matvec_setup, encoder, encryptor, evaluator, rng, dim
+    ):
+        matrix, transform, baby, giant = matvec_setup
+        ct = encryptor.encrypt(encoder.encode(tiled(encoder, rng.uniform(-1, 1, dim))))
+        out = transform.evaluate(evaluator, ct, baby, giant)
+        assert out.level == ct.level - 1

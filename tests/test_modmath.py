@@ -1,0 +1,139 @@
+"""Unit and property tests for vectorized modular arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import (
+    MAX_MODULUS_BITS,
+    add_mod,
+    centered,
+    check_modulus,
+    inv_mod,
+    is_probable_prime,
+    mul_mod,
+    neg_mod,
+    pow_mod,
+    sub_mod,
+    to_residues,
+)
+
+Q = 268369921  # 28-bit NTT-friendly prime
+
+
+def arrays(q, n=64, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, q, n, dtype=np.int64), rng.integers(0, q, n, dtype=np.int64)
+
+
+class TestBasicOps:
+    def test_add_wraps(self):
+        a, b = arrays(Q)
+        out = add_mod(a, b, Q)
+        assert np.array_equal(out, (a + b) % Q)
+        assert out.max() < Q and out.min() >= 0
+
+    def test_sub_wraps(self):
+        a, b = arrays(Q)
+        assert np.array_equal(sub_mod(a, b, Q), (a - b) % Q)
+
+    def test_neg(self):
+        a, _ = arrays(Q)
+        out = neg_mod(a, Q)
+        assert np.array_equal(add_mod(a, out, Q), np.zeros_like(a))
+
+    def test_neg_of_zero_is_zero(self):
+        assert neg_mod(np.zeros(4, dtype=np.int64), Q).max() == 0
+
+    def test_mul_scalar_and_array(self):
+        a, b = arrays(Q)
+        assert np.array_equal(mul_mod(a, b, Q), a * b % Q)
+        assert np.array_equal(mul_mod(a, 3, Q), a * 3 % Q)
+
+    def test_centered_range(self):
+        a = np.array([0, 1, Q // 2, Q // 2 + 1, Q - 1], dtype=np.int64)
+        c = centered(a, Q)
+        assert np.all(c <= Q // 2)
+        assert np.all(c > -(Q // 2) - 1)
+        assert c[-1] == -1
+
+    def test_to_residues_negative(self):
+        out = to_residues(np.array([-1, -Q, Q + 5]), Q)
+        assert list(out) == [Q - 1, 0, 5]
+
+    def test_to_residues_object_dtype(self):
+        big = np.array([2**100, -(2**90)], dtype=object)
+        out = to_residues(big, Q)
+        assert out[0] == 2**100 % Q
+        assert out[1] == (-(2**90)) % Q
+
+
+class TestScalarOps:
+    def test_pow_mod(self):
+        assert pow_mod(2, 10, 1000) == 24
+
+    def test_inv_mod_prime(self):
+        for a in (1, 2, 12345, Q - 1):
+            assert a * inv_mod(a, Q) % Q == 1
+
+    def test_inv_mod_composite(self):
+        m = 91  # 7 * 13
+        assert 3 * inv_mod(3, m) % m == 1
+
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            inv_mod(0, Q)
+
+    def test_inv_non_coprime_raises(self):
+        with pytest.raises(ValueError):
+            inv_mod(7, 91)
+
+
+class TestValidation:
+    def test_check_modulus_accepts_prime(self):
+        check_modulus(Q)
+
+    @pytest.mark.parametrize("bad", [1, 2, 4, 1 << 40])
+    def test_check_modulus_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            check_modulus(bad)
+
+    def test_max_modulus_bits_is_safe_for_int64(self):
+        assert 2 * MAX_MODULUS_BITS + 1 <= 63
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 97, Q, (1 << 31) - 1])
+    def test_primes_detected(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", [0, 1, 4, 91, 561, 1 << 20, Q + 2])
+    def test_composites_rejected(self, c):
+        assert not is_probable_prime(c)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=Q - 1),
+    b=st.integers(min_value=0, max_value=Q - 1),
+)
+def test_field_axioms_hold(a, b):
+    aa = np.array([a], dtype=np.int64)
+    bb = np.array([b], dtype=np.int64)
+    # commutativity
+    assert add_mod(aa, bb, Q)[0] == add_mod(bb, aa, Q)[0]
+    assert mul_mod(aa, bb, Q)[0] == mul_mod(bb, aa, Q)[0]
+    # inverse round trips
+    assert sub_mod(add_mod(aa, bb, Q), bb, Q)[0] == a
+    if b:
+        assert mul_mod(mul_mod(aa, bb, Q), inv_mod(b, Q), Q)[0] == a
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=Q - 1))
+def test_centered_is_congruent(a):
+    c = int(centered(np.array([a], dtype=np.int64), Q)[0])
+    assert c % Q == a
+    assert -Q // 2 <= c <= Q // 2

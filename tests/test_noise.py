@@ -1,0 +1,108 @@
+"""Tests for the noise model: the heuristic bound must cover measurements."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.noise import NoiseModel, measure_noise
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def model(context):
+    return NoiseModel(context)
+
+
+def slots(encoder, rng):
+    return rng.uniform(-1, 1, encoder.num_slots)
+
+
+class TestModelStructure:
+    def test_fresh_estimate(self, model, context):
+        est = model.fresh()
+        assert est.level == context.params.max_level
+        assert est.log2_noise > 0
+
+    def test_budget_decreases_with_noise(self, model, context):
+        fresh = model.fresh()
+        noisy = model.add(fresh, fresh)
+        assert noisy.budget_bits(context) < fresh.budget_bits(context)
+
+    def test_rescale_drops_level_and_noise(self, model):
+        est = model.multiply_plain(model.fresh())
+        out = model.rescale(est)
+        assert out.level == est.level - 1
+        assert out.log2_noise < est.log2_noise
+
+    def test_rescale_at_zero_rejected(self, model, context):
+        est = model.fresh()
+        for _ in range(context.params.max_level):
+            est = model.rescale(model.multiply_plain(est))
+        with pytest.raises(ParameterError):
+            model.rescale(est)
+
+    def test_level_mismatch_rejected(self, model):
+        a = model.fresh()
+        b = model.rescale(model.multiply_plain(a))
+        with pytest.raises(ParameterError):
+            model.add(a, b)
+
+    def test_key_switch_noise_shrinks_with_bigger_p(self, context, model):
+        """More auxiliary towers -> smaller key-switching noise (why HKS
+        runs at the raised modulus PQ at all)."""
+        from repro.ckks.context import CKKSContext, CKKSParams
+
+        small_p = CKKSContext(CKKSParams(n=64, num_levels=4, num_aux=1, dnum=4))
+        big_p = CKKSContext(CKKSParams(n=64, num_levels=4, num_aux=3, dnum=4))
+        assert (
+            NoiseModel(big_p).key_switch_bits(3)
+            < NoiseModel(small_p).key_switch_bits(3)
+        )
+
+
+class TestBoundsCoverMeasurements:
+    def test_fresh(self, context, keygen, encoder, encryptor, model, rng):
+        z = slots(encoder, rng)
+        ct = encryptor.encrypt(encoder.encode(z))
+        measured = measure_noise(context, keygen.secret_key, ct, z)
+        predicted = model.fresh().log2_noise
+        assert measured <= predicted + 1
+        assert predicted < measured + 20  # bound is not vacuous
+
+    def test_addition(self, context, keygen, encoder, encryptor, evaluator,
+                      model, rng):
+        a, b = slots(encoder, rng), slots(encoder, rng)
+        ct = evaluator.add(
+            encryptor.encrypt(encoder.encode(a)),
+            encryptor.encrypt(encoder.encode(b)),
+        )
+        measured = measure_noise(context, keygen.secret_key, ct, a + b)
+        predicted = model.add(model.fresh(), model.fresh()).log2_noise
+        assert measured <= predicted + 1
+
+    def test_multiply_and_rescale(self, context, keygen, encoder, encryptor,
+                                  evaluator, relin_key, model, rng):
+        a, b = slots(encoder, rng), slots(encoder, rng)
+        ct = evaluator.rescale(
+            evaluator.multiply(
+                encryptor.encrypt(encoder.encode(a)),
+                encryptor.encrypt(encoder.encode(b)),
+                relin_key,
+            )
+        )
+        # measure against the true product at the result's scale
+        measured = measure_noise(context, keygen.secret_key, ct, a * b)
+        predicted = model.rescale(
+            model.multiply(model.fresh(), model.fresh())
+        ).log2_noise
+        assert measured <= predicted + 2
+
+    def test_rotation(self, context, keygen, encoder, encryptor, evaluator,
+                      model, rng):
+        z = slots(encoder, rng)
+        key = keygen.rotation_key(2)
+        ct = evaluator.rotate(encryptor.encrypt(encoder.encode(z)), 2, key)
+        measured = measure_noise(
+            context, keygen.secret_key, ct, np.roll(z, -2)
+        )
+        predicted = model.rotate(model.fresh()).log2_noise
+        assert measured <= predicted + 2

@@ -1,0 +1,153 @@
+"""Tests for the negacyclic NTT: roundtrips, ring laws, reference products."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import mul_mod
+from repro.ntt.primes import generate_primes
+from repro.ntt.transform import NTTContext, bit_reverse_indices, is_power_of_two
+
+N = 128
+Q = generate_primes(1, N, 26)[0]
+CTX = NTTContext(N, Q)
+
+
+def negacyclic_reference(a, b, q):
+    """O(N^2) schoolbook product in Z_q[X]/(X^N + 1)."""
+    n = len(a)
+    out = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            sign = 1 if k < n else -1
+            out[k % n] = (out[k % n] + sign * int(a[i]) * int(b[j])) % q
+    return out % q
+
+
+class TestHelpers:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1 << 17)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_bit_reverse_is_involution(self):
+        rev = bit_reverse_indices(64)
+        assert np.array_equal(rev[rev], np.arange(64))
+
+    def test_bit_reverse_known_values(self):
+        assert list(bit_reverse_indices(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ParameterError):
+            NTTContext(100, Q)
+
+    def test_rejects_unfriendly_modulus(self):
+        with pytest.raises(ParameterError):
+            NTTContext(N, 97)
+
+    def test_repr(self):
+        assert str(N) in repr(CTX)
+
+
+class TestRoundTrip:
+    def test_forward_inverse_identity(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, Q, N)
+        assert np.array_equal(CTX.inverse(CTX.forward(a)), a)
+
+    def test_inverse_forward_identity(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, Q, N)
+        assert np.array_equal(CTX.forward(CTX.inverse(a)), a)
+
+    def test_2d_batch(self):
+        rng = np.random.default_rng(4)
+        m = rng.integers(0, Q, (7, N))
+        assert np.array_equal(CTX.inverse(CTX.forward(m)), m)
+
+    def test_does_not_mutate_input(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, Q, N)
+        backup = a.copy()
+        CTX.forward(a)
+        assert np.array_equal(a, backup)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ParameterError):
+            CTX.forward(np.zeros(N + 1, dtype=np.int64))
+
+
+class TestRingLaws:
+    def test_forward_is_linear(self):
+        rng = np.random.default_rng(6)
+        a = rng.integers(0, Q, N)
+        b = rng.integers(0, Q, N)
+        lhs = CTX.forward((a + b) % Q)
+        rhs = (CTX.forward(a) + CTX.forward(b)) % Q
+        assert np.array_equal(lhs, rhs)
+
+    def test_constant_polynomial_is_fixed_by_pointwise_mul(self):
+        one = np.zeros(N, dtype=np.int64)
+        one[0] = 1
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, Q, N)
+        prod = CTX.negacyclic_multiply(a, one)
+        assert np.array_equal(prod, a)
+
+    def test_x_to_n_is_minus_one(self):
+        # X^(N/2) * X^(N/2) = X^N = -1
+        half = np.zeros(N, dtype=np.int64)
+        half[N // 2] = 1
+        prod = CTX.negacyclic_multiply(half, half)
+        expected = np.zeros(N, dtype=np.int64)
+        expected[0] = Q - 1
+        assert np.array_equal(prod, expected)
+
+    def test_matches_schoolbook(self):
+        n_small, q_small = 16, generate_primes(1, 16, 20)[0]
+        ctx = NTTContext(n_small, q_small)
+        rng = np.random.default_rng(8)
+        a = rng.integers(0, q_small, n_small)
+        b = rng.integers(0, q_small, n_small)
+        assert np.array_equal(
+            ctx.negacyclic_multiply(a, b), negacyclic_reference(a, b, q_small)
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=N, max_size=N))
+def test_roundtrip_property(coeffs):
+    a = np.array(coeffs, dtype=np.int64)
+    assert np.array_equal(CTX.inverse(CTX.forward(a)), a)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=N, max_size=N),
+    st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=N, max_size=N),
+)
+def test_convolution_theorem_property(a, b):
+    """Point-wise product in the eval domain == negacyclic convolution."""
+    a = np.array(a, dtype=np.int64)
+    b = np.array(b, dtype=np.int64)
+    via_ntt = CTX.inverse(mul_mod(CTX.forward(a), CTX.forward(b), Q))
+    # Compare against the (slow) reference only on a few coefficients to
+    # keep the property test fast: full check happens in TestRingLaws.
+    ref = negacyclic_reference(a[:16].tolist() + [0] * (N - 16),
+                               b[:16].tolist() + [0] * (N - 16), Q)
+    via_ntt_small = CTX.inverse(
+        mul_mod(
+            CTX.forward(np.array(a[:16].tolist() + [0] * (N - 16))),
+            CTX.forward(np.array(b[:16].tolist() + [0] * (N - 16))),
+            Q,
+        )
+    )
+    assert np.array_equal(via_ntt_small, ref)
+    assert via_ntt.shape == (N,)

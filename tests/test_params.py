@@ -1,0 +1,81 @@
+"""Tests for benchmark parameter sets and the Table III size identities."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import BENCHMARKS, MB, BenchmarkSpec, get_benchmark
+
+
+class TestTableIII:
+    """The paper's Table III values, reproduced exactly (DPRIVE temp ~1%)."""
+
+    @pytest.mark.parametrize(
+        "name,evk_mb",
+        [("BTS1", 112), ("BTS2", 240), ("BTS3", 360), ("ARK", 120), ("DPRIVE", 99)],
+    )
+    def test_evk_sizes_exact(self, name, evk_mb):
+        assert get_benchmark(name).evk_bytes == evk_mb * MB
+
+    @pytest.mark.parametrize(
+        "name,temp_mb", [("BTS1", 196), ("BTS2", 400), ("BTS3", 585), ("ARK", 192)]
+    )
+    def test_temp_sizes_exact(self, name, temp_mb):
+        assert get_benchmark(name).temp_bytes == temp_mb * MB
+
+    def test_dprive_temp_within_one_percent(self):
+        spec = get_benchmark("DPRIVE")
+        assert abs(spec.temp_bytes - 163 * MB) / (163 * MB) < 0.01
+
+    @pytest.mark.parametrize(
+        "name,alpha", [("BTS1", 28), ("BTS2", 20), ("BTS3", 15), ("ARK", 6), ("DPRIVE", 9)]
+    )
+    def test_alpha(self, name, alpha):
+        assert get_benchmark(name).alpha == alpha
+
+
+class TestStructure:
+    def test_digit_sizes_cover_kl(self):
+        for spec in BENCHMARKS.values():
+            assert sum(spec.digit_sizes) == spec.kl
+            assert len(spec.digit_sizes) == spec.dnum
+
+    def test_dprive_has_partial_last_digit(self):
+        assert get_benchmark("DPRIVE").digit_sizes == (9, 9, 8)
+
+    def test_beta(self):
+        spec = get_benchmark("BTS3")
+        for d in range(spec.dnum):
+            assert spec.beta(d) == spec.kl + spec.kp - spec.digit_sizes[d]
+
+    def test_tower_and_io_bytes(self):
+        spec = get_benchmark("ARK")
+        assert spec.tower_bytes == (1 << 16) * 8
+        assert spec.input_bytes == spec.kl * spec.tower_bytes
+        assert spec.output_bytes == 2 * spec.input_bytes
+
+    def test_describe_keys(self):
+        row = get_benchmark("BTS1").describe()
+        assert row["benchmark"] == "BTS1"
+        assert row["evk_mb"] == 112.0
+
+
+class TestValidation:
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("ark").name == "ARK"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ParameterError):
+            get_benchmark("BTS9")
+
+    def test_dnum_exceeding_kl_rejected(self):
+        with pytest.raises(ParameterError):
+            BenchmarkSpec("X", log_n=10, kl=2, kp=2, dnum=3)
+
+    def test_empty_digit_rejected(self):
+        # kl=5, dnum=5 -> alpha=1 works; kl=5 dnum=4 -> alpha 2: 2,2,1, empty
+        with pytest.raises(ParameterError):
+            BenchmarkSpec("X", log_n=10, kl=5, kp=2, dnum=4).digit_sizes
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ParameterError):
+            BenchmarkSpec("X", log_n=10, kl=0, kp=1, dnum=1)

@@ -1,0 +1,89 @@
+"""Tests for polynomial evaluation on ciphertexts."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.polyeval import (
+    evaluate_horner,
+    evaluate_power_basis,
+    required_depth_horner,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def encrypted_x(encoder, encryptor, rng):
+    x = rng.uniform(-0.9, 0.9, encoder.num_slots)
+    return x, encryptor.encrypt(encoder.encode(x))
+
+
+def poly_value(coeffs, x):
+    return sum(c * x**k for k, c in enumerate(coeffs))
+
+
+CASES = [
+    ("constant", [0.75]),
+    ("affine", [0.5, 2.0]),
+    ("quadratic", [1.0, -0.5, 0.25]),
+    ("cubic", [0.5, -1.0, 0.25, 0.125]),
+    ("sparse", [0.0, 0.0, 1.0]),
+]
+
+
+class TestHorner:
+    @pytest.mark.parametrize("name,coeffs", CASES)
+    def test_matches_plain(self, encrypted_x, encoder, decryptor, evaluator,
+                           relin_key, name, coeffs):
+        x, ct = encrypted_x
+        res = evaluate_horner(evaluator, encoder, ct, coeffs, relin_key)
+        got = encoder.decode(decryptor.decrypt(res), scale=res.scale).real
+        assert np.max(np.abs(got - poly_value(coeffs, x))) < 5e-2, name
+
+    def test_depth_accounting(self):
+        assert required_depth_horner(3) == 3
+
+    def test_too_deep_rejected(self, encoder, encryptor, evaluator, relin_key):
+        ct = encryptor.encrypt(encoder.encode([0.5]), level=1)
+        with pytest.raises(ParameterError):
+            evaluate_horner(evaluator, encoder, ct, [0, 1, 1, 1], relin_key)
+
+    def test_empty_coefficients_rejected(self, encrypted_x, encoder, evaluator,
+                                         relin_key):
+        _, ct = encrypted_x
+        with pytest.raises(ParameterError):
+            evaluate_horner(evaluator, encoder, ct, [], relin_key)
+
+
+class TestPowerBasis:
+    @pytest.mark.parametrize("name,coeffs", [c for c in CASES if len(c[1]) > 1])
+    def test_matches_plain(self, encrypted_x, encoder, decryptor, evaluator,
+                           relin_key, name, coeffs):
+        x, ct = encrypted_x
+        res = evaluate_power_basis(evaluator, encoder, ct, coeffs, relin_key)
+        got = encoder.decode(decryptor.decrypt(res), scale=res.scale).real
+        assert np.max(np.abs(got - poly_value(coeffs, x))) < 5e-2, name
+
+    def test_agrees_with_horner(self, encrypted_x, encoder, decryptor,
+                                evaluator, relin_key):
+        x, ct = encrypted_x
+        coeffs = [0.1, 0.2, 0.3, -0.4]
+        a = evaluate_horner(evaluator, encoder, ct, coeffs, relin_key)
+        b = evaluate_power_basis(evaluator, encoder, ct, coeffs, relin_key)
+        pa = encoder.decode(decryptor.decrypt(a), scale=a.scale).real
+        pb = encoder.decode(decryptor.decrypt(b), scale=b.scale).real
+        assert np.max(np.abs(pa - pb)) < 1e-2
+
+    def test_degree_zero_rejected(self, encrypted_x, encoder, evaluator, relin_key):
+        _, ct = encrypted_x
+        with pytest.raises(ParameterError):
+            evaluate_power_basis(evaluator, encoder, ct, [1.0], relin_key)
+
+    def test_uses_shallower_depth_than_horner(
+        self, encrypted_x, encoder, evaluator, relin_key
+    ):
+        """Power basis keeps more levels for degree 4 than Horner does."""
+        x, ct = encrypted_x
+        coeffs = [0.1, 0.2, 0.05, 0.03, 0.01]
+        h = evaluate_horner(evaluator, encoder, ct, coeffs, relin_key)
+        p = evaluate_power_basis(evaluator, encoder, ct, coeffs, relin_key)
+        assert p.level >= h.level

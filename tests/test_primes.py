@@ -1,0 +1,60 @@
+"""Tests for NTT-friendly prime generation and roots of unity."""
+
+import pytest
+
+from repro.errors import PrimeGenerationError
+from repro.ntt.modmath import is_probable_prime, pow_mod
+from repro.ntt.primes import generate_primes, primitive_root, root_of_unity
+
+
+class TestGeneratePrimes:
+    def test_count_and_shape(self):
+        n = 1024
+        primes = generate_primes(4, n, 28)
+        assert len(primes) == 4
+        assert len(set(primes)) == 4
+        for p in primes:
+            assert is_probable_prime(p)
+            assert p % (2 * n) == 1
+            assert p.bit_length() == 28
+
+    def test_distinct_from_respected(self):
+        n = 64
+        first = generate_primes(3, n, 24)
+        second = generate_primes(3, n, 24, distinct_from=first)
+        assert not set(first) & set(second)
+
+    def test_too_large_bits_rejected(self):
+        with pytest.raises(PrimeGenerationError):
+            generate_primes(1, 64, 40)
+
+    def test_bits_too_small_for_ring_rejected(self):
+        with pytest.raises(PrimeGenerationError):
+            generate_primes(1, 1 << 20, 20)
+
+    def test_descending_order(self):
+        primes = generate_primes(3, 128, 26)
+        assert primes == sorted(primes, reverse=True)
+
+
+class TestRoots:
+    def test_primitive_root_generates_group(self):
+        q = 97
+        g = primitive_root(q)
+        seen = set()
+        x = 1
+        for _ in range(q - 1):
+            x = x * g % q
+            seen.add(x)
+        assert len(seen) == q - 1
+
+    def test_root_of_unity_order(self):
+        n = 256
+        q = generate_primes(1, n, 24)[0]
+        w = root_of_unity(2 * n, q)
+        assert pow_mod(w, 2 * n, q) == 1
+        assert pow_mod(w, n, q) == q - 1  # primitive: w^N = -1
+
+    def test_root_of_unity_needs_divisibility(self):
+        with pytest.raises(PrimeGenerationError):
+            root_of_unity(64, 97)  # 64 does not divide 96

@@ -1,0 +1,126 @@
+"""Cross-module property tests (hypothesis): the invariants that must hold
+for *any* parameter shape, not just the paper's five benchmarks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DATAFLOWS,
+    DataflowConfig,
+    HKSShape,
+    analyze_dataflow,
+    get_dataflow,
+)
+from repro.params import MB, BenchmarkSpec
+
+# Random-but-valid benchmark shapes: small N keeps schedules fast.
+spec_strategy = st.builds(
+    lambda kl, kp, dnum_idx, log_n: BenchmarkSpec(
+        name=f"RND{kl}_{kp}",
+        log_n=log_n,
+        kl=kl,
+        kp=kp,
+        dnum=max(1, min(kl, dnum_idx)),
+    ),
+    kl=st.integers(min_value=2, max_value=24),
+    kp=st.integers(min_value=1, max_value=12),
+    dnum_idx=st.integers(min_value=1, max_value=5),
+    log_n=st.integers(min_value=12, max_value=14),
+)
+
+
+def _valid(spec: BenchmarkSpec) -> bool:
+    """Skip shapes where the digit partition leaves an empty digit."""
+    try:
+        spec.digit_sizes
+        return True
+    except Exception:
+        return False
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=spec_strategy, budget_mb=st.sampled_from([8, 16, 32, 64]))
+def test_traffic_ordering_holds_for_random_shapes(spec, budget_mb):
+    """OC never moves more data than MP, for any valid parameter shape."""
+    if not _valid(spec):
+        return
+    config = DataflowConfig(data_sram_bytes=budget_mb * MB, evk_on_chip=False)
+    totals = {}
+    for name in ("MP", "OC"):
+        report = analyze_dataflow(spec, get_dataflow(name), config)
+        totals[name] = report.total_bytes
+    assert totals["OC"] <= totals["MP"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=spec_strategy)
+def test_op_totals_dataflow_independent_for_random_shapes(spec):
+    if not _valid(spec):
+        return
+    config = DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=True)
+    expected = HKSShape(spec).total_ops()
+    for df in DATAFLOWS.values():
+        graph = df.build(spec, config)
+        assert graph.total_mod_muls() == expected.muls
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    spec=spec_strategy,
+    bw_pair=st.tuples(
+        st.floats(min_value=4, max_value=64),
+        st.floats(min_value=64, max_value=1024),
+    ),
+)
+def test_runtime_monotone_in_bandwidth_for_random_shapes(spec, bw_pair):
+    if not _valid(spec):
+        return
+    from repro.rpu import RPUConfig, RPUSimulator
+
+    low_bw, high_bw = bw_pair
+    config = DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=True)
+    graph = get_dataflow("OC").build(spec, config)
+    slow = RPUSimulator(RPUConfig(bandwidth_bytes_per_s=low_bw * 1e9)).simulate(graph)
+    fast = RPUSimulator(RPUConfig(bandwidth_bytes_per_s=high_bw * 1e9)).simulate(graph)
+    assert fast.runtime_s <= slow.runtime_s + 1e-12
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    budget_towers=st.integers(min_value=6, max_value=128),
+)
+def test_budget_never_exceeded_for_random_budgets(budget_towers):
+    """The residency model respects any budget that fits the working set."""
+    spec = BenchmarkSpec("T", log_n=13, kl=12, kp=4, dnum=3)
+    budget = budget_towers * spec.tower_bytes
+    config = DataflowConfig(data_sram_bytes=budget, evk_on_chip=False)
+    for df in DATAFLOWS.values():
+        graph, stats = df.build_with_stats(spec, config)
+        assert stats.peak_bytes <= budget
+        graph.validate()
+
+
+class TestEvaluatorModSwitch:
+    def test_mod_switch_preserves_message(
+        self, encoder, encryptor, decryptor, evaluator, rng
+    ):
+        z = rng.uniform(-1, 1, encoder.num_slots)
+        ct = encryptor.encrypt(encoder.encode(z))
+        dropped = evaluator.mod_switch_to_level(ct, 2)
+        assert dropped.level == 2
+        got = encoder.decode(decryptor.decrypt(dropped))
+        assert np.max(np.abs(got - z)) < 1e-3
+
+    def test_mod_switch_up_rejected(self, encoder, encryptor, evaluator):
+        from repro.errors import ParameterError
+
+        ct = encryptor.encrypt(encoder.encode([1.0]), level=2)
+        with pytest.raises(ParameterError):
+            evaluator.mod_switch_to_level(ct, 4)
+
+    def test_same_level_copies(self, encoder, encryptor, evaluator):
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        out = evaluator.mod_switch_to_level(ct, ct.level)
+        assert out is not ct

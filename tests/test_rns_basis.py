@@ -1,0 +1,97 @@
+"""Tests for RNS bases and exact CRT composition/decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ntt.primes import generate_primes
+from repro.rns.basis import RNSBasis
+
+PRIMES = generate_primes(5, 64, 26)
+BASIS = RNSBasis(PRIMES[:3])
+
+
+class TestConstruction:
+    def test_product_and_hats(self):
+        q0, q1, q2 = BASIS.moduli
+        assert BASIS.product == q0 * q1 * q2
+        assert BASIS.hats[0] == q1 * q2
+        for hat, inv, q in zip(BASIS.hats, BASIS.hat_invs, BASIS.moduli):
+            assert hat * inv % q == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            RNSBasis([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ParameterError):
+            RNSBasis([PRIMES[0], PRIMES[0]])
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ParameterError):
+            RNSBasis([9, 21])
+
+    def test_equality_and_hash(self):
+        assert RNSBasis(PRIMES[:3]) == BASIS
+        assert hash(RNSBasis(PRIMES[:3])) == hash(BASIS)
+        assert RNSBasis(PRIMES[:2]) != BASIS
+
+
+class TestStructure:
+    def test_subbasis_and_prefix(self):
+        sub = BASIS.subbasis([2, 0])
+        assert sub.moduli == (PRIMES[2], PRIMES[0])
+        assert BASIS.prefix(2).moduli == tuple(PRIMES[:2])
+
+    def test_prefix_bounds(self):
+        with pytest.raises(ParameterError):
+            BASIS.prefix(0)
+        with pytest.raises(ParameterError):
+            BASIS.prefix(4)
+
+    def test_concat_disjoint(self):
+        other = RNSBasis(PRIMES[3:])
+        joined = BASIS.concat(other)
+        assert joined.moduli == tuple(PRIMES)
+
+    def test_concat_overlap_rejected(self):
+        with pytest.raises(ParameterError):
+            BASIS.concat(RNSBasis([PRIMES[0]]))
+
+
+class TestCRT:
+    def test_roundtrip_small_values(self):
+        vals = [0, 1, -1, 12345, -987654]
+        res = BASIS.decompose(vals)
+        back = [int(v) for v in BASIS.compose(res)]
+        assert back == vals
+
+    def test_roundtrip_full_range(self):
+        rng = np.random.default_rng(1)
+        import random
+
+        pyrng = random.Random(2)
+        q = BASIS.product
+        vals = [pyrng.randrange(-(q // 2) + 1, q // 2) for _ in range(32)]
+        back = [int(v) for v in BASIS.compose(BASIS.decompose(vals))]
+        assert back == vals
+
+    def test_compose_uncentered(self):
+        vals = [-1]
+        res = BASIS.decompose(vals)
+        out = BASIS.compose(res, centered=False)
+        assert int(out[0]) == BASIS.product - 1
+
+    def test_compose_shape_check(self):
+        with pytest.raises(ParameterError):
+            BASIS.compose(np.zeros((2, 4), dtype=np.int64))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=-(10**18), max_value=10**18))
+def test_crt_bijection_property(value):
+    res = BASIS.decompose([value])
+    back = int(BASIS.compose(res)[0])
+    assert back % BASIS.product == value % BASIS.product

@@ -1,0 +1,188 @@
+"""Tests for RNS polynomials: arithmetic, domains, structure, automorphisms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.ntt.primes import generate_primes
+from repro.rns.basis import RNSBasis
+from repro.rns.poly import Domain, RNSPoly, get_ntt_context
+
+N = 64
+PRIMES = generate_primes(4, N, 26)
+BASIS = RNSBasis(PRIMES[:3])
+RNG = np.random.default_rng(9)
+
+
+def rand_poly(domain=Domain.EVAL, basis=BASIS):
+    return RNSPoly.random_uniform(basis, N, RNG, domain=domain)
+
+
+class TestConstruction:
+    def test_zero(self):
+        z = RNSPoly.zero(BASIS, N)
+        assert z.num_towers == 3 and z.n == N
+        assert int(np.abs(z.data).max()) == 0
+
+    def test_from_integers_reduces_per_tower(self):
+        p = RNSPoly.from_integers(BASIS, [-1] + [0] * (N - 1), domain=Domain.COEFF)
+        for row, q in enumerate(BASIS.moduli):
+            assert p.data[row][0] == q - 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            RNSPoly(BASIS, np.zeros((2, N), dtype=np.int64), Domain.EVAL)
+
+    def test_repr(self):
+        assert "towers=3" in repr(rand_poly())
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self):
+        p, q = rand_poly(), rand_poly()
+        assert np.array_equal((p + q - q).data, p.data)
+
+    def test_neg_is_additive_inverse(self):
+        p = rand_poly()
+        assert int(np.abs((p + (-p)).data).max()) == 0
+
+    def test_mul_requires_eval_domain(self):
+        p = rand_poly(Domain.COEFF)
+        with pytest.raises(ParameterError):
+            _ = p * p
+
+    def test_mul_is_commutative(self):
+        p, q = rand_poly(), rand_poly()
+        assert np.array_equal((p * q).data, (q * p).data)
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            _ = rand_poly(Domain.EVAL) + rand_poly(Domain.COEFF)
+
+    def test_basis_mismatch_rejected(self):
+        other = RNSPoly.random_uniform(RNSBasis(PRIMES[:2]), N, RNG)
+        with pytest.raises(ParameterError):
+            _ = rand_poly() + other
+
+    def test_scale_by_per_tower(self):
+        p = rand_poly()
+        scaled = p.scale_by([2, 3, 5])
+        for row, (q, s) in enumerate(zip(BASIS.moduli, (2, 3, 5))):
+            assert np.array_equal(scaled.data[row], p.data[row] * s % q)
+
+    def test_scale_by_wrong_length(self):
+        with pytest.raises(ParameterError):
+            rand_poly().scale_by([1, 2])
+
+
+class TestDomains:
+    def test_eval_coeff_roundtrip(self):
+        p = rand_poly()
+        assert np.array_equal(p.to_coeff().to_eval().data, p.data)
+
+    def test_to_same_domain_copies(self):
+        p = rand_poly()
+        q = p.to_eval()
+        assert q is not p and q.data is not p.data
+        assert np.array_equal(q.data, p.data)
+
+    def test_mul_matches_integer_convolution(self):
+        """Tower-wise NTT product == negacyclic product of the CRT integers."""
+        a = RNSPoly.from_integers(BASIS, [1, 2] + [0] * (N - 2), Domain.EVAL)
+        b = RNSPoly.from_integers(BASIS, [3, 4] + [0] * (N - 2), Domain.EVAL)
+        prod = (a * b).to_coeff()
+        ints = [int(v) for v in prod.basis.compose(prod.data)]
+        # (1 + 2X)(3 + 4X) = 3 + 10X + 8X^2
+        assert ints[:3] == [3, 10, 8]
+        assert all(v == 0 for v in ints[3:])
+
+    def test_ntt_context_cache(self):
+        assert get_ntt_context(N, PRIMES[0]) is get_ntt_context(N, PRIMES[0])
+
+
+class TestStructure:
+    def test_select_towers(self):
+        p = rand_poly()
+        sub = p.select_towers([2, 0])
+        assert sub.basis.moduli == (PRIMES[2], PRIMES[0])
+        assert np.array_equal(sub.data[0], p.data[2])
+
+    def test_drop_last_tower(self):
+        p = rand_poly()
+        d = p.drop_last_tower()
+        assert d.num_towers == 2
+        assert np.array_equal(d.data, p.data[:2])
+
+    def test_drop_only_tower_rejected(self):
+        single = RNSPoly.random_uniform(RNSBasis(PRIMES[:1]), N, RNG)
+        with pytest.raises(ParameterError):
+            single.drop_last_tower()
+
+    def test_concat(self):
+        p = rand_poly()
+        q = RNSPoly.random_uniform(RNSBasis([PRIMES[3]]), N, RNG)
+        joined = RNSPoly.concat([p, q])
+        assert joined.num_towers == 4
+        assert np.array_equal(joined.data[3], q.data[0])
+
+    def test_concat_domain_mismatch(self):
+        q = RNSPoly.random_uniform(RNSBasis([PRIMES[3]]), N, RNG, domain=Domain.COEFF)
+        with pytest.raises(ParameterError):
+            RNSPoly.concat([rand_poly(), q])
+
+    def test_concat_empty(self):
+        with pytest.raises(ParameterError):
+            RNSPoly.concat([])
+
+
+class TestAutomorphism:
+    def test_inverse_composition(self):
+        p = rand_poly()
+        g = 5
+        g_inv = pow(5, -1, 2 * N)
+        assert np.array_equal(p.automorphism(g).automorphism(g_inv).data, p.data)
+
+    def test_is_ring_homomorphism(self):
+        p, q = rand_poly(), rand_poly()
+        g = 5
+        lhs = (p * q).automorphism(g)
+        rhs = p.automorphism(g) * q.automorphism(g)
+        assert np.array_equal(lhs.data, rhs.data)
+
+    def test_identity_element(self):
+        p = rand_poly()
+        assert np.array_equal(p.automorphism(1).data, p.data)
+
+    def test_even_element_rejected(self):
+        with pytest.raises(ParameterError):
+            rand_poly().automorphism(4)
+
+    def test_x_maps_to_x_power_g(self):
+        g = 3
+        x = RNSPoly.from_integers(BASIS, [0, 1] + [0] * (N - 2), Domain.COEFF)
+        rotated = x.automorphism(g)
+        ints = [int(v) for v in rotated.basis.compose(rotated.data)]
+        expected = [0] * N
+        expected[g] = 1
+        assert ints == expected
+
+    def test_sign_wrap_at_degree_n(self):
+        # j*g landing in [N, 2N) picks up a sign: with N=64, g=3, j=22:
+        # X^66 = X^(66-64) * X^64 = -X^2.
+        j = 22
+        coeffs = [0] * N
+        coeffs[j] = 1
+        p = RNSPoly.from_integers(BASIS, coeffs, Domain.COEFF).automorphism(3)
+        ints = [int(v) for v in p.basis.compose(p.data)]
+        assert ints[(3 * j) % (2 * N) - N] == -1
+        assert sum(abs(v) for v in ints) == 1
+
+    def test_exponent_wrap_without_sign(self):
+        # j*g landing in [2N, 3N) wraps twice: X^(2N) = +1.
+        # With N=64, g=3, j=43: 129 mod 128 = 1 -> +X^1.
+        coeffs = [0] * N
+        coeffs[43] = 1
+        p = RNSPoly.from_integers(BASIS, coeffs, Domain.COEFF).automorphism(3)
+        ints = [int(v) for v in p.basis.compose(p.data)]
+        assert ints[1] == 1
+        assert sum(abs(v) for v in ints) == 1

@@ -1,0 +1,78 @@
+"""Tests for the RPU machine configuration."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import MB
+from repro.rpu import BANDWIDTH_TECH, RPUConfig, standard_sweep
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = RPUConfig()
+        assert cfg.hples == 128
+        assert cfg.frequency_hz == pytest.approx(1.7e9)
+        assert cfg.vector_length == 1024
+        assert cfg.data_sram_bytes == 32 * MB
+
+    def test_peak_modops(self):
+        cfg = RPUConfig()
+        assert cfg.peak_modops_per_s == pytest.approx(128 * 1.7e9)
+
+    def test_effective_modops_scaled(self):
+        cfg = RPUConfig(modops_scale=2.0, compute_efficiency=0.5)
+        assert cfg.effective_modops_per_s == pytest.approx(128 * 1.7e9)
+
+    def test_total_sram_is_papers_392mb(self):
+        assert RPUConfig().total_sram_bytes == 392 * MB
+
+    def test_sram_ratio_is_12_25(self):
+        cfg = RPUConfig()
+        assert cfg.total_sram_bytes / cfg.data_sram_bytes == pytest.approx(12.25)
+
+
+class TestDerived:
+    def test_evk_on_chip_flag(self):
+        assert RPUConfig().evk_on_chip
+        assert not RPUConfig(key_sram_bytes=0).evk_on_chip
+
+    def test_with_bandwidth(self):
+        cfg = RPUConfig().with_bandwidth(12.8)
+        assert cfg.bandwidth_gbs == pytest.approx(12.8)
+
+    def test_with_modops(self):
+        assert RPUConfig().with_modops(4.0).modops_scale == 4.0
+
+    def test_with_streamed_keys(self):
+        assert RPUConfig().with_streamed_keys().key_sram_bytes == 0
+
+    def test_describe_keys(self):
+        d = RPUConfig().describe()
+        assert d["hples"] == 128
+        assert d["bandwidth_GBs"] == pytest.approx(64.0)
+
+
+class TestValidation:
+    def test_bad_hples(self):
+        with pytest.raises(ParameterError):
+            RPUConfig(hples=0)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ParameterError):
+            RPUConfig(bandwidth_bytes_per_s=0)
+
+    def test_bad_efficiency(self):
+        with pytest.raises(ParameterError):
+            RPUConfig(compute_efficiency=0)
+
+
+class TestSweeps:
+    def test_standard_sweep_range(self):
+        base = standard_sweep()
+        assert min(base) == 8.0 and max(base) == 64.0
+
+    def test_extended_sweep_reaches_1tbs(self):
+        assert max(standard_sweep(extended=True)) == 1000.0
+
+    def test_tech_table_covers_paper_memories(self):
+        assert set(BANDWIDTH_TECH) == {"DDR4", "DDR5", "HBM2", "HBM3"}

@@ -1,0 +1,181 @@
+"""Tests for the on-chip residency model (ScheduleBuilder)."""
+
+import pytest
+
+from repro.core.dataflow import ScheduleBuilder
+from repro.core.stages import OpCount
+from repro.core.taskgraph import Kind, Queue
+from repro.errors import MemoryModelError
+
+OPS = OpCount(muls=10, adds=10)
+
+
+def builder(budget=1000):
+    return ScheduleBuilder("test", budget)
+
+
+class TestTouchAndLoad:
+    def test_first_touch_loads(self):
+        b = builder()
+        b.define_dram("x", 100)
+        deps = b.touch("x")
+        assert len(deps) == 1
+        assert b.graph.tasks[deps[0]].kind is Kind.LOAD
+        assert b.graph.total_bytes() == 100
+
+    def test_second_touch_is_free(self):
+        b = builder()
+        b.define_dram("x", 100)
+        b.touch("x")
+        b.touch("x")
+        assert b.graph.total_bytes() == 100  # no second load
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(MemoryModelError):
+            builder().touch("ghost")
+
+    def test_duplicate_definition_rejected(self):
+        b = builder()
+        b.define_dram("x", 10)
+        with pytest.raises(MemoryModelError):
+            b.define_dram("x", 10)
+
+
+class TestEviction:
+    def test_clean_value_dropped_silently(self):
+        b = builder(budget=150)
+        b.define_dram("x", 100)
+        b.define_dram("y", 100)
+        b.touch("x")
+        b.touch("y")  # x evicted, but clean: no store
+        stores = [t for t in b.graph.tasks if t.kind is Kind.STORE]
+        assert not stores
+        assert b.used == 100
+
+    def test_dirty_value_spilled_with_store(self):
+        b = builder(budget=250)
+        b.define_dram("x", 100)
+        b.compute(Kind.NTT, ["x"], [("y", 100)], OPS)  # y dirty, x resident
+        b.free("x")
+        b.define_dram("z", 200)
+        b.touch("z")  # y must be spilled to make room
+        stores = [t for t in b.graph.tasks if t.kind is Kind.STORE]
+        assert len(stores) == 1
+        assert b.stats.spill_stores == 1
+
+    def test_spilled_value_reloads_after_store(self):
+        b = builder(budget=250)
+        b.define_dram("x", 100)
+        b.compute(Kind.NTT, ["x"], [("y", 100)], OPS)
+        b.free("x")
+        b.define_dram("z", 200)
+        b.touch("z")  # spills y
+        b.free("z")
+        deps = b.touch("y")  # reload must depend on the spill store
+        load = b.graph.tasks[deps[0]]
+        assert load.kind is Kind.LOAD
+        store_ids = [t.index for t in b.graph.tasks if t.kind is Kind.STORE]
+        assert set(store_ids) & set(load.deps)
+        assert b.stats.reloads == 1
+
+    def test_priority_protects_values(self):
+        b = builder(budget=250)
+        b.define_dram("low", 100)
+        b.define_dram("high", 100)
+        b.touch("low")
+        b.touch("high")
+        b.set_priority("high", 100)
+        b.define_dram("new", 100)
+        b.touch("new")  # must evict "low", not "high"
+        assert b.is_resident("high")
+        assert not b.is_resident("low")
+
+    def test_oversized_value_rejected(self):
+        b = builder(budget=100)
+        b.define_dram("big", 200)
+        with pytest.raises(MemoryModelError):
+            b.touch("big")
+
+    def test_all_locked_rejected(self):
+        b = builder(budget=250)
+        b.define_dram("a", 100)
+        b.define_dram("b", 100)
+        with pytest.raises(MemoryModelError):
+            b.compute(Kind.BCONV, ["a", "b"], [("c", 100)], OPS)
+
+
+class TestCompute:
+    def test_compute_deps_include_input_producers(self):
+        b = builder()
+        b.define_dram("x", 10)
+        task = b.compute(Kind.NTT, ["x"], [("y", 10)], OPS)
+        load = [t for t in b.graph.tasks if t.kind is Kind.LOAD][0]
+        assert load.index in b.graph.tasks[task].deps
+
+    def test_read_modify_write_orders_accumulator(self):
+        b = builder()
+        b.define_dram("x", 10)
+        first = b.compute(Kind.MULKEY, ["x"], [("acc", 10)], OPS)
+        second = b.compute(Kind.MULKEY, ["x"], [("acc", 10)], OPS)
+        assert first in b.graph.tasks[second].deps
+
+    def test_peak_bytes_tracked(self):
+        b = builder(budget=1000)
+        b.define_dram("x", 300)
+        b.compute(Kind.NTT, ["x"], [("y", 400)], OPS)
+        assert b.stats.peak_bytes == 700
+
+    def test_budget_never_exceeded(self):
+        b = builder(budget=250)
+        for i in range(10):
+            b.define_dram(f"x{i}", 100)
+        for i in range(10):
+            b.touch(f"x{i}")
+            assert b.used <= 250
+
+
+class TestLifecycle:
+    def test_use_after_free_rejected(self):
+        b = builder()
+        b.define_dram("x", 10)
+        b.touch("x")
+        b.free("x")
+        with pytest.raises(MemoryModelError):
+            b.touch("x")
+
+    def test_free_releases_space(self):
+        b = builder(budget=100)
+        b.define_dram("x", 100)
+        b.touch("x")
+        b.free("x")
+        assert b.used == 0
+
+    def test_writeback_marks_clean(self):
+        b = builder()
+        b.define_dram("x", 10)
+        b.compute(Kind.NTT, ["x"], [("y", 10)], OPS)
+        b.writeback("y")
+        # Evicting y now should not emit a second store.
+        before = len([t for t in b.graph.tasks if t.kind is Kind.STORE])
+        b.define_dram("big", 990)
+        b.touch("big")
+        after = len([t for t in b.graph.tasks if t.kind is Kind.STORE])
+        assert before == after == 1
+
+    def test_writeback_of_offchip_value_rejected(self):
+        b = builder()
+        b.define_dram("x", 10)
+        with pytest.raises(MemoryModelError):
+            b.writeback("x")
+
+    def test_output_name_reuse_after_free(self):
+        b = builder()
+        b.define_dram("x", 10)
+        b.compute(Kind.NTT, ["x"], [("y", 10)], OPS)
+        b.free("y")
+        b.compute(Kind.NTT, ["x"], [("y", 10)], OPS)  # fresh value, same name
+        assert b.is_resident("y")
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(MemoryModelError):
+            ScheduleBuilder("bad", 0)

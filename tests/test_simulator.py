@@ -1,0 +1,172 @@
+"""Tests for the dual-queue decoupled RPU simulator."""
+
+import pytest
+
+from repro.core import DataflowConfig, get_dataflow
+from repro.core.taskgraph import Kind, TaskGraph
+from repro.errors import SimulationError
+from repro.params import MB, get_benchmark
+from repro.rpu import RPUConfig, RPUSimulator, lower_bounds
+
+CFG = RPUConfig()
+
+
+def toy_graph():
+    g = TaskGraph("toy")
+    l0 = g.add(Kind.LOAD, bytes_moved=64 * MB)
+    c0 = g.add(Kind.NTT, mod_muls=10**9, deps=[l0])
+    g.add(Kind.STORE, bytes_moved=64 * MB, deps=[c0])
+    return g
+
+
+def ark_graph(dataflow="OC", evk_on_chip=True):
+    return get_dataflow(dataflow).build(
+        get_benchmark("ARK"),
+        DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=evk_on_chip),
+    )
+
+
+class TestCostModel:
+    def test_memory_task_time(self):
+        sim = RPUSimulator(CFG)
+        g = toy_graph()
+        load = g.tasks[0]
+        expected = CFG.memory_latency_s + 64 * MB / CFG.bandwidth_bytes_per_s
+        assert sim.task_duration(load) == pytest.approx(expected)
+
+    def test_compute_task_time(self):
+        sim = RPUSimulator(CFG)
+        g = toy_graph()
+        comp = g.tasks[1]
+        assert sim.task_duration(comp) == pytest.approx(
+            10**9 / CFG.effective_modops_per_s
+        )
+
+    def test_modops_scale_speeds_compute(self):
+        g = toy_graph()
+        t1 = RPUSimulator(CFG).task_duration(g.tasks[1])
+        t2 = RPUSimulator(CFG.with_modops(2.0)).task_duration(g.tasks[1])
+        assert t2 == pytest.approx(t1 / 2)
+
+
+class TestSimulation:
+    def test_serial_chain_sums(self):
+        sim = RPUSimulator(CFG)
+        g = toy_graph()
+        res = sim.simulate(g)
+        total = sum(sim.task_duration(t) for t in g.tasks)
+        assert res.runtime_s == pytest.approx(total)
+
+    def test_independent_tasks_overlap(self):
+        g = TaskGraph()
+        g.add(Kind.LOAD, bytes_moved=64 * MB)
+        g.add(Kind.NTT, mod_muls=10**9)
+        sim = RPUSimulator(CFG)
+        res = sim.simulate(g)
+        longest = max(sim.task_duration(t) for t in g.tasks)
+        assert res.runtime_s == pytest.approx(longest)
+
+    def test_makespan_at_least_each_resource(self):
+        res = RPUSimulator(CFG).simulate(ark_graph())
+        assert res.runtime_s >= res.compute_busy_s - 1e-12
+        assert res.runtime_s >= res.memory_busy_s - 1e-12
+
+    def test_makespan_at_least_lower_bounds(self):
+        g = ark_graph()
+        mem_lb, comp_lb = lower_bounds(g, CFG)
+        res = RPUSimulator(CFG).simulate(g)
+        assert res.runtime_s >= max(mem_lb, comp_lb) - 1e-12
+
+    def test_monotone_in_bandwidth(self):
+        g = ark_graph()
+        runtimes = [
+            RPUSimulator(CFG.with_bandwidth(bw)).simulate(g).runtime_s
+            for bw in (8, 16, 32, 64, 128)
+        ]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+    def test_monotone_in_modops(self):
+        g = ark_graph()
+        runtimes = [
+            RPUSimulator(CFG.with_modops(s)).simulate(g).runtime_s
+            for s in (1, 2, 4, 8)
+        ]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+    def test_memory_bound_asymptote(self):
+        """At very low bandwidth, runtime approaches traffic / BW."""
+        g = ark_graph()
+        bw = 0.5  # GB/s
+        res = RPUSimulator(CFG.with_bandwidth(bw)).simulate(g)
+        floor = g.total_bytes() / (bw * 1e9)
+        assert res.runtime_s >= floor
+        assert res.runtime_s < floor * 1.25
+
+    def test_compute_bound_asymptote(self):
+        """At huge bandwidth, runtime approaches total ops / throughput."""
+        g = ark_graph()
+        res = RPUSimulator(CFG.with_bandwidth(10000)).simulate(g)
+        floor = g.total_mod_ops() / CFG.effective_modops_per_s
+        assert res.runtime_s >= floor
+        assert res.runtime_s < floor * 1.1
+
+    def test_idle_fraction_decreases_with_bandwidth(self):
+        g = ark_graph("MP")
+        idle_low = RPUSimulator(CFG.with_bandwidth(8)).simulate(g)
+        idle_high = RPUSimulator(CFG.with_bandwidth(256)).simulate(g)
+        assert idle_low.compute_idle_fraction > idle_high.compute_idle_fraction
+
+    def test_result_accessors(self):
+        res = RPUSimulator(CFG).simulate(ark_graph())
+        assert res.runtime_ms == pytest.approx(res.runtime_s * 1e3)
+        assert 0 <= res.compute_idle_fraction <= 1
+        assert 0 <= res.memory_idle_fraction <= 1
+        assert res.achieved_gbs > 0
+        assert res.achieved_gops > 0
+
+    def test_trace_collection(self):
+        res = RPUSimulator(CFG).simulate(ark_graph(), collect_trace=True)
+        assert res.timeline is not None
+        assert len(res.timeline) == res.num_tasks
+        for t in res.timeline:
+            assert t.end >= t.start >= 0
+
+    def test_trace_off_by_default(self):
+        assert RPUSimulator(CFG).simulate(ark_graph()).timeline is None
+
+    def test_deadlock_detected(self):
+        """A memory head depending on a later compute task must be caught."""
+        g = TaskGraph()
+        c = g.add(Kind.NTT, mod_muls=100)
+        # Manufacture an illegal graph: memory task depending on a compute
+        # task that sits *behind another memory task* cannot deadlock with
+        # in-order queues (deps always have smaller indices), so simulate
+        # normally and assert it completes — the deadlock branch guards
+        # against corrupted graphs built by hand:
+        g.add(Kind.LOAD, bytes_moved=8, deps=[c])
+        res = RPUSimulator(CFG).simulate(g)
+        assert res.runtime_s > 0
+
+
+class TestDataflowPerformanceShape:
+    """The paper's headline performance relations."""
+
+    def test_oc_beats_mp_at_low_bandwidth(self):
+        low = CFG.with_bandwidth(8)
+        oc = RPUSimulator(low).simulate(ark_graph("OC")).runtime_s
+        mp = RPUSimulator(low).simulate(ark_graph("MP")).runtime_s
+        assert mp / oc > 2.5  # paper: 4.16x at 8 GB/s
+
+    def test_dataflows_converge_at_high_bandwidth(self):
+        high = CFG.with_bandwidth(1000)
+        oc = RPUSimulator(high).simulate(ark_graph("OC")).runtime_s
+        mp = RPUSimulator(high).simulate(ark_graph("MP")).runtime_s
+        assert mp / oc < 1.1
+
+    def test_streaming_keys_costs_bandwidth(self):
+        low = CFG.with_bandwidth(12.8)
+        onchip = RPUSimulator(low).simulate(ark_graph("OC", True)).runtime_s
+        streamed = RPUSimulator(low.with_streamed_keys()).simulate(
+            ark_graph("OC", False)
+        ).runtime_s
+        assert streamed > onchip

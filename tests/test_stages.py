@@ -1,0 +1,86 @@
+"""Tests for the HKS stage algebra (op counts per paper Section III)."""
+
+import pytest
+
+from repro.core.stages import (
+    HKSShape,
+    OpCount,
+    accumulate_ops,
+    bconv_tower_ops,
+    ntt_tower_ops,
+    pointwise_mac_ops,
+    pointwise_mul_ops,
+)
+from repro.params import BENCHMARKS, get_benchmark
+
+
+class TestOpCount:
+    def test_add_and_scale(self):
+        a = OpCount(2, 3)
+        b = OpCount(5, 7)
+        assert (a + b).muls == 7 and (a + b).adds == 10
+        assert (3 * a).total == 15
+        assert (a * 2) == OpCount(4, 6)
+
+    def test_total(self):
+        assert OpCount(1, 2).total == 3
+
+
+class TestKernelCounts:
+    def test_ntt_counts(self):
+        n = 1 << 10
+        ops = ntt_tower_ops(n)
+        assert ops.muls == (n // 2) * 10
+        assert ops.adds == n * 10
+
+    def test_bconv_counts(self):
+        assert bconv_tower_ops(100, 7) == OpCount(700, 700)
+
+    def test_pointwise(self):
+        assert pointwise_mul_ops(8) == OpCount(8, 0)
+        assert pointwise_mac_ops(8) == OpCount(8, 8)
+        assert accumulate_ops(8) == OpCount(0, 8)
+
+
+class TestShapes:
+    @pytest.fixture(params=list(BENCHMARKS))
+    def shape(self, request):
+        return HKSShape(get_benchmark(request.param))
+
+    def test_modup_p2_matches_paper_formula(self, shape):
+        """P2 = sum_d N * alpha_d * beta_d multiply-accumulates."""
+        spec = shape.spec
+        expected = sum(
+            spec.n * spec.digit_sizes[d] * spec.beta(d) for d in range(spec.dnum)
+        )
+        assert shape.modup_p2_ops().muls == expected
+
+    def test_moddown_p2_matches_paper_formula(self, shape):
+        """ModDown P2 = 2 * N * K * l multiplies (paper Section III-C)."""
+        spec = shape.spec
+        assert shape.moddown_p2_ops().muls == 2 * spec.n * spec.kp * spec.kl
+
+    def test_modup_p4_applies_both_halves(self, shape):
+        spec = shape.spec
+        assert shape.modup_p4_ops().muls == 2 * spec.dnum * (spec.kl + spec.kp) * spec.n
+
+    def test_p5_empty_for_single_digit(self):
+        shape = HKSShape(get_benchmark("BTS1"))
+        assert shape.modup_p5_ops().total == 0
+
+    def test_stage_table_sums_to_total(self, shape):
+        total = OpCount(0, 0)
+        for ops in shape.stage_table().values():
+            total = total + ops
+        assert total.muls == shape.total_ops().muls
+        assert total.adds == shape.total_ops().adds
+
+    def test_totals_are_substantial(self, shape):
+        # All benchmarks perform hundreds of millions of modular ops.
+        assert shape.total_ops().total > 10**8
+
+    def test_intermediate_towers(self, shape):
+        spec = shape.spec
+        assert shape.modup_intermediate_towers() == (
+            spec.kl + 3 * spec.dnum * (spec.kl + spec.kp)
+        )

@@ -1,0 +1,90 @@
+"""Tests for the task-graph IR and its validation rules."""
+
+import pytest
+
+from repro.core.taskgraph import DATA_TAG, EVK_TAG, Kind, Queue, TaskGraph
+from repro.errors import ScheduleError
+
+
+def small_graph():
+    g = TaskGraph("test")
+    load = g.add(Kind.LOAD, bytes_moved=100, label="load x")
+    comp = g.add(Kind.NTT, mod_muls=50, mod_adds=100, deps=[load], label="ntt x")
+    g.add(Kind.STORE, bytes_moved=100, deps=[comp], label="store x")
+    return g
+
+
+class TestConstruction:
+    def test_indices_sequential(self):
+        g = small_graph()
+        assert [t.index for t in g.tasks] == [0, 1, 2]
+
+    def test_queue_assignment(self):
+        g = small_graph()
+        assert [t.kind for t in g.queue_tasks(Queue.MEMORY)] == [Kind.LOAD, Kind.STORE]
+        assert [t.kind for t in g.queue_tasks(Queue.COMPUTE)] == [Kind.NTT]
+
+    def test_kind_queue_mapping(self):
+        assert Kind.LOAD.queue is Queue.MEMORY
+        assert Kind.STORE.queue is Queue.MEMORY
+        for k in (Kind.NTT, Kind.INTT, Kind.BCONV, Kind.MULKEY, Kind.PWISE):
+            assert k.queue is Queue.COMPUTE
+
+    def test_forward_dep_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ScheduleError):
+            g.add(Kind.LOAD, bytes_moved=10, deps=[5])
+
+    def test_self_dep_rejected(self):
+        g = TaskGraph()
+        g.add(Kind.LOAD, bytes_moved=10)
+        with pytest.raises(ScheduleError):
+            g.add(Kind.LOAD, bytes_moved=10, deps=[1])
+
+    def test_empty_memory_task_rejected(self):
+        with pytest.raises(ScheduleError):
+            TaskGraph().add(Kind.LOAD, bytes_moved=0)
+
+    def test_empty_compute_task_rejected(self):
+        with pytest.raises(ScheduleError):
+            TaskGraph().add(Kind.NTT)
+
+    def test_dep_dedup(self):
+        g = TaskGraph()
+        a = g.add(Kind.LOAD, bytes_moved=1)
+        b = g.add(Kind.NTT, mod_muls=1, deps=[a, a, a])
+        assert g.tasks[b].deps == (a,)
+
+
+class TestAccounting:
+    def test_traffic_by_tag(self):
+        g = TaskGraph()
+        g.add(Kind.LOAD, bytes_moved=100, traffic_tag=DATA_TAG)
+        g.add(Kind.LOAD, bytes_moved=200, traffic_tag=EVK_TAG)
+        assert g.total_bytes() == 300
+        assert g.total_bytes(DATA_TAG) == 100
+        assert g.total_bytes(EVK_TAG) == 200
+
+    def test_ops_totals(self):
+        g = small_graph()
+        assert g.total_mod_muls() == 50
+        assert g.total_mod_ops() == 150
+
+    def test_arithmetic_intensity(self):
+        g = small_graph()
+        assert g.arithmetic_intensity() == pytest.approx(150 / 200)
+
+    def test_ai_infinite_without_traffic(self):
+        g = TaskGraph()
+        g.add(Kind.NTT, mod_muls=10)
+        assert g.arithmetic_intensity() == float("inf")
+
+    def test_histogram(self):
+        hist = small_graph().kind_histogram()
+        assert hist == {"load": 1, "ntt": 1, "store": 1}
+
+    def test_repr_mentions_counts(self):
+        assert "1 compute" in repr(small_graph())
+
+    def test_validate_passes(self):
+        small_graph().validate()

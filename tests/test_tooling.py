@@ -1,0 +1,121 @@
+"""Tests for tooling: trace reports, schedule serialization, CLI, crossover."""
+
+import pytest
+
+from repro.core import DataflowConfig, TaskGraph, get_dataflow
+from repro.core.taskgraph import Kind
+from repro.errors import SimulationError
+from repro.params import MB, get_benchmark
+from repro.rpu import RPUConfig, RPUSimulator
+from repro.rpu.trace_report import kind_breakdown, occupancy_strip, render_trace_summary
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    graph = get_dataflow("OC").build(
+        get_benchmark("ARK"), DataflowConfig(32 * MB, evk_on_chip=True)
+    )
+    return RPUSimulator(RPUConfig()).simulate(graph, collect_trace=True)
+
+
+class TestTraceReport:
+    def test_breakdown_covers_all_kinds(self, traced_result):
+        rows = kind_breakdown(traced_result)
+        kinds = {r["kind"] for r in rows}
+        assert {"load", "store", "intt", "ntt", "bconv", "mulkey"} <= kinds
+
+    def test_breakdown_counts_match_task_total(self, traced_result):
+        rows = kind_breakdown(traced_result)
+        assert sum(r["tasks"] for r in rows) == traced_result.num_tasks
+
+    def test_strip_dimensions(self, traced_result):
+        strip = occupancy_strip(traced_result, width=40)
+        lines = strip.splitlines()
+        assert len(lines) == 3
+        assert lines[0].count("|") == 2
+
+    def test_summary_renders(self, traced_result):
+        text = render_trace_summary(traced_result, title="t")
+        assert "runtime" in text and "compute" in text
+
+    def test_untraced_result_rejected(self):
+        graph = get_dataflow("OC").build(
+            get_benchmark("ARK"), DataflowConfig(32 * MB, evk_on_chip=True)
+        )
+        result = RPUSimulator(RPUConfig()).simulate(graph)
+        with pytest.raises(SimulationError):
+            kind_breakdown(result)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        graph = get_dataflow("DC").build(
+            get_benchmark("DPRIVE"), DataflowConfig(32 * MB, evk_on_chip=False)
+        )
+        payload = graph.to_json()
+        back = TaskGraph.from_json(payload)
+        assert len(back) == len(graph)
+        assert back.total_bytes() == graph.total_bytes()
+        assert back.total_mod_ops() == graph.total_mod_ops()
+        assert back.tasks[10].deps == graph.tasks[10].deps
+
+    def test_json_is_plain_data(self):
+        import json
+
+        graph = TaskGraph("t")
+        graph.add(Kind.LOAD, bytes_moved=8)
+        text = json.dumps(graph.to_json())
+        assert "load" in text
+
+
+class TestCrossover:
+    def test_oc_crosses_over_before_mp(self):
+        from repro.experiments.crossover import crossover_bandwidth
+
+        oc = crossover_bandwidth("ARK", "OC")
+        mp = crossover_bandwidth("ARK", "MP")
+        assert oc is not None and mp is not None
+        assert oc < mp
+
+    def test_crossover_experiment_rows(self):
+        from repro.experiments.crossover import run
+
+        rows = run().rows
+        assert len(rows) == 5
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "BTS3" in out and "Output-Centric" in out
+
+    def test_analyze(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["analyze", "ARK"]) == 0
+        out = capsys.readouterr().out
+        assert "OC" in out
+
+    def test_simulate(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["simulate", "ARK", "--dataflow", "OC",
+                     "--bandwidth", "12.8"]) == 0
+        assert "runtime" in capsys.readouterr().out
+
+    def test_trace(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", "ARK", "--dataflow", "MP", "--bandwidth", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "memory" in out and "compute" in out
+
+    def test_experiments_cli_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "crossover" in out

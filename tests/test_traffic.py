@@ -1,0 +1,74 @@
+"""Tests for per-buffer-class traffic attribution."""
+
+import pytest
+
+from repro.core import DataflowConfig, get_dataflow
+from repro.core.traffic import classify_buffer, traffic_by_class, traffic_rows
+from repro.params import MB, get_benchmark
+
+CONFIG = DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=False)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    spec = get_benchmark("BTS3")
+    return {
+        name: get_dataflow(name).build(spec, CONFIG) for name in ("MP", "DC", "OC")
+    }
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("in[3]", "input"),
+            ("icoef[7]", "intt_out"),
+            ("bc[1][9]", "bconv_out"),
+            ("ext[2][40]", "extended"),
+            ("acc0[12]", "accumulator"),
+            ("acc1[12]", "accumulator"),
+            ("evk[0][5]", "keys"),
+            ("mdc1[50]", "moddown_intt"),
+            ("out0[3]", "output"),
+            ("mystery", "other"),
+        ],
+    )
+    def test_classify(self, name, cls):
+        assert classify_buffer(name) == cls
+
+
+class TestAttribution:
+    def test_totals_match_graph(self, graphs):
+        for graph in graphs.values():
+            assert sum(traffic_by_class(graph).values()) == graph.total_bytes()
+
+    def test_keys_class_equals_evk_traffic(self, graphs):
+        from repro.core.taskgraph import EVK_TAG
+
+        for graph in graphs.values():
+            assert traffic_by_class(graph)["keys"] == graph.total_bytes(EVK_TAG)
+
+    def test_mp_dominated_by_expansion_spills(self, graphs):
+        """MP's distinguishing traffic is the BConv/extended spill."""
+        totals = traffic_by_class(graphs["MP"])
+        expansion = totals.get("bconv_out", 0) + totals.get("extended", 0)
+        oc_totals = traffic_by_class(graphs["OC"])
+        oc_expansion = oc_totals.get("bconv_out", 0) + oc_totals.get("extended", 0)
+        assert expansion > 5 * max(oc_expansion, 1)
+
+    def test_oc_has_no_bconv_spill(self, graphs):
+        """OC consumes each converted tower immediately: no bc traffic."""
+        totals = traffic_by_class(graphs["OC"])
+        assert totals.get("bconv_out", 0) == 0
+
+    def test_compulsory_classes_equal_across_dataflows(self, graphs):
+        """Outputs move exactly once regardless of dataflow."""
+        outputs = {
+            name: traffic_by_class(g)["output"] for name, g in graphs.items()
+        }
+        assert len(set(outputs.values())) == 1
+
+    def test_rows_format(self, graphs):
+        rows = traffic_rows(graphs["OC"])
+        assert abs(sum(r["share_%"] for r in rows) - 100.0) < 1.0
+        assert rows == sorted(rows, key=lambda r: -r["MB"])

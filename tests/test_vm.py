@@ -1,0 +1,187 @@
+"""Tests for the B1K assembler and virtual machine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.ntt.primes import generate_primes
+from repro.rpu.isa import Pipe
+from repro.rpu.program import AsmInstr, Program, assemble
+from repro.rpu.vm import B1KVM
+
+Q = generate_primes(1, 64, 26)[0]
+
+
+def vm_with_modulus(vl=64):
+    vm = B1KVM(vector_length=vl, memory_words=4096)
+    vm.set_modulus_register(0, Q)
+    return vm
+
+
+class TestAssembler:
+    def test_roundtrip_source(self):
+        src = """
+        ; a tiny kernel
+        setvl 64
+        setmod m0
+        li s0, 0
+        vld v1, s0
+        vmmul v2, v1, v1
+        vst v2, s0
+        halt
+        """
+        program = assemble(src, "square")
+        assert len(program) == 7
+        assert program.instructions[0].mnemonic == "setvl"
+
+    def test_labels(self):
+        program = assemble("loop:\n sadd s0, s0, -1\n bnez s0, loop\n halt")
+        assert program.labels["loop"] == 0
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ParameterError):
+            assemble("frobnicate v1")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ParameterError):
+            assemble("bnez s0, nowhere")
+
+    def test_register_range_checked(self):
+        program = Program()
+        program.emit("vld", "v99", "s0")
+        with pytest.raises(ParameterError):
+            program.validate()
+
+    def test_render_listing(self):
+        program = assemble("start:\n halt")
+        listing = program.render()
+        assert "start:" in listing and "halt" in listing
+
+    def test_duplicate_label_rejected(self):
+        program = Program()
+        program.label("x")
+        with pytest.raises(ParameterError):
+            program.label("x")
+
+
+class TestVMBasics:
+    def test_vector_load_store(self):
+        vm = vm_with_modulus()
+        data = np.arange(64)
+        vm.write_memory(100, data)
+        vm.write_scalar(0, 100)
+        vm.write_scalar(1, 200)
+        vm.run(assemble("setvl 64\n vld v1, s0\n vst v1, s1\n halt"))
+        assert np.array_equal(vm.read_memory(200, 64), data)
+
+    def test_modular_arithmetic(self):
+        vm = vm_with_modulus()
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, Q, 64)
+        b = rng.integers(0, Q, 64)
+        vm.write_memory(0, a)
+        vm.write_memory(64, b)
+        vm.write_scalar(0, 0)
+        vm.write_scalar(1, 64)
+        vm.write_scalar(2, 128)
+        vm.run(assemble("""
+            setvl 64
+            setmod m0
+            vld v1, s0
+            vld v2, s1
+            vmmul v3, v1, v2
+            vst v3, s2
+            vmadd v3, v1, v2
+            sadd s2, s2, 64
+            vst v3, s2
+            halt
+        """))
+        assert np.array_equal(vm.read_memory(128, 64), a * b % Q)
+        assert np.array_equal(vm.read_memory(192, 64), (a + b) % Q)
+
+    def test_scalar_loop(self):
+        """Sum 1..10 with a bnez loop."""
+        vm = vm_with_modulus()
+        vm.write_scalar(0, 10)  # counter
+        vm.write_scalar(1, 0)   # accumulator
+        vm.run(assemble("""
+        loop:
+            sadd s1, s1, s0
+            sadd s0, s0, -1
+            bnez s0, loop
+            sst s1, 2
+            halt
+        """.replace("sst s1, 2", "li s3, 500\n sst s1, s3")))
+        assert int(vm.memory[500]) == 55
+
+    def test_no_modulus_rejected(self):
+        vm = B1KVM(vector_length=64)
+        with pytest.raises(SimulationError):
+            vm.run(assemble("setvl 64\n vmadd v1, v1, v1\n halt"))
+
+    def test_runaway_loop_detected(self):
+        vm = vm_with_modulus()
+        vm.write_scalar(0, 1)
+        with pytest.raises(SimulationError):
+            vm.run(assemble("loop:\n bnez s0, loop\n halt"), max_steps=100)
+
+    def test_stats_per_pipe(self):
+        vm = vm_with_modulus()
+        vm.run(assemble("setvl 64\n setmod m0\n vmadd v1, v1, v1\n halt"))
+        pipes = vm.stats.per_pipe()
+        assert pipes[Pipe.COMPUTE] == 1
+        assert pipes[Pipe.SCALAR] >= 2
+
+
+class TestShuffles:
+    def test_vshuf(self):
+        vm = vm_with_modulus()
+        data = np.arange(64)
+        perm = np.arange(64)[::-1].copy()
+        vm.write_memory(0, data)
+        vm.write_memory(64, perm)
+        vm.write_scalar(0, 0)
+        vm.write_scalar(1, 64)
+        vm.write_scalar(2, 128)
+        vm.run(assemble(
+            "setvl 64\n vld v1, s0\n vld v2, s1\n vshuf v3, v1, v2\n vst v3, s2\n halt"
+        ))
+        assert np.array_equal(vm.read_memory(128, 64), data[::-1])
+
+    def test_vswap(self):
+        vm = vm_with_modulus(vl=8)
+        vm.write_memory(0, np.arange(8))
+        vm.write_scalar(0, 0)
+        vm.write_scalar(2, 100)
+        vm.run(assemble(
+            "setvl 8\n vld v1, s0\n vswap v2, v1, 2\n vst v2, s2\n halt"
+        ))
+        assert list(vm.read_memory(100, 8)) == [2, 3, 0, 1, 6, 7, 4, 5]
+
+    def test_vrotl(self):
+        vm = vm_with_modulus(vl=8)
+        vm.write_memory(0, np.arange(8))
+        vm.write_scalar(0, 0)
+        vm.write_scalar(2, 100)
+        vm.run(assemble(
+            "setvl 8\n vld v1, s0\n vrotl v2, v1, 3\n vst v2, s2\n halt"
+        ))
+        assert list(vm.read_memory(100, 8)) == [3, 4, 5, 6, 7, 0, 1, 2]
+
+    def test_split_merge_roundtrip(self):
+        vm = vm_with_modulus(vl=8)
+        vm.write_memory(0, np.arange(8))
+        vm.write_scalar(0, 0)
+        vm.write_scalar(2, 100)
+        vm.run(assemble(
+            "setvl 8\n vld v1, s0\n vsplit v2, v3, v1\n"
+            " vmerge v4, v2, v3\n vst v4, s2\n halt"
+        ))
+        assert np.array_equal(vm.read_memory(100, 8), np.arange(8))
+
+    def test_vshuf_bad_index(self):
+        vm = vm_with_modulus(vl=8)
+        vm.write_memory(0, np.full(8, 99))  # out-of-range indices
+        vm.write_scalar(0, 0)
+        with pytest.raises(SimulationError):
+            vm.run(assemble("setvl 8\n vld v2, s0\n vshuf v3, v1, v2\n halt"))
