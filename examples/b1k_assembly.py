@@ -1,9 +1,11 @@
 """Programming the RPU directly: B1K assembly on the functional VM.
 
-Shows the lowest layer of the stack: a hand-written B1K kernel, the
+Shows the lowest layer of the stack — the one every ``repro.api``
+``estimate`` call ultimately models: a hand-written B1K kernel, the
 generated NTT kernel, and the dynamic instruction statistics the RPU's
 three issue queues would see.  Every result is checked against the numpy
-reference — the ISA model executes, it doesn't just count.
+reference — the ISA model executes, it doesn't just count.  (There is
+deliberately no facade at this layer; assembly is research surface.)
 
 Run:  python examples/b1k_assembly.py
 """

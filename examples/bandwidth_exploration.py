@@ -1,6 +1,7 @@
-"""Bandwidth/compute design-space exploration on the RPU simulator.
+"""Bandwidth/compute design-space exploration through ``repro.api``.
 
-Answers the accelerator designer's questions for one benchmark:
+Answers the accelerator designer's questions for one benchmark with
+nothing but ``estimate`` calls against the RPU backend:
 * how does each dataflow's HKS runtime scale with DRAM bandwidth?
 * at what bandwidth does OC match the MP @ 64 GB/s baseline (OCbase)?
 * what does streaming the evaluation keys (12.25x less SRAM) cost?
@@ -10,46 +11,53 @@ Run:  python examples/bandwidth_exploration.py [BENCHMARK]
 
 import sys
 
-from repro.experiments.common import (
-    baseline_runtime_ms,
-    grid_ocbase,
-    matching_bandwidth,
-    runtime_ms,
-    simulate,
-)
+from repro import estimate
+from repro.experiments.common import OCBASE_GRID, matching_bandwidth
 from repro.experiments.report import format_table
 from repro.rpu import standard_sweep
+
+
+def runtime_ms(benchmark, schedule, bw, **options) -> float:
+    return estimate(benchmark, backend="rpu", schedule=schedule,
+                    bandwidth_gbs=bw, **options).latency_ms
 
 
 def main(benchmark: str = "ARK") -> None:
     print(f"=== {benchmark}: runtime vs bandwidth (evks on-chip) ===")
     rows = []
     for bw in standard_sweep(extended=True):
-        res_oc = simulate(benchmark, "OC", bandwidth_gbs=bw)
+        mp, dc, oc = estimate(benchmark, backend="rpu", schedule="all",
+                              bandwidth_gbs=bw)
         rows.append(
             {
                 "BW_GBs": bw,
-                "MP_ms": round(runtime_ms(benchmark, "MP", bandwidth_gbs=bw), 2),
-                "DC_ms": round(runtime_ms(benchmark, "DC", bandwidth_gbs=bw), 2),
-                "OC_ms": round(res_oc.runtime_ms, 2),
-                "OC_idle_%": round(res_oc.compute_idle_fraction * 100, 1),
+                "MP_ms": round(mp.latency_ms, 2),
+                "DC_ms": round(dc.latency_ms, 2),
+                "OC_ms": round(oc.latency_ms, 2),
+                "OC_idle_%": round(oc.compute_idle_fraction * 100, 1),
             }
         )
     print(format_table(rows))
     print()
 
-    base = baseline_runtime_ms(benchmark)
-    ocbase = grid_ocbase(benchmark, base)
+    # OCbase: the smallest grid bandwidth where OC beats MP @ 64 GB/s.
+    base = runtime_ms(benchmark, "MP", 64.0)
+    ocbase = next(
+        (bw for bw in OCBASE_GRID if runtime_ms(benchmark, "OC", bw) <= base),
+        None,
+    )
     print(f"baseline (MP @ 64 GB/s, keys on-chip): {base:.2f} ms")
     if ocbase:
-        mp_at = runtime_ms(benchmark, "MP", bandwidth_gbs=ocbase)
-        oc_at = runtime_ms(benchmark, "OC", bandwidth_gbs=ocbase)
+        mp_at = runtime_ms(benchmark, "MP", ocbase)
+        oc_at = runtime_ms(benchmark, "OC", ocbase)
         print(
             f"OCbase = {ocbase} GB/s ({64 / ocbase:.1f}x bandwidth saved); "
             f"at that point OC is {mp_at / oc_at:.2f}x faster than MP"
         )
 
-    onchip_ms = runtime_ms(benchmark, "OC", bandwidth_gbs=ocbase or 64.0)
+    # Streaming keys: bisect for the bandwidth that wins back the
+    # on-chip-key runtime once evks must come from DRAM.
+    onchip_ms = runtime_ms(benchmark, "OC", ocbase or 64.0)
     equiv = matching_bandwidth(benchmark, "OC", onchip_ms, evk_on_chip=False)
     if equiv:
         print(

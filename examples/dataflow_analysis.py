@@ -1,28 +1,28 @@
 """Dataflow analysis: DRAM traffic and arithmetic intensity of HKS.
 
-Reproduces the paper's Table II analysis for the five benchmarks, then
-demonstrates the API on a custom accelerator configuration (16 MB SRAM)
-to show how the OC advantage grows as on-chip memory shrinks.
+Reproduces the paper's Table II analysis for the five benchmarks through
+the ``repro.api`` backend registry — one ``estimate`` call per cell,
+never touching :mod:`repro.core` directly — then demonstrates the same
+API on a custom accelerator configuration (16 MB SRAM) to show how the
+OC advantage grows as on-chip memory shrinks.
 
 Run:  python examples/dataflow_analysis.py
 """
 
-from repro import BENCHMARKS, DATAFLOWS, DataflowConfig, analyze_dataflow
-from repro.core import minimum_mp_working_set_bytes
+from repro import BENCHMARKS, estimate
 from repro.experiments.report import format_table
 from repro.params import MB
 
 
 def traffic_table(sram_mb: int, evk_on_chip: bool):
-    config = DataflowConfig(data_sram_bytes=sram_mb * MB, evk_on_chip=evk_on_chip)
     rows = []
-    for spec in BENCHMARKS.values():
-        for dataflow in DATAFLOWS.values():
-            report = analyze_dataflow(spec, dataflow, config)
+    for name in BENCHMARKS:
+        for report in estimate(name, backend="analytic", schedule="all",
+                               sram_mb=sram_mb, evk_on_chip=evk_on_chip):
             rows.append(
                 {
-                    "benchmark": spec.name,
-                    "dataflow": dataflow.name,
+                    "benchmark": report.benchmark,
+                    "schedule": report.schedule,
                     "traffic_MB": round(report.total_mb, 0),
                     "AI_ops/B": round(report.arithmetic_intensity, 2),
                     "spill_stores": report.spill_stores,
@@ -42,14 +42,17 @@ def main() -> None:
     print(format_table([r for r in rows if r["benchmark"] in ("ARK", "BTS3")]))
     print()
 
+    # The working-set and per-buffer views live below the facade.
     print("=== Spill-free MP would need this much SRAM (paper: ~675 MB class) ===")
+    from repro.core import minimum_mp_working_set_bytes
+
     for spec in BENCHMARKS.values():
         need = minimum_mp_working_set_bytes(spec) / MB
         print(f"  {spec.name:8} {need:8.0f} MB")
     print()
 
     print("=== Where BTS3's traffic comes from, per dataflow ===")
-    from repro.core import traffic_rows
+    from repro.core import DATAFLOWS, DataflowConfig, traffic_rows
     from repro.params import get_benchmark
 
     spec = get_benchmark("BTS3")

@@ -2,33 +2,32 @@
 
 Runs the MP, DC and OC operation orders *functionally* on actual RNS tower
 data and checks them bit-for-bit against the reference hybrid key switch —
-then shows the performance side of the same three orders on the RPU model.
-This is the repository's core claim in one script: same arithmetic, very
-different memory behaviour.
+then shows the performance side of the same three orders through the
+``repro.api`` RPU backend.  This is the repository's core claim in one
+script: same arithmetic, very different memory behaviour.  The functional
+half reaches below the facade (``session.context`` / ``session.keygen``);
+the performance half is a single ``session.estimate`` call.
 
 Run:  python examples/dataflow_verification.py
 """
 
 import numpy as np
 
-from repro import CKKSContext, CKKSParams, DATAFLOWS, KeyGenerator, key_switch
+from repro import DATAFLOWS, FHESession, key_switch
 from repro.ckks.keys import sample_ternary
-from repro.core import DataflowConfig
 from repro.core.functional import execute_dataflow
-from repro.params import MB, get_benchmark
-from repro.rns.poly import RNSPoly
-from repro.rpu import RPUConfig, RPUSimulator
+from repro.params import MB
 
 
 def main() -> None:
     # --- functional side: bit-exact equivalence ----------------------------
-    params = CKKSParams(n=256, num_levels=6, num_aux=2, dnum=3,
-                        q_bits=28, p_bits=29, scale_bits=26)
-    context = CKKSContext(params)
-    keygen = KeyGenerator(context, seed=8)
+    session = FHESession.create("tiny_ci", seed=8)
+    context, params = session.context, session.params
     rng = np.random.default_rng(9)
-    key = keygen.switch_key(sample_ternary(params.n, rng))
+    key = session.keygen.switch_key(sample_ternary(params.n, rng))
     level = params.max_level
+    from repro.rns.poly import RNSPoly
+
     poly = RNSPoly.random_uniform(context.level_basis(level), params.n, rng)
 
     ref0, ref1 = key_switch(context, poly, key, level)
@@ -40,18 +39,14 @@ def main() -> None:
         )
         print(f"  {dataflow.name}: bit-identical to reference HKS = {exact}")
 
-    # --- performance side: same orders on the RPU model --------------------
-    spec = get_benchmark("BTS3")
-    config = DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=True)
-    machine = RPUConfig(bandwidth_bytes_per_s=16e9)
-    print(f"\nperformance check ({spec.name} @ 16 GB/s, 32 MB SRAM):")
-    for dataflow in DATAFLOWS.values():
-        graph = dataflow.build(spec, config)
-        res = RPUSimulator(machine).simulate(graph)
+    # --- performance side: same orders on the RPU backend ------------------
+    print("\nperformance check (BTS3 @ 16 GB/s, 32 MB SRAM):")
+    for report in session.estimate("BTS3", backend="rpu", schedule="all",
+                                   bandwidth_gbs=16.0):
         print(
-            f"  {dataflow.name}: {res.runtime_ms:7.2f} ms, "
-            f"{res.data_bytes / MB:6.0f} MB data traffic, "
-            f"compute idle {res.compute_idle_fraction * 100:4.1f}%"
+            f"  {report.schedule}: {report.latency_ms:7.2f} ms, "
+            f"{report.data_bytes / MB:6.0f} MB data traffic, "
+            f"compute idle {report.compute_idle_fraction * 100:4.1f}%"
         )
     print(
         "\nsame modular arithmetic, same op count — only the operation order "

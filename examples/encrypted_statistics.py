@@ -1,84 +1,48 @@
 """Encrypted statistics: mean and variance of a private vector.
 
-The rotation-and-sum reduction used here is the pattern that makes key
+The rotate-and-sum reduction used here is the pattern that makes key
 switching dominate private-inference workloads (the paper's motivation:
 one ResNet-20 inference needs 3,306 rotations, ~70% of time in HKS).
-Every rotation below triggers one hybrid key switch; the script counts
-them and reports what fraction of the homomorphic work they represent.
+``CipherVector.sum_slots`` performs the reduction fluently; every
+rotation it issues is one hybrid key switch served from the session's
+lazy Galois-key cache, and the script counts them at the end.
 
 Run:  python examples/encrypted_statistics.py
 """
 
 import numpy as np
 
-from repro import (
-    CKKSContext,
-    CKKSParams,
-    Decryptor,
-    Encoder,
-    Encryptor,
-    Evaluator,
-    KeyGenerator,
-)
-
-
-def rotate_and_sum(evaluator, ct, keys, width):
-    """log2(width) rotations fold the first ``width`` slots into slot 0."""
-    hks_calls = 0
-    step = width // 2
-    while step >= 1:
-        ct = evaluator.add(ct, evaluator.rotate(ct, step, keys[step]))
-        hks_calls += 1
-        step //= 2
-    return ct, hks_calls
+from repro import FHESession
 
 
 def main() -> None:
-    params = CKKSParams(n=1 << 10, num_levels=6, num_aux=2, dnum=3,
-                        q_bits=28, p_bits=29, scale_bits=26)
-    context = CKKSContext(params)
-    keygen = KeyGenerator(context, seed=4)
-    encoder = Encoder(context)
-    encryptor = Encryptor(context, keygen.public_key(), seed=5)
-    decryptor = Decryptor(context, keygen.secret_key)
-    evaluator = Evaluator(context)
-    relin_key = keygen.relinearization_key()
+    session = FHESession.create("n10_fast", seed=4)
 
     width = 64  # fold the first 64 slots
-    rotation_keys = {
-        step: keygen.rotation_key(step)
-        for step in (32, 16, 8, 4, 2, 1)
-    }
-
     rng = np.random.default_rng(6)
     data = rng.uniform(0, 1, width)
-    slots = np.zeros(encoder.num_slots)
+    slots = np.zeros(session.num_slots)
     slots[:width] = data
 
-    ct = encryptor.encrypt(encoder.encode(slots))
+    ct = session.encrypt(slots)
 
     # --- mean = (rotate-and-sum) / width -----------------------------------
-    total, hks_rot = rotate_and_sum(evaluator, ct, rotation_keys, width)
-    mean_ct = evaluator.rescale(
-        evaluator.multiply_plain(total, encoder.encode([1.0 / width] * encoder.num_slots))
-    )
-    mean = encoder.decode(decryptor.decrypt(mean_ct), scale=mean_ct.scale)[0].real
+    mean_ct = ct.sum_slots(width) * (1.0 / width)
+    mean = mean_ct.decrypt()[0].real
     print(f"mean:     {mean:.6f}  (true {data.mean():.6f})")
 
     # --- variance = E[x^2] - E[x]^2 ----------------------------------------
-    sq = evaluator.rescale(evaluator.square(ct, relin_key))
-    sq_total, hks_rot2 = rotate_and_sum(evaluator, sq, rotation_keys, width)
-    ex2_ct = evaluator.rescale(
-        evaluator.multiply_plain(sq_total, encoder.encode([1.0 / width] * encoder.num_slots))
-    )
-    ex2 = encoder.decode(decryptor.decrypt(ex2_ct), scale=ex2_ct.scale)[0].real
+    ex2_ct = ct.square().sum_slots(width) * (1.0 / width)
+    ex2 = ex2_ct.decrypt()[0].real
     variance = ex2 - mean**2
     print(f"variance: {variance:.6f}  (true {data.var():.6f})")
 
-    hks_total = hks_rot + hks_rot2 + 1  # +1 for the relinearization
+    cached = session.key_cache_info()
+    rotations = 2 * int(np.log2(width))
     print(
-        f"\nhomomorphic ops: {hks_rot + hks_rot2} rotations + 1 multiply "
-        f"= {hks_total} hybrid key switches"
+        f"\nhomomorphic ops: {rotations} rotations + 1 multiply "
+        f"= {rotations + 1} hybrid key switches "
+        f"(served by {cached['galois']} cached Galois keys + 1 relin key)"
     )
     print(
         "every one of those key switches is the kernel whose dataflow the "

@@ -3,8 +3,10 @@
 Runs ``y = relu_approx(W @ x + b)`` on an encrypted input: a BSGS
 matrix-vector product (rotations -> hybrid key switches), a bias addition,
 and a polynomial activation (ciphertext multiplies -> more key switches).
-This is one layer of exactly the private-inference workload whose 3,306
-rotations motivate the paper, and the script ends by asking the RPU model
+The ``FHESession`` facade owns the keys; the BSGS transform from
+:mod:`repro.ckks.linear` composes with it through the session's
+``evaluator``/``keygen`` handles, showing how the research layers remain
+reachable under the facade.  The script ends by asking the RPU backend
 what fraction of a full ResNet-20-class run those key switches cost.
 
 Run:  python examples/private_inference.py
@@ -12,15 +14,7 @@ Run:  python examples/private_inference.py
 
 import numpy as np
 
-from repro import (
-    CKKSContext,
-    CKKSParams,
-    Decryptor,
-    Encoder,
-    Encryptor,
-    Evaluator,
-    KeyGenerator,
-)
+from repro import FHESession
 from repro.ckks.linear import LinearTransform, generate_bsgs_keys
 from repro.ckks.polyeval import evaluate_horner
 from repro.params import get_benchmark
@@ -31,15 +25,8 @@ RELU_COEFFS = [0.1250, 0.5000, 0.3466]
 
 
 def main() -> None:
-    params = CKKSParams(n=1 << 10, num_levels=6, num_aux=2, dnum=3,
-                        q_bits=28, p_bits=29, scale_bits=26)
-    context = CKKSContext(params)
-    keygen = KeyGenerator(context, seed=10)
-    encoder = Encoder(context)
-    encryptor = Encryptor(context, keygen.public_key(), seed=11)
-    decryptor = Decryptor(context, keygen.secret_key)
-    evaluator = Evaluator(context)
-    relin_key = keygen.relinearization_key()
+    session = FHESession.create("n10_fast", seed=10)
+    encoder, evaluator = session.encoder, session.evaluator
 
     dim = 16
     rng = np.random.default_rng(12)
@@ -48,34 +35,36 @@ def main() -> None:
     x = rng.uniform(-0.8, 0.8, dim)
 
     # Encrypt the input tiled across all slots (BSGS rotation convention).
-    tiled = np.tile(x, encoder.num_slots // dim)
-    ct = encryptor.encrypt(encoder.encode(tiled))
+    tiled = np.tile(x, session.num_slots // dim)
+    ct = session.encrypt(tiled)
 
     # Linear part: W @ x via baby-step/giant-step diagonals.
     transform = LinearTransform(encoder, weights)
-    baby_keys, giant_keys = generate_bsgs_keys(keygen, transform)
-    linear = transform.evaluate(evaluator, ct, baby_keys, giant_keys)
+    baby_keys, giant_keys = generate_bsgs_keys(session.keygen, transform)
+    linear = transform.evaluate(evaluator, ct.ciphertext, baby_keys, giant_keys)
     rotations_used = len(transform.required_rotations()["baby"]) + len(
         transform.required_rotations()["giant"]
     )
 
     # Bias, then the polynomial activation.
-    bias_pt = encoder.encode(
-        np.tile(bias, encoder.num_slots // dim), level=linear.level,
-        scale=linear.scale,
+    pre_act = evaluator.add_plain(
+        linear,
+        encoder.encode(np.tile(bias, session.num_slots // dim),
+                       level=linear.level, scale=linear.scale),
+        plain_scale=linear.scale,
     )
-    pre_act = evaluator.add_plain(linear, bias_pt)
-    activated = evaluate_horner(evaluator, encoder, pre_act, RELU_COEFFS, relin_key)
+    activated = evaluate_horner(evaluator, encoder, pre_act, RELU_COEFFS,
+                                session.relin_key)
 
-    got = encoder.decode(decryptor.decrypt(activated), scale=activated.scale)
-    got = got[:dim].real
+    got = session.decrypt(activated)[:dim].real
     pre = weights @ x + bias
     expected = RELU_COEFFS[0] + RELU_COEFFS[1] * pre + RELU_COEFFS[2] * pre**2
     err = np.max(np.abs(got - expected))
     print(f"encrypted layer: dim {dim}, {rotations_used} rotations, "
           f"{len(RELU_COEFFS) - 1} ct-ct multiplies")
     print(f"max error vs plaintext layer: {err:.2e}")
-    print(f"levels consumed: {params.max_level - activated.level} of {params.max_level}")
+    print(f"levels consumed: {session.max_level - activated.level} "
+          f"of {session.max_level}")
 
     # Scale up: what share of a full ResNet-20-class run is key switching?
     print("\nprojected HKS share of a ResNet-20-class run (RPU model @ 64 GB/s):")

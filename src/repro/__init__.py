@@ -3,7 +3,18 @@
 CiFlow analyzes the dataflow of hybrid key switching (HKS), the dominant
 kernel of CKKS homomorphic encryption, and proposes three schedules —
 Max-Parallel, Digit-Centric and Output-Centric — evaluated on the RPU
-vector processor.  This package implements the full stack from scratch:
+vector processor.  This package implements the full stack from scratch.
+
+**Start with :mod:`repro.api`** — it is the documented surface::
+
+    from repro import FHESession
+
+    session = FHESession.create("n10_fast")
+    ct = session.encrypt([1.0, 2.0, 3.0])
+    print((ct * ct + 0.5).decrypt()[:3])
+    report = session.estimate("ARK", backend="rpu", schedule="OC")
+
+The research layers remain available underneath:
 
 * :mod:`repro.ntt` / :mod:`repro.rns` — modular arithmetic, negacyclic
   NTT, RNS polynomials and fast basis conversion;
@@ -18,6 +29,17 @@ vector processor.  This package implements the full stack from scratch:
   paper's evaluation (``python -m repro.experiments``).
 """
 
+import warnings as _warnings
+
+from repro.api import (
+    CipherVector,
+    FHESession,
+    RunReport,
+    estimate,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.ckks import (
     CKKSContext,
     CKKSParams,
@@ -37,13 +59,44 @@ from repro.core import (
     MaxParallel,
     OutputCentric,
     TaskGraph,
-    analyze_dataflow,
     get_dataflow,
 )
 from repro.params import BENCHMARKS, BenchmarkSpec, get_benchmark
-from repro.rpu import RPUConfig, RPUSimulator
+from repro.rpu import RPUConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Legacy top-level entry points whose job moved behind the repro.api
+#: facade.  They keep working (PEP 562 lazy re-export) but emit a
+#: DeprecationWarning pointing at the unified replacement.
+_REROUTED = {
+    "analyze_dataflow": (
+        "repro.core", "analyze_dataflow",
+        "repro.estimate(..., backend='analytic') or FHESession.estimate",
+    ),
+    "RPUSimulator": (
+        "repro.rpu", "RPUSimulator",
+        "repro.estimate(..., backend='rpu') or FHESession.estimate",
+    ),
+}
+
+
+def __getattr__(name: str):
+    if name in _REROUTED:
+        module_name, attr, replacement = _REROUTED[name]
+        _warnings.warn(
+            f"importing {name!r} from the repro top level is deprecated; "
+            f"use {replacement} (or import it from {module_name} directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        value = getattr(importlib.import_module(module_name), attr)
+        globals()[name] = value  # cache so the warning fires once per process
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BENCHMARKS",
@@ -51,6 +104,7 @@ __all__ = [
     "CKKSContext",
     "CKKSParams",
     "Ciphertext",
+    "CipherVector",
     "DATAFLOWS",
     "DataflowConfig",
     "Decryptor",
@@ -58,15 +112,21 @@ __all__ = [
     "Encoder",
     "Encryptor",
     "Evaluator",
+    "FHESession",
     "HKSShape",
     "KeyGenerator",
     "MaxParallel",
     "OutputCentric",
     "RPUConfig",
     "RPUSimulator",
+    "RunReport",
     "TaskGraph",
     "analyze_dataflow",
+    "estimate",
+    "get_backend",
     "get_benchmark",
     "get_dataflow",
     "key_switch",
+    "list_backends",
+    "register_backend",
 ]

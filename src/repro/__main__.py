@@ -1,13 +1,15 @@
-"""Top-level CLI: inspect benchmarks, dataflows and quick simulations.
+"""Top-level CLI: inspect benchmarks, estimate dataflows, run simulations.
 
 Usage::
 
     python -m repro info                      # library + benchmark summary
     python -m repro analyze BTS3              # Table-II-style analysis
+    python -m repro estimate ARK --backend rpu --schedule all
     python -m repro simulate ARK --dataflow OC --bandwidth 12.8
     python -m repro trace ARK --dataflow MP --bandwidth 8
 
-(Full paper regeneration lives in ``python -m repro.experiments``.)
+Everything routes through :mod:`repro.api` — the same facade user code
+calls.  (Full paper regeneration lives in ``python -m repro.experiments``.)
 """
 
 from __future__ import annotations
@@ -16,82 +18,106 @@ import argparse
 import sys
 
 from repro import __version__
-from repro.core import DATAFLOWS, DataflowConfig, analyze_dataflow, get_dataflow
+from repro.api import estimate, list_backends, list_presets
 from repro.experiments.report import format_table
 from repro.params import BENCHMARKS, MB, get_benchmark
-from repro.rpu import RPUConfig, RPUSimulator
-from repro.rpu.trace_report import render_trace_summary
 
 
 def cmd_info(_args) -> int:
+    from repro.core import DATAFLOWS
+
     print(f"repro {__version__} — CiFlow (ISPASS 2024) reproduction")
     print()
     rows = [spec.describe() for spec in BENCHMARKS.values()]
     print(format_table(rows, title="benchmarks (paper Table III):"))
     print()
     print("dataflows:", ", ".join(f"{d.name} ({d.title})" for d in DATAFLOWS.values()))
+    print("backends:", ", ".join(list_backends()))
+    print("session presets:", ", ".join(list_presets()))
     print("experiments: python -m repro.experiments --list")
     return 0
 
 
-def _dataflow_config(args) -> DataflowConfig:
-    return DataflowConfig(
-        data_sram_bytes=args.sram_mb * MB,
-        evk_on_chip=not args.stream_keys,
-        key_compression=getattr(args, "compress_keys", False),
-    )
+def _options(args) -> dict:
+    opts = {
+        "sram_mb": args.sram_mb,
+        "evk_on_chip": not args.stream_keys,
+        "key_compression": getattr(args, "compress_keys", False),
+    }
+    if hasattr(args, "bandwidth"):
+        opts["bandwidth_gbs"] = args.bandwidth
+    if hasattr(args, "modops"):
+        opts["modops_scale"] = args.modops
+    return opts
 
 
 def cmd_analyze(args) -> int:
     spec = get_benchmark(args.benchmark)
-    config = _dataflow_config(args)
-    rows = []
-    for dataflow in DATAFLOWS.values():
-        report = analyze_dataflow(spec, dataflow, config)
-        rows.append(report.as_row())
+    reports = estimate(spec, backend="analytic", schedule="all",
+                       **_options(args))
+    rows = [r.as_row() for r in reports]
     print(format_table(rows, title=f"{spec.name}: DRAM traffic and AI"))
     return 0
 
 
-def _rpu_config(args) -> RPUConfig:
-    return RPUConfig(
+def cmd_estimate(args) -> int:
+    reports = estimate(args.benchmark, backend=args.backend,
+                       schedule=args.schedule, **_options(args))
+    if not isinstance(reports, list):
+        reports = [reports]
+    print(format_table([r.as_row() for r in reports],
+                       title=f"{args.benchmark.upper()} via {args.backend!r}:"))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    reports = estimate(args.benchmark, backend="rpu", schedule=args.dataflow,
+                       **_options(args))
+    for report in reports if isinstance(reports, list) else [reports]:
+        print(
+            f"{report.benchmark}/{report.schedule} @ {args.bandwidth} GB/s, "
+            f"{args.modops:g}x MODOPS, keys "
+            f"{'streamed' if args.stream_keys else 'on-chip'}:"
+        )
+        print(f"  runtime        {report.latency_ms:10.2f} ms")
+        print(f"  DRAM traffic   {report.total_bytes / MB:10.1f} MB")
+        print(f"  compute idle   {report.compute_idle_fraction * 100:10.1f} %")
+        print(f"  achieved       {report.achieved_gbs:10.1f} GB/s, "
+              f"{report.achieved_gops:.1f} GOPS")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    # Timeline collection needs the raw simulator; this stays a research
+    # view below the facade.
+    from repro.core import DataflowConfig, get_dataflow
+    from repro.rpu import RPUConfig, RPUSimulator
+    from repro.rpu.trace_report import render_trace_summary
+
+    spec = get_benchmark(args.benchmark)
+    config = DataflowConfig(
+        data_sram_bytes=args.sram_mb * MB,
+        evk_on_chip=not args.stream_keys,
+        key_compression=args.compress_keys,
+    )
+    graph = get_dataflow(args.dataflow).build(spec, config)
+    machine = RPUConfig(
         bandwidth_bytes_per_s=args.bandwidth * 1e9,
         data_sram_bytes=args.sram_mb * MB,
         key_sram_bytes=0 if args.stream_keys else 360 * MB,
         modops_scale=args.modops,
     )
-
-
-def cmd_simulate(args) -> int:
-    spec = get_benchmark(args.benchmark)
-    graph = get_dataflow(args.dataflow).build(spec, _dataflow_config(args))
-    result = RPUSimulator(_rpu_config(args)).simulate(graph)
-    print(
-        f"{spec.name}/{args.dataflow.upper()} @ {args.bandwidth} GB/s, "
-        f"{args.modops:g}x MODOPS, keys "
-        f"{'streamed' if args.stream_keys else 'on-chip'}:"
-    )
-    print(f"  runtime        {result.runtime_ms:10.2f} ms")
-    print(f"  DRAM traffic   {result.total_bytes / MB:10.1f} MB")
-    print(f"  compute idle   {result.compute_idle_fraction * 100:10.1f} %")
-    print(f"  achieved       {result.achieved_gbs:10.1f} GB/s, "
-          f"{result.achieved_gops:.1f} GOPS")
-    return 0
-
-
-def cmd_trace(args) -> int:
-    spec = get_benchmark(args.benchmark)
-    graph = get_dataflow(args.dataflow).build(spec, _dataflow_config(args))
-    result = RPUSimulator(_rpu_config(args)).simulate(graph, collect_trace=True)
+    result = RPUSimulator(machine).simulate(graph, collect_trace=True)
     print(render_trace_summary(
         result, title=f"{spec.name}/{args.dataflow.upper()} @ {args.bandwidth} GB/s"
     ))
     return 0
 
 
-def _add_machine_args(parser) -> None:
+def _add_machine_args(parser, dataflow: bool = True) -> None:
     parser.add_argument("benchmark", help="BTS1..3, ARK or DPRIVE")
-    parser.add_argument("--dataflow", default="OC", help="MP, DC or OC")
+    if dataflow:
+        parser.add_argument("--dataflow", default="OC", help="MP, DC or OC")
     parser.add_argument("--bandwidth", type=float, default=64.0,
                         help="off-chip bandwidth in GB/s")
     parser.add_argument("--modops", type=float, default=1.0,
@@ -115,6 +141,15 @@ def main(argv=None) -> int:
     p_analyze.add_argument("--onchip-keys", dest="stream_keys",
                            action="store_false")
     p_analyze.add_argument("--compress-keys", action="store_true")
+    p_estimate = sub.add_parser(
+        "estimate", help="any registered backend, any schedule set"
+    )
+    _add_machine_args(p_estimate, dataflow=False)
+    p_estimate.add_argument("--backend", default="rpu",
+                            help=f"one of {list_backends()}")
+    p_estimate.add_argument("--schedule", default="all",
+                            help="MP, DC, OC or 'all'")
+    p_estimate.set_defaults(func=cmd_estimate)
     for name, fn in (("simulate", cmd_simulate), ("trace", cmd_trace)):
         p = sub.add_parser(name, help=f"{name} one configuration")
         _add_machine_args(p)

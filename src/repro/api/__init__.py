@@ -1,0 +1,54 @@
+"""repro.api — the documented way to use this library.
+
+Three layers, smallest surface first:
+
+* :class:`FHESession` — one-line setup of a full CKKS working set
+  (``FHESession.create("n10_fast")``), with lazily generated, cached
+  evaluation keys;
+* :class:`CipherVector` — fluent encrypted vectors with operator
+  overloading (``+``, ``-``, ``*``, ``<<``, ``>>``) and automatic
+  level/scale management;
+* the backend registry — ``session.estimate(workload, backend=...,
+  schedule=...)`` answers accelerator-scale performance questions for all
+  three paper dataflows and the RPU simulator through one typed
+  :class:`RunReport`.
+
+The lower layers (:mod:`repro.ckks`, :mod:`repro.core`, :mod:`repro.rpu`)
+remain importable for research code that needs the knobs; this package is
+the stable facade on top of them.
+"""
+
+from repro.api.backends import (
+    AnalyticBackend,
+    Backend,
+    EstimateOptions,
+    RPUBackend,
+    RunReport,
+    SCHEDULES,
+    estimate,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.api.cipher import CipherVector
+from repro.api.presets import DEFAULT_PRESET, PRESETS, get_preset, list_presets
+from repro.api.session import FHESession
+
+__all__ = [
+    "AnalyticBackend",
+    "Backend",
+    "CipherVector",
+    "DEFAULT_PRESET",
+    "EstimateOptions",
+    "FHESession",
+    "PRESETS",
+    "RPUBackend",
+    "RunReport",
+    "SCHEDULES",
+    "estimate",
+    "get_backend",
+    "get_preset",
+    "list_backends",
+    "list_presets",
+    "register_backend",
+]

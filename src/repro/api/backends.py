@@ -1,0 +1,316 @@
+"""Pluggable estimation backends behind one typed report.
+
+The seed code grew three dataflow schedulers in :mod:`repro.core` and a
+cycle-level simulator in :mod:`repro.rpu`, each with its own entry point
+(``analyze_dataflow``, ``RPUSimulator.simulate`` + hand-built configs).
+This module unifies them behind a small protocol:
+
+* a :class:`Backend` turns ``(benchmark, schedule, options)`` into a
+  :class:`RunReport` — one flat, typed summary (latency, traffic,
+  arithmetic intensity) no matter which engine produced it;
+* a registry (:func:`register_backend` / :func:`get_backend`) lets later
+  PRs plug in new engines (GPU cost models, remote estimators) without
+  touching call sites;
+* :func:`estimate` is the single request path used by
+  ``FHESession.estimate``, the CLI and the examples.
+
+Users never import :mod:`repro.core` or :mod:`repro.rpu` directly; those
+stay implementation details of the two built-in backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from repro.errors import ParameterError
+from repro.params import MB, BenchmarkSpec, get_benchmark
+
+#: Short ids of the paper's three HKS dataflow schedules.
+SCHEDULES = ("MP", "DC", "OC")
+
+
+@dataclass(frozen=True)
+class EstimateOptions:
+    """Machine knobs shared by every backend (the paper's sweep axes)."""
+
+    bandwidth_gbs: float = 64.0
+    sram_mb: int = 32
+    evk_on_chip: bool = True
+    key_compression: bool = False
+    modops_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0 or self.sram_mb <= 0 or self.modops_scale <= 0:
+            raise ParameterError("bandwidth, SRAM and MODOPS scale must be positive")
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Uniform result of estimating one (benchmark, schedule) point.
+
+    ``latency_ms`` is ``None`` for backends that model traffic only (the
+    analytic backend); simulation backends always fill it.
+    """
+
+    benchmark: str
+    backend: str
+    schedule: str
+    total_bytes: int
+    data_bytes: int
+    evk_bytes: int
+    mod_ops: int
+    num_tasks: int
+    peak_on_chip_bytes: int
+    spill_stores: int = 0
+    reloads: int = 0
+    latency_ms: Optional[float] = None
+    compute_idle_fraction: Optional[float] = None
+    options: EstimateOptions = field(default_factory=EstimateOptions)
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / MB
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Modular operations per DRAM byte (paper Table II's "AI")."""
+        if self.total_bytes == 0:
+            return float("inf")
+        return self.mod_ops / self.total_bytes
+
+    @property
+    def achieved_gbs(self) -> Optional[float]:
+        if self.latency_ms is None or self.latency_ms == 0:
+            return None
+        return self.total_bytes / (self.latency_ms / 1e3) / 1e9
+
+    @property
+    def achieved_gops(self) -> Optional[float]:
+        if self.latency_ms is None or self.latency_ms == 0:
+            return None
+        return self.mod_ops / (self.latency_ms / 1e3) / 1e9
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary for ``format_table``-style rendering."""
+        row: Dict[str, object] = {
+            "benchmark": self.benchmark,
+            "backend": self.backend,
+            "schedule": self.schedule,
+            "MB": round(self.total_mb, 1),
+            "AI": round(self.arithmetic_intensity, 2),
+            "spills": self.spill_stores,
+        }
+        if self.latency_ms is not None:
+            row["latency_ms"] = round(self.latency_ms, 2)
+        if self.compute_idle_fraction is not None:
+            row["idle_%"] = round(self.compute_idle_fraction * 100, 1)
+        return row
+
+
+@lru_cache(maxsize=None)
+def _cached_schedule(spec: BenchmarkSpec, schedule: str, sram_mb: int,
+                     evk_on_chip: bool, key_compression: bool):
+    """One (graph, stats) build per schedule configuration.
+
+    Schedules depend only on the memory configuration, not on bandwidth
+    or MODOPS, so sweep-style estimate() loops (the common request
+    pattern) reuse one build — the same memoization the experiment
+    harness applies in :mod:`repro.experiments.common`.
+    """
+    from repro.core import DataflowConfig, get_dataflow
+
+    config = DataflowConfig(
+        data_sram_bytes=sram_mb * MB,
+        evk_on_chip=evk_on_chip,
+        key_compression=key_compression,
+    )
+    return get_dataflow(schedule).build_with_stats(spec, config)
+
+
+@lru_cache(maxsize=None)
+def _cached_analysis(spec: BenchmarkSpec, schedule: str, sram_mb: int,
+                     evk_on_chip: bool, key_compression: bool):
+    """Memoized :func:`repro.core.analyze_dataflow` (reports are frozen)."""
+    from repro.core import DataflowConfig, analyze_dataflow, get_dataflow
+
+    config = DataflowConfig(
+        data_sram_bytes=sram_mb * MB,
+        evk_on_chip=evk_on_chip,
+        key_compression=key_compression,
+    )
+    return analyze_dataflow(spec, get_dataflow(schedule), config)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can estimate one (benchmark, schedule) point."""
+
+    name: str
+
+    def run(self, spec: BenchmarkSpec, schedule: str,
+            options: EstimateOptions) -> RunReport:
+        """Produce a :class:`RunReport` for ``spec`` under ``schedule``."""
+        ...
+
+
+class AnalyticBackend:
+    """Traffic/AI analysis of the generated schedules (paper Table II).
+
+    Wraps :func:`repro.core.analyze_dataflow`; no timing model, so
+    ``latency_ms`` is ``None``.
+    """
+
+    name = "analytic"
+
+    def run(self, spec: BenchmarkSpec, schedule: str,
+            options: EstimateOptions) -> RunReport:
+        report = _cached_analysis(
+            spec, schedule.upper(), options.sram_mb, options.evk_on_chip,
+            options.key_compression,
+        )
+        return RunReport(
+            benchmark=spec.name,
+            backend=self.name,
+            schedule=report.dataflow,
+            total_bytes=report.total_bytes,
+            data_bytes=report.data_bytes,
+            evk_bytes=report.evk_bytes,
+            mod_ops=report.mod_ops,
+            num_tasks=report.num_tasks,
+            peak_on_chip_bytes=report.peak_on_chip_bytes,
+            spill_stores=report.spill_stores,
+            reloads=report.reloads,
+            options=options,
+        )
+
+
+class RPUBackend:
+    """Cycle-level replay on the dual-queue RPU simulator (paper Section V)."""
+
+    name = "rpu"
+
+    def run(self, spec: BenchmarkSpec, schedule: str,
+            options: EstimateOptions) -> RunReport:
+        from repro.rpu import RPUConfig, RPUSimulator
+
+        graph, stats = _cached_schedule(
+            spec, schedule.upper(), options.sram_mb, options.evk_on_chip,
+            options.key_compression,
+        )
+        machine = RPUConfig(
+            bandwidth_bytes_per_s=options.bandwidth_gbs * 1e9,
+            data_sram_bytes=options.sram_mb * MB,
+            key_sram_bytes=360 * MB if options.evk_on_chip else 0,
+            modops_scale=options.modops_scale,
+        )
+        result = RPUSimulator(machine).simulate(graph)
+        return RunReport(
+            benchmark=spec.name,
+            backend=self.name,
+            schedule=schedule.upper(),
+            total_bytes=result.total_bytes,
+            data_bytes=result.data_bytes,
+            evk_bytes=result.evk_bytes,
+            mod_ops=result.total_modops,
+            num_tasks=result.num_tasks,
+            peak_on_chip_bytes=stats.peak_bytes,
+            spill_stores=stats.spill_stores,
+            reloads=stats.reloads,
+            latency_ms=result.runtime_ms,
+            compute_idle_fraction=result.compute_idle_fraction,
+            options=options,
+        )
+
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, replace: bool = False) -> None:
+    """Add a backend to the registry under its ``name``."""
+    name = backend.name.lower()
+    if not replace and name in _REGISTRY:
+        raise ParameterError(f"backend {name!r} is already registered")
+    if not callable(getattr(backend, "run", None)):
+        raise ParameterError(f"backend {name!r} has no run() method")
+    _REGISTRY[name] = backend
+
+
+def get_backend(name: str) -> Backend:
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ParameterError(
+            f"unknown backend {name!r}; choose from {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def list_backends() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+register_backend(AnalyticBackend())
+register_backend(RPUBackend())
+
+
+# -- the single request path ---------------------------------------------------
+
+Workload = Union[str, BenchmarkSpec]
+
+
+def _resolve_workload(workload: Workload) -> BenchmarkSpec:
+    if isinstance(workload, BenchmarkSpec):
+        return workload
+    return get_benchmark(workload)
+
+
+def _resolve_schedules(schedule: Union[str, Sequence[str]]) -> List[str]:
+    if isinstance(schedule, str):
+        if schedule.lower() == "all":
+            return list(SCHEDULES)
+        names = [schedule]
+    else:
+        names = list(schedule)
+    out = []
+    for name in names:
+        key = name.upper()
+        if key not in SCHEDULES:
+            raise ParameterError(
+                f"unknown schedule {name!r}; choose from {SCHEDULES} or 'all'"
+            )
+        out.append(key)
+    return out
+
+
+def estimate(
+    workload: Workload,
+    *,
+    backend: str = "rpu",
+    schedule: Union[str, Sequence[str]] = "OC",
+    **options,
+) -> Union[RunReport, List[RunReport]]:
+    """Estimate ``workload`` on one backend across one or more schedules.
+
+    ``workload`` is a Table III benchmark name (``"ARK"``) or a
+    :class:`BenchmarkSpec`; ``schedule`` is ``"MP"``/``"DC"``/``"OC"``, a
+    sequence of those, or ``"all"``.  Remaining keyword arguments populate
+    :class:`EstimateOptions`.  Returns one report for a single schedule, a
+    list (in request order) otherwise.
+    """
+    spec = _resolve_workload(workload)
+    engine = get_backend(backend)
+    valid = sorted(EstimateOptions.__dataclass_fields__)
+    unknown = sorted(set(options) - set(valid))
+    if unknown:
+        raise ParameterError(
+            f"unknown estimate option(s) {unknown}; valid options: {valid}"
+        )
+    opts = EstimateOptions(**options)
+    schedules = _resolve_schedules(schedule)
+    reports = [engine.run(spec, s, opts) for s in schedules]
+    if isinstance(schedule, str) and schedule.lower() != "all":
+        return reports[0]
+    return reports

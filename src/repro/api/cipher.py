@@ -1,0 +1,225 @@
+"""Fluent ciphertext wrapper: operator overloading with automatic
+level and scale management.
+
+``CipherVector`` wraps a raw :class:`~repro.ckks.encrypt.Ciphertext`
+together with the owning :class:`~repro.api.session.FHESession`, so user
+code composes homomorphic programs the way it composes numpy expressions::
+
+    z = (x * y + 0.5) << 3        # multiply, add a constant, rotate left
+
+Every operation delegates to the session's :class:`Evaluator` — a
+``CipherVector`` expression produces bit-identical polynomials to the
+equivalent hand-written ``Evaluator`` calls.  What the wrapper adds is the
+bookkeeping the seed quickstart forced on users:
+
+* ciphertext-ciphertext operands are auto-aligned: the shallower level
+  wins (exact tower drop), and mismatched scales are corrected with the
+  multiply-by-one trick :mod:`repro.ckks.polyeval` uses internally;
+* products are auto-rescaled; plaintext factors are encoded at the
+  current top prime's scale so ciphertext-plaintext multiplies preserve
+  the operand's scale *exactly* (the running scale stays within 0.5 of
+  ``params.scale`` along plaintext chains);
+* rotation (``<<`` / ``>>``) and conjugation fetch their Galois keys from
+  the session's lazy cache — no key juggling at call sites.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple, Union
+
+import numpy as np
+
+from repro.ckks.encrypt import Ciphertext
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.session import FHESession
+
+#: Things accepted as plaintext operands: scalars and slot vectors.
+PlainOperand = Union[int, float, complex, np.ndarray, list, tuple]
+
+#: Scales differing by no more than this are treated as equal (the same
+#: tolerance Evaluator._check_aligned uses).
+SCALE_TOL = 0.5
+
+#: Alignment rounds before giving up (each round can drop one level).
+_MAX_ALIGN_ROUNDS = 4
+
+
+class CipherVector:
+    """An encrypted slot vector bound to its session."""
+
+    __array_priority__ = 1000  # numpy defers binary ops to us
+
+    def __init__(self, session: "FHESession", ciphertext: Ciphertext):
+        self.session = session
+        self.ciphertext = ciphertext
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        return self.ciphertext.level
+
+    @property
+    def scale(self) -> float:
+        return self.ciphertext.scale
+
+    @property
+    def num_slots(self) -> int:
+        return self.session.num_slots
+
+    def copy(self) -> "CipherVector":
+        return CipherVector(self.session, self.ciphertext.copy())
+
+    def decrypt(self) -> np.ndarray:
+        """Decrypt and decode back to the complex slot vector."""
+        return self.session.decrypt(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CipherVector(slots={self.num_slots}, level={self.level}, "
+            f"scale=2^{np.log2(self.scale):.2f})"
+        )
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def __add__(self, other) -> "CipherVector":
+        if isinstance(other, CipherVector):
+            a, b = self._aligned_with(other)
+            return self._wrap(self._ev.add(a, b))
+        pt = self._encode_at(other, self.level, self.scale)
+        return self._wrap(self._ev.add_plain(self.ciphertext, pt,
+                                             plain_scale=self.scale))
+
+    def __radd__(self, other) -> "CipherVector":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "CipherVector":
+        if isinstance(other, CipherVector):
+            a, b = self._aligned_with(other)
+            return self._wrap(self._ev.sub(a, b))
+        return self.__add__(_negated(other))
+
+    def __rsub__(self, other) -> "CipherVector":
+        return (-self).__add__(other)
+
+    def __neg__(self) -> "CipherVector":
+        return self._wrap(self._ev.negate(self.ciphertext))
+
+    def __mul__(self, other) -> "CipherVector":
+        if isinstance(other, CipherVector):
+            a, b = self._aligned_with(other, for_multiply=True)
+            product = self._ev.multiply(a, b, self.session.relin_key)
+            return self._wrap(self._ev.rescale(product))
+        # Plaintext factor: encode at the top prime's scale so the rescale
+        # cancels it exactly and the ciphertext scale is preserved.
+        if self.level == 0:
+            raise ParameterError("out of levels: cannot rescale below level 0")
+        plain_scale = float(self._ctx.q_basis.moduli[self.level])
+        pt = self._encode_at(other, self.level, plain_scale)
+        product = self._ev.multiply_plain(self.ciphertext, pt,
+                                          plain_scale=plain_scale)
+        return self._wrap(self._ev.rescale(product))
+
+    def __rmul__(self, other) -> "CipherVector":
+        return self.__mul__(other)
+
+    def square(self) -> "CipherVector":
+        return self.__mul__(self)
+
+    # -- rotations ---------------------------------------------------------------
+
+    def rotate(self, steps: int) -> "CipherVector":
+        """Cyclic rotation: slot ``i`` receives the value of slot ``i+steps``."""
+        steps %= self.num_slots
+        if steps == 0:
+            return self.copy()
+        key = self.session.rotation_key(steps)
+        return self._wrap(self._ev.rotate(self.ciphertext, steps, key))
+
+    def __lshift__(self, steps: int) -> "CipherVector":
+        return self.rotate(steps)
+
+    def __rshift__(self, steps: int) -> "CipherVector":
+        return self.rotate(-steps)
+
+    def conjugate(self) -> "CipherVector":
+        return self._wrap(
+            self._ev.conjugate(self.ciphertext, self.session.conjugation_key)
+        )
+
+    def sum_slots(self, width: int) -> "CipherVector":
+        """Fold the first ``width`` (power-of-two) slots into slot 0.
+
+        The classic rotate-and-sum reduction: ``log2(width)`` rotations,
+        each one a hybrid key switch served from the session's key cache.
+        """
+        if width < 1 or width & (width - 1):
+            raise ParameterError(f"width must be a positive power of two, got {width}")
+        out = self
+        step = width // 2
+        while step >= 1:
+            out = out + out.rotate(step)
+            step //= 2
+        return out
+
+    # -- helpers ------------------------------------------------------------------
+
+    @property
+    def _ev(self):
+        return self.session.evaluator
+
+    @property
+    def _ctx(self):
+        return self.session.context
+
+    def _wrap(self, ct: Ciphertext) -> "CipherVector":
+        return CipherVector(self.session, ct)
+
+    def _encode_at(self, values: PlainOperand, level: int, scale: float):
+        if isinstance(values, CipherVector):  # defensive: callers filter first
+            raise ParameterError("expected a plaintext operand")
+        arr = np.atleast_1d(np.asarray(values, dtype=np.complex128))
+        if arr.size == 1:
+            arr = np.full(self.num_slots, arr[0])
+        return self.session.encode(arr, level=level, scale=scale)
+
+    def _aligned_with(self, other: "CipherVector",
+                      for_multiply: bool = False) -> Tuple[Ciphertext, Ciphertext]:
+        """Equalize levels (and, for addition, scales) of the two operands."""
+        if other.session is not self.session:
+            raise ParameterError("cannot combine CipherVectors from different sessions")
+        a, b = self.ciphertext, other.ciphertext
+        for _ in range(_MAX_ALIGN_ROUNDS):
+            level = min(a.level, b.level)
+            if a.level > level:
+                a = self._ev.mod_switch_to_level(a, level)
+            if b.level > level:
+                b = self._ev.mod_switch_to_level(b, level)
+            if for_multiply or abs(a.scale - b.scale) <= SCALE_TOL:
+                return a, b
+            if a.scale < b.scale:
+                a = self._scale_correct(a, b.scale)
+            else:
+                b = self._scale_correct(b, a.scale)
+        raise ParameterError("could not align ciphertext scales")
+
+    def _scale_correct(self, ct: Ciphertext, target_scale: float) -> Ciphertext:
+        """Bring ``ct`` to exactly ``target_scale`` (costs one level)."""
+        if ct.level == 0:
+            raise ParameterError("out of levels while aligning scales")
+        q_next = self._ctx.q_basis.moduli[ct.level]
+        corr = target_scale * q_next / ct.scale
+        if corr < 1.0:
+            raise ParameterError(
+                f"cannot correct scale {ct.scale:g} up to {target_scale:g}"
+            )
+        pt = self._encode_at(1.0, ct.level, corr)
+        bumped = Ciphertext(ct.c0 * pt, ct.c1 * pt, ct.level, ct.scale * corr)
+        return self._ev.rescale(bumped)
+
+
+def _negated(value: PlainOperand) -> PlainOperand:
+    arr = np.asarray(value)
+    return -arr if arr.ndim else -arr.item()

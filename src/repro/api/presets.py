@@ -1,0 +1,51 @@
+"""Named CKKS parameter presets for one-line session creation.
+
+Choosing CKKS parameters requires balancing ring degree, chain length,
+digit count and prime sizes — exactly the knobs a newcomer should not have
+to learn before encrypting their first vector.  Each preset is a vetted
+:class:`~repro.ckks.context.CKKSParams` instance; ``FHESession.create``
+accepts a preset name (optionally with per-field overrides) so the
+quickstart collapses to a single call.
+
+The functional layer runs at small ring degrees (``2**8 .. 2**12``);
+performance modelling of the paper's ``2**16``/``2**17`` benchmarks goes
+through :mod:`repro.api.backends` and never instantiates these rings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.ckks.context import CKKSParams
+from repro.errors import ParameterError
+
+#: Vetted parameter sets, smallest first.  ``n10_fast`` mirrors the
+#: original quickstart; ``tiny_ci`` is the N=256 world the test suite uses.
+PRESETS: Dict[str, CKKSParams] = {
+    "tiny_ci": CKKSParams(n=256, num_levels=6, num_aux=2, dnum=3,
+                          q_bits=28, p_bits=29, scale_bits=26),
+    "n10_fast": CKKSParams(n=1 << 10, num_levels=6, num_aux=2, dnum=3,
+                           q_bits=28, p_bits=29, scale_bits=26),
+    "n11_balanced": CKKSParams(n=1 << 11, num_levels=8, num_aux=3, dnum=4,
+                               q_bits=30, p_bits=31, scale_bits=28),
+    "n12_deep": CKKSParams(n=1 << 12, num_levels=10, num_aux=3, dnum=5,
+                           q_bits=32, p_bits=33, scale_bits=30),
+}
+
+DEFAULT_PRESET = "n10_fast"
+
+
+def get_preset(name: str, **overrides) -> CKKSParams:
+    """Look up a preset by name, optionally overriding individual fields."""
+    key = name.lower()
+    if key not in PRESETS:
+        raise ParameterError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        )
+    params = PRESETS[key]
+    return replace(params, **overrides) if overrides else params
+
+
+def list_presets() -> List[str]:
+    return list(PRESETS)

@@ -1,0 +1,196 @@
+"""One-object FHE sessions: context, keys, codecs and estimation in one place.
+
+The seed quickstart hand-wired six objects (params -> context -> keygen /
+encoder / encryptor / decryptor / evaluator) and threaded every evk by
+hand.  ``FHESession`` owns that whole constellation:
+
+* ``FHESession.create("n10_fast")`` builds everything from a named preset
+  (:mod:`repro.api.presets`);
+* relinearization, conjugation and per-step rotation keys are generated
+  lazily on first use and cached — repeated rotations by the same step
+  reuse one Galois key, mirroring how accelerator runtimes stage evks;
+* ``encrypt`` returns fluent :class:`~repro.api.cipher.CipherVector`
+  handles; ``encrypt_many`` / ``rotate_many`` batch the common fan-out
+  patterns (``rotate_many`` routes through the hoisting path so all
+  rotations of one ciphertext share a single ModUp);
+* ``estimate`` forwards to the backend registry
+  (:mod:`repro.api.backends`), so the same session object also answers
+  performance questions about the paper's accelerator-scale benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.backends import RunReport, estimate as _estimate
+from repro.api.cipher import CipherVector
+from repro.api.presets import DEFAULT_PRESET, get_preset
+from repro.ckks.context import CKKSContext, CKKSParams
+from repro.ckks.encoding import Encoder
+from repro.ckks.encrypt import Ciphertext, Decryptor, Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.hoisting import hoisted_rotations
+from repro.ckks.keys import KeyGenerator, KeySwitchKey, rotation_galois_element
+from repro.errors import ParameterError
+from repro.rns.poly import RNSPoly
+
+
+class FHESession:
+    """A complete CKKS working set behind one handle."""
+
+    def __init__(self, params: CKKSParams, *, seed: Optional[int] = 0):
+        self.params = params
+        self.context = CKKSContext(params)
+        self.keygen = KeyGenerator(self.context, seed=seed)
+        self.encoder = Encoder(self.context)
+        enc_seed = None if seed is None else seed + 1
+        self.encryptor = Encryptor(self.context, self.keygen.public_key(),
+                                   seed=enc_seed)
+        self.decryptor = Decryptor(self.context, self.keygen.secret_key)
+        self.evaluator = Evaluator(self.context)
+        self._relin_key: Optional[KeySwitchKey] = None
+        self._conj_key: Optional[KeySwitchKey] = None
+        #: Galois keys cached by Galois element (steps that differ by a
+        #: multiple of the slot count share one key).
+        self._galois_keys: Dict[int, KeySwitchKey] = {}
+
+    @classmethod
+    def create(cls, preset: Union[str, CKKSParams] = DEFAULT_PRESET, *,
+               seed: Optional[int] = 0, **overrides) -> "FHESession":
+        """Build a session from a preset name (or explicit params).
+
+        Keyword overrides patch individual preset fields, e.g.
+        ``FHESession.create("n10_fast", num_levels=8)``.
+        """
+        if isinstance(preset, CKKSParams):
+            if overrides:
+                raise ParameterError(
+                    "pass field overrides only with a preset name; "
+                    "use dataclasses.replace on explicit CKKSParams"
+                )
+            return cls(preset, seed=seed)
+        return cls(get_preset(preset, **overrides), seed=seed)
+
+    @classmethod
+    def from_params(cls, params: CKKSParams, *,
+                    seed: Optional[int] = 0) -> "FHESession":
+        return cls(params, seed=seed)
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        return self.encoder.num_slots
+
+    @property
+    def max_level(self) -> int:
+        return self.params.max_level
+
+    def __repr__(self) -> str:
+        return (
+            f"FHESession(N={self.params.n}, slots={self.num_slots}, "
+            f"levels={self.params.num_levels}, dnum={self.params.dnum}, "
+            f"cached_keys={self.key_cache_info()})"
+        )
+
+    # -- lazy key material -------------------------------------------------------
+
+    @property
+    def relin_key(self) -> KeySwitchKey:
+        """The relinearization evk (generated on first multiply)."""
+        if self._relin_key is None:
+            self._relin_key = self.keygen.relinearization_key()
+        return self._relin_key
+
+    @property
+    def conjugation_key(self) -> KeySwitchKey:
+        if self._conj_key is None:
+            self._conj_key = self.keygen.conjugation_key()
+        return self._conj_key
+
+    def galois_key(self, galois_element: int) -> KeySwitchKey:
+        """Cached Galois evk for an explicit automorphism element."""
+        key = self._galois_keys.get(galois_element)
+        if key is None:
+            key = self.keygen.galois_key(galois_element)
+            self._galois_keys[galois_element] = key
+        return key
+
+    def rotation_key(self, steps: int) -> KeySwitchKey:
+        """Cached Galois evk for a slot rotation by ``steps``."""
+        return self.galois_key(rotation_galois_element(steps, self.params.n))
+
+    def key_cache_info(self) -> Dict[str, int]:
+        """How many evks this session has generated so far."""
+        return {
+            "relin": int(self._relin_key is not None),
+            "conjugation": int(self._conj_key is not None),
+            "galois": len(self._galois_keys),
+        }
+
+    # -- encode / encrypt / decrypt ----------------------------------------------
+
+    def encode(self, values, *, level: Optional[int] = None,
+               scale: Optional[float] = None) -> RNSPoly:
+        return self.encoder.encode(values, level=level, scale=scale)
+
+    def decode(self, poly: RNSPoly, *, scale: Optional[float] = None) -> np.ndarray:
+        return self.encoder.decode(poly, scale=scale)
+
+    def encrypt(self, values, *, level: Optional[int] = None,
+                scale: Optional[float] = None) -> CipherVector:
+        """Encode + encrypt a slot vector (or scalar broadcast)."""
+        pt = self.encoder.encode(values, level=level, scale=scale)
+        ct = self.encryptor.encrypt(pt, level=level, scale=scale)
+        return CipherVector(self, ct)
+
+    def encrypt_many(self, vectors: Iterable, *, level: Optional[int] = None,
+                     scale: Optional[float] = None) -> List[CipherVector]:
+        """Encrypt a batch of slot vectors in one call."""
+        return [self.encrypt(v, level=level, scale=scale) for v in vectors]
+
+    def decrypt(self, ct: Union[CipherVector, Ciphertext],
+                *, scale: Optional[float] = None) -> np.ndarray:
+        """Decrypt back to the complex slot vector (scale read from the ct)."""
+        raw = ct.ciphertext if isinstance(ct, CipherVector) else ct
+        return self.encoder.decode(
+            self.decryptor.decrypt(raw), scale=scale or raw.scale
+        )
+
+    # -- batched rotations ---------------------------------------------------------
+
+    def rotate_many(self, ct: Union[CipherVector, Ciphertext],
+                    steps: Sequence[int]) -> Dict[int, CipherVector]:
+        """Rotate one ciphertext by many steps with a single shared ModUp.
+
+        Routes through :func:`repro.ckks.hoisting.hoisted_rotations`, the
+        Halevi-Shoup optimization accelerator runtimes use: the expensive
+        ModUp of ``c1`` is paid once and every rotation reuses it.  Keys
+        come from (and populate) the session cache.  Returns a mapping
+        from step to result, bit-identical to one-at-a-time rotation;
+        steps that normalize to 0 need no key switch and map to a copy.
+        """
+        raw = ct.ciphertext if isinstance(ct, CipherVector) else ct
+        normalized: Dict[int, int] = {s: s % self.num_slots for s in steps}
+        nonzero = {n for n in normalized.values() if n != 0}
+        keys = {n: self.rotation_key(n) for n in nonzero}
+        rotated = hoisted_rotations(self.context, raw, keys) if keys else {}
+        return {
+            s: CipherVector(self, rotated[n] if n else raw.copy())
+            for s, n in normalized.items()
+        }
+
+    # -- performance estimation ----------------------------------------------------
+
+    def estimate(self, workload, *, backend: str = "rpu",
+                 schedule="OC", **options) -> Union[RunReport, List[RunReport]]:
+        """Estimate an accelerator-scale workload via the backend registry.
+
+        ``workload`` is a paper Table III benchmark name or spec; see
+        :func:`repro.api.backends.estimate` for schedules and options.
+        The session's functional parameters are independent of the
+        performance model, so any session can answer these queries.
+        """
+        return _estimate(workload, backend=backend, schedule=schedule, **options)

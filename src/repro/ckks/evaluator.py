@@ -42,7 +42,21 @@ class Evaluator:
     def negate(self, x: Ciphertext) -> Ciphertext:
         return Ciphertext(-x.c0, -x.c1, x.level, x.scale)
 
-    def add_plain(self, x: Ciphertext, plaintext: RNSPoly) -> Ciphertext:
+    def add_plain(self, x: Ciphertext, plaintext: RNSPoly,
+                  plain_scale: float | None = None) -> Ciphertext:
+        """Add an encoded plaintext (which must share the ciphertext's scale).
+
+        ``plain_scale`` is the scale the plaintext was encoded at; it is
+        validated against ``x.scale`` exactly as :meth:`_check_aligned`
+        validates ciphertext pairs — adding a plaintext encoded at a
+        different scale silently corrupts the message.  ``None`` asserts
+        the plaintext was encoded at ``x.scale``.
+        """
+        if plain_scale is not None and abs(plain_scale - x.scale) > 0.5:
+            raise ParameterError(
+                f"plaintext scale mismatch: {plain_scale} vs ciphertext "
+                f"{x.scale} (re-encode at the ciphertext's scale)"
+            )
         pt = self._align_plain(x, plaintext)
         return Ciphertext(x.c0 + pt, x.c1.copy(), x.level, x.scale)
 
@@ -52,6 +66,10 @@ class Evaluator:
         pt = self._align_plain(x, plaintext)
         if plain_scale is None:
             plain_scale = self.context.params.scale
+        if plain_scale <= 0:
+            raise ParameterError(
+                f"plaintext scale must be positive, got {plain_scale}"
+            )
         return Ciphertext(x.c0 * pt, x.c1 * pt, x.level, x.scale * plain_scale)
 
     # -- multiplication ---------------------------------------------------------

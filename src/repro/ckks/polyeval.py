@@ -35,7 +35,7 @@ def _encode_constant(encoder: Encoder, value: float, level: int,
 def _add_constant(evaluator: Evaluator, encoder: Encoder, ct: Ciphertext,
                   value: float) -> Ciphertext:
     pt = _encode_constant(encoder, value, ct.level, ct.scale)
-    return evaluator.add_plain(ct, pt)
+    return evaluator.add_plain(ct, pt, plain_scale=ct.scale)
 
 
 def _mul_constant(evaluator: Evaluator, encoder: Encoder, ct: Ciphertext,

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Optional, Tuple
 
-from repro.core import DATAFLOWS, DataflowConfig, Dataflow, TaskGraph, get_dataflow
+from repro.core import DATAFLOWS, TaskGraph
 from repro.params import MB, BenchmarkSpec, get_benchmark
 from repro.rpu import RPUConfig, RPUSimulator, SimResult
 
@@ -16,13 +15,17 @@ BASELINE_BW_GBS = 64.0
 OCBASE_GRID = (8.0, 12.8, 16.0, 25.6, 32.0, 45.62, 48.0, 64.0)
 
 
-@lru_cache(maxsize=None)
 def _cached_graph(bench_name: str, dataflow_name: str, sram_mb: int,
                   evk_on_chip: bool) -> TaskGraph:
+    # Delegates to the backend registry's schedule cache so the facade
+    # and the experiment harness share one graph per configuration.
+    from repro.api.backends import _cached_schedule
+
     spec = get_benchmark(bench_name)
-    dataflow = get_dataflow(dataflow_name)
-    config = DataflowConfig(data_sram_bytes=sram_mb * MB, evk_on_chip=evk_on_chip)
-    return dataflow.build(spec, config)
+    graph, _ = _cached_schedule(
+        spec, dataflow_name.upper(), sram_mb, evk_on_chip, False
+    )
+    return graph
 
 
 def build_schedule(

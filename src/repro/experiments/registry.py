@@ -7,6 +7,7 @@ from typing import Callable, Dict, List
 from repro.experiments import (
     crossover,
     extras,
+    facade,
     figure2,
     figure4,
     figure56,
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "hoisting": extras.run_hoisting,
     "ablation": extras.run_budget_ablation,
     "crossover": crossover.run,
+    "backends": facade.run,
 }
 
 

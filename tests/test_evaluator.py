@@ -70,6 +70,32 @@ class TestLinearOps:
         with pytest.raises(ParameterError):
             evaluator.add(a, b)
 
+    def test_add_plain_scale_mismatch_rejected(
+        self, encoder, encryptor, decryptor, evaluator, rng
+    ):
+        """Regression: adding a plaintext encoded at the wrong scale used to
+        silently corrupt the message; declaring the scale now raises."""
+        a, b = slots(encoder, rng, real=True), slots(encoder, rng, real=True)
+        ct = encryptor.encrypt(encoder.encode(a))
+        wrong_scale = ct.scale * 4.0
+        pt = encoder.encode(b, scale=wrong_scale)
+        # Undeclared, the mismatch is invisible and the result is wrong:
+        silent = evaluator.add_plain(ct, pt)
+        assert decode_error(encoder, decryptor, silent, a + b) > 1.0
+        # Declared, it is rejected exactly like a ciphertext scale mismatch:
+        with pytest.raises(ParameterError):
+            evaluator.add_plain(ct, pt, plain_scale=wrong_scale)
+
+    def test_add_plain_matching_declared_scale_accepted(
+        self, encoder, encryptor, decryptor, evaluator, rng
+    ):
+        a, b = slots(encoder, rng), slots(encoder, rng)
+        ct = encryptor.encrypt(encoder.encode(a))
+        out = evaluator.add_plain(
+            ct, encoder.encode(b, scale=ct.scale), plain_scale=ct.scale
+        )
+        assert decode_error(encoder, decryptor, out, a + b) < 2e-3
+
 
 class TestMultiplication:
     def test_multiply_plain_and_rescale(
@@ -118,6 +144,13 @@ class TestMultiplication:
         ct = encryptor.encrypt(encoder.encode([1.0]), level=0)
         with pytest.raises(ParameterError):
             evaluator.rescale(ct)
+
+    def test_multiply_plain_nonpositive_scale_rejected(
+        self, encoder, encryptor, evaluator
+    ):
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        with pytest.raises(ParameterError):
+            evaluator.multiply_plain(ct, encoder.encode([1.0]), plain_scale=0.0)
 
     def test_rescale_adjusts_scale(self, encoder, encryptor, evaluator, context):
         ct = encryptor.encrypt(encoder.encode([1.0]))
