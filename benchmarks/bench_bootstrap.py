@@ -1,0 +1,98 @@
+"""Bootstrap benchmarks: functional latency + BOOT workload accounting.
+
+Times one full functional bootstrap (the ~100-HKS circuit at the
+``n7_boot`` preset) and prices the accelerator-scale ``BOOT`` workload on
+every schedule, then emits ``BENCH_bootstrap.json`` — latency plus the
+per-stage HKS breakdown — so the perf trajectory of the subsystem is
+machine-readable across commits.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_bootstrap.py -q -s
+Quick mode (CI): add ``--benchmark-disable`` — the JSON artifact is still
+written, only the repeated timing loops are skipped.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import FHESession, estimate
+from repro.workloads import bootstrap_plan, bootstrap_workload
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_bootstrap.json"
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = FHESession.create("n7_boot", seed=21)
+    s.bootstrap_keys()  # materialize the circuit + evks outside timings
+    return s
+
+
+@pytest.fixture(scope="module")
+def exhausted(session):
+    rng = np.random.default_rng(22)
+    z = rng.uniform(-0.2, 0.2, session.num_slots)
+    return z, session.encrypt(z, level=0)
+
+
+@pytest.mark.benchmark(group="bootstrap")
+def test_bench_functional_bootstrap(benchmark, session, exhausted):
+    z, ct = exhausted
+    out = benchmark(ct.bootstrap)
+    assert out.level >= 3
+    assert np.max(np.abs(out.decrypt() - z)) < 1e-2
+
+
+def test_emit_bootstrap_artifact(session, exhausted):
+    """Write BENCH_bootstrap.json: functional latency, per-stage HKS
+    counts, and the BOOT workload estimates per schedule."""
+    z, ct = exhausted
+    start = time.perf_counter()
+    out = ct.bootstrap()
+    functional_s = time.perf_counter() - start
+    error = float(np.max(np.abs(out.decrypt() - z)))
+
+    bs = session.bootstrapper()
+    workload = bootstrap_workload()
+    boot_rows = []
+    for report in estimate("BOOT", backend="rpu", schedule="all"):
+        boot_rows.append(
+            {
+                "schedule": report.schedule,
+                "latency_ms": report.latency_ms,
+                "total_bytes": report.total_bytes,
+                "hks_calls": report.hks_calls,
+                "compute_idle_fraction": report.compute_idle_fraction,
+            }
+        )
+
+    payload = {
+        "functional": {
+            "preset": "n7_boot",
+            "latency_s": functional_s,
+            "max_slot_error": error,
+            "levels_restored": out.level,
+            "sine_degree": bs.sine_degree,
+            "levels_consumed": bs.levels_consumed(),
+            "hks_per_stage": bs.plan.phase_hks_calls(),
+            "op_counts": bs.plan.op_counts().as_dict(),
+        },
+        "boot_workload": {
+            "description": workload.description,
+            "hks_calls": workload.hks_calls,
+            "hks_per_stage": bootstrap_plan().phase_hks_calls(),
+            "estimates": boot_rows,
+        },
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"wrote {ARTIFACT.name}: functional {functional_s:.2f}s "
+          f"(err {error:.1e}), BOOT {payload['boot_workload']['hks_calls']} "
+          f"HKS calls")
+    assert error < 1e-2
+    assert payload["boot_workload"]["hks_calls"] == sum(
+        payload["boot_workload"]["hks_per_stage"].values()
+    )

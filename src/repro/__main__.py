@@ -31,8 +31,12 @@ def cmd_info(_args) -> int:
     rows = [spec.describe() for spec in BENCHMARKS.values()]
     print(format_table(rows, title="benchmarks (paper Table III):"))
     print()
+    from repro.workloads import list_workloads
+
     print("dataflows:", ", ".join(f"{d.name} ({d.title})" for d in DATAFLOWS.values()))
     print("backends:", ", ".join(list_backends()))
+    print("composite workloads:", ", ".join(list_workloads()),
+          "(e.g. `repro estimate BOOT`)")
     print("session presets:", ", ".join(list_presets()))
     print("experiments: python -m repro.experiments --list")
     return 0

@@ -25,7 +25,7 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Protocol, Sequence, Union, runtime_checkable
 
 from repro.errors import ParameterError
-from repro.params import MB, BenchmarkSpec, get_benchmark
+from repro.params import BENCHMARKS, MB, BenchmarkSpec, get_benchmark
 
 #: Short ids of the paper's three HKS dataflow schedules.
 SCHEDULES = ("MP", "DC", "OC")
@@ -67,6 +67,10 @@ class RunReport:
     reloads: int = 0
     latency_ms: Optional[float] = None
     compute_idle_fraction: Optional[float] = None
+    #: For composite workloads (e.g. ``"BOOT"``): how many hybrid key
+    #: switches the estimated circuit performs.  ``None`` for single-HKS
+    #: benchmark estimates.
+    hks_calls: Optional[int] = None
     options: EstimateOptions = field(default_factory=EstimateOptions)
 
     @property
@@ -102,6 +106,8 @@ class RunReport:
             "AI": round(self.arithmetic_intensity, 2),
             "spills": self.spill_stores,
         }
+        if self.hks_calls is not None:
+            row["hks"] = self.hks_calls
         if self.latency_ms is not None:
             row["latency_ms"] = round(self.latency_ms, 2)
         if self.compute_idle_fraction is not None:
@@ -141,6 +147,23 @@ def _cached_analysis(spec: BenchmarkSpec, schedule: str, sram_mb: int,
         key_compression=key_compression,
     )
     return analyze_dataflow(spec, get_dataflow(schedule), config)
+
+
+#: Mix field -> pointwise graph kind (rotations also pay an automorphism).
+_POINTWISE_KINDS = (
+    ("rotations", "automorphism"),
+    ("ct_multiplies", "tensor"),
+    ("pt_multiplies", "plain"),
+    ("additions", "add"),
+)
+
+
+@lru_cache(maxsize=None)
+def _pointwise_graph(spec: BenchmarkSpec, kind: str):
+    """Task graph of one non-HKS homomorphic op (shared by both backends)."""
+    from repro.workloads import build_pointwise_graph
+
+    return build_pointwise_graph(spec, kind)
 
 
 @runtime_checkable
@@ -185,6 +208,38 @@ class AnalyticBackend:
             options=options,
         )
 
+    def run_composite(self, workload, schedule: str,
+                      options: EstimateOptions) -> RunReport:
+        """Traffic/ops of a whole circuit: HKS calls + point-wise ops."""
+        base = self.run(workload.spec, schedule, options)
+        calls = workload.hks_calls
+        total_bytes = calls * base.total_bytes
+        data_bytes = calls * base.data_bytes
+        mod_ops = calls * base.mod_ops
+        num_tasks = calls * base.num_tasks
+        for mix_field, kind in _POINTWISE_KINDS:
+            count = getattr(workload.mix, mix_field)
+            graph = _pointwise_graph(workload.spec, kind)
+            total_bytes += count * graph.total_bytes()
+            data_bytes += count * graph.total_bytes()
+            mod_ops += count * graph.total_mod_ops()
+            num_tasks += count * len(graph)
+        return RunReport(
+            benchmark=workload.name,
+            backend=self.name,
+            schedule=base.schedule,
+            total_bytes=total_bytes,
+            data_bytes=data_bytes,
+            evk_bytes=calls * base.evk_bytes,
+            mod_ops=mod_ops,
+            num_tasks=num_tasks,
+            peak_on_chip_bytes=base.peak_on_chip_bytes,
+            spill_stores=calls * base.spill_stores,
+            reloads=calls * base.reloads,
+            hks_calls=calls,
+            options=options,
+        )
+
 
 class RPUBackend:
     """Cycle-level replay on the dual-queue RPU simulator (paper Section V)."""
@@ -193,19 +248,13 @@ class RPUBackend:
 
     def run(self, spec: BenchmarkSpec, schedule: str,
             options: EstimateOptions) -> RunReport:
-        from repro.rpu import RPUConfig, RPUSimulator
+        from repro.rpu import RPUSimulator
 
         graph, stats = _cached_schedule(
             spec, schedule.upper(), options.sram_mb, options.evk_on_chip,
             options.key_compression,
         )
-        machine = RPUConfig(
-            bandwidth_bytes_per_s=options.bandwidth_gbs * 1e9,
-            data_sram_bytes=options.sram_mb * MB,
-            key_sram_bytes=360 * MB if options.evk_on_chip else 0,
-            modops_scale=options.modops_scale,
-        )
-        result = RPUSimulator(machine).simulate(graph)
+        result = RPUSimulator(self._machine(options)).simulate(graph)
         return RunReport(
             benchmark=spec.name,
             backend=self.name,
@@ -220,6 +269,65 @@ class RPUBackend:
             reloads=stats.reloads,
             latency_ms=result.runtime_ms,
             compute_idle_fraction=result.compute_idle_fraction,
+            options=options,
+        )
+
+    def _machine(self, options: EstimateOptions):
+        from repro.rpu import RPUConfig
+
+        return RPUConfig(
+            bandwidth_bytes_per_s=options.bandwidth_gbs * 1e9,
+            data_sram_bytes=options.sram_mb * MB,
+            key_sram_bytes=360 * MB if options.evk_on_chip else 0,
+            modops_scale=options.modops_scale,
+        )
+
+    def run_composite(self, workload, schedule: str,
+                      options: EstimateOptions) -> RunReport:
+        """Latency of a whole circuit: one simulation per distinct kernel,
+        scaled by the op mix (the simulator replays one HKS / one
+        point-wise op; a real run would interleave them identically in
+        steady state)."""
+        from repro.rpu import RPUSimulator
+
+        base = self.run(workload.spec, schedule, options)
+        sim = RPUSimulator(self._machine(options))
+        calls = workload.hks_calls
+        total_bytes = calls * base.total_bytes
+        data_bytes = calls * base.data_bytes
+        mod_ops = calls * base.mod_ops
+        num_tasks = calls * base.num_tasks
+        latency_ms = calls * base.latency_ms
+        busy_ms = calls * base.latency_ms * (1.0 - base.compute_idle_fraction)
+        for mix_field, kind in _POINTWISE_KINDS:
+            count = getattr(workload.mix, mix_field)
+            graph = _pointwise_graph(workload.spec, kind)
+            result = sim.simulate(graph)
+            total_bytes += count * result.total_bytes
+            data_bytes += count * result.data_bytes
+            mod_ops += count * result.total_modops
+            num_tasks += count * result.num_tasks
+            latency_ms += count * result.runtime_ms
+            busy_ms += count * result.runtime_ms * (
+                1.0 - result.compute_idle_fraction
+            )
+        return RunReport(
+            benchmark=workload.name,
+            backend=self.name,
+            schedule=base.schedule,
+            total_bytes=total_bytes,
+            data_bytes=data_bytes,
+            evk_bytes=calls * base.evk_bytes,
+            mod_ops=mod_ops,
+            num_tasks=num_tasks,
+            peak_on_chip_bytes=base.peak_on_chip_bytes,
+            spill_stores=calls * base.spill_stores,
+            reloads=calls * base.reloads,
+            latency_ms=latency_ms,
+            compute_idle_fraction=(
+                1.0 - busy_ms / latency_ms if latency_ms else None
+            ),
+            hks_calls=calls,
             options=options,
         )
 
@@ -261,10 +369,36 @@ register_backend(RPUBackend())
 Workload = Union[str, BenchmarkSpec]
 
 
-def _resolve_workload(workload: Workload) -> BenchmarkSpec:
+def _resolve_workload(workload: Workload):
+    """Resolve a name/spec to a :class:`BenchmarkSpec` or composite workload.
+
+    Names check Table III benchmarks first (``"ARK"``), then the named
+    composite circuits of :mod:`repro.workloads` (``"BOOT"``).
+    """
     if isinstance(workload, BenchmarkSpec):
         return workload
-    return get_benchmark(workload)
+    if not isinstance(workload, str):
+        from repro.workloads import CompositeWorkload
+
+        if isinstance(workload, CompositeWorkload):
+            return workload
+        raise ParameterError(
+            f"workload must be a name, BenchmarkSpec or CompositeWorkload, "
+            f"got {type(workload).__name__}"
+        )
+    try:
+        return get_benchmark(workload)
+    except ParameterError:
+        from repro.workloads import get_workload, list_workloads
+
+        try:
+            return get_workload(workload)
+        except ParameterError:
+            raise ParameterError(
+                f"unknown workload {workload!r}; benchmarks: "
+                f"{sorted(BENCHMARKS)}, composite workloads: "
+                f"{list_workloads()}"
+            ) from None
 
 
 def _resolve_schedules(schedule: Union[str, Sequence[str]]) -> List[str]:
@@ -310,7 +444,16 @@ def estimate(
         )
     opts = EstimateOptions(**options)
     schedules = _resolve_schedules(schedule)
-    reports = [engine.run(spec, s, opts) for s in schedules]
+    if isinstance(spec, BenchmarkSpec):
+        runner = engine.run
+    else:
+        runner = getattr(engine, "run_composite", None)
+        if runner is None:
+            raise ParameterError(
+                f"backend {backend!r} cannot estimate composite workloads "
+                f"like {spec.name!r}"
+            )
+    reports = [runner(spec, s, opts) for s in schedules]
     if isinstance(schedule, str) and schedule.lower() != "all":
         return reports[0]
     return reports

@@ -149,6 +149,16 @@ class CipherVector:
             self._ev.conjugate(self.ciphertext, self.session.conjugation_key)
         )
 
+    def bootstrap(self) -> "CipherVector":
+        """Refresh this ciphertext: same message, level budget restored.
+
+        Runs the full ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff
+        pipeline (~100 hybrid key switches); the session builds and caches
+        the circuit and its keys on first use.  Requires bootstrappable
+        parameters (e.g. the ``n7_boot`` preset).
+        """
+        return self.session.bootstrap(self)
+
     def sum_slots(self, width: int) -> "CipherVector":
         """Fold the first ``width`` (power-of-two) slots into slot 0.
 

@@ -31,6 +31,18 @@ PRESETS: Dict[str, CKKSParams] = {
                                q_bits=30, p_bits=31, scale_bits=28),
     "n12_deep": CKKSParams(n=1 << 12, num_levels=10, num_aux=3, dnum=5,
                            q_bits=32, p_bits=33, scale_bits=30),
+    # Bootstrappable world: a 16-level chain whose primes match the scale
+    # (so the Chebyshev ladder's rescales preserve it), a wide base prime
+    # (q_0/Delta = 16 gives EvalMod's sine approximation headroom) and a
+    # sparse secret bounding the ModRaise overflow.  Small ring: a
+    # bootstrap is ~100 hybrid key switches, and the performance story
+    # lives in the BOOT workload, not here.
+    "n7_boot": CKKSParams(n=1 << 7, num_levels=16, num_aux=5, dnum=4,
+                          q_bits=26, p_bits=29, scale_bits=26,
+                          q0_bits=30, hamming_weight=8),
+    "n8_boot": CKKSParams(n=1 << 8, num_levels=16, num_aux=5, dnum=4,
+                          q_bits=26, p_bits=29, scale_bits=26,
+                          q0_bits=30, hamming_weight=12),
 }
 
 DEFAULT_PRESET = "n10_fast"

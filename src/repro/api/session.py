@@ -27,6 +27,7 @@ import numpy as np
 from repro.api.backends import RunReport, estimate as _estimate
 from repro.api.cipher import CipherVector
 from repro.api.presets import DEFAULT_PRESET, get_preset
+from repro.ckks.bootstrap import BootstrapConfig, BootstrapKeys, Bootstrapper
 from repro.ckks.context import CKKSContext, CKKSParams
 from repro.ckks.encoding import Encoder
 from repro.ckks.encrypt import Ciphertext, Decryptor, Encryptor
@@ -55,6 +56,8 @@ class FHESession:
         #: Galois keys cached by Galois element (steps that differ by a
         #: multiple of the slot count share one key).
         self._galois_keys: Dict[int, KeySwitchKey] = {}
+        self._bootstrapper: Optional[Bootstrapper] = None
+        self._bootstrap_keys: Optional[BootstrapKeys] = None
 
     @classmethod
     def create(cls, preset: Union[str, CKKSParams] = DEFAULT_PRESET, *,
@@ -129,6 +132,52 @@ class FHESession:
             "conjugation": int(self._conj_key is not None),
             "galois": len(self._galois_keys),
         }
+
+    # -- bootstrapping ------------------------------------------------------------
+
+    def bootstrapper(self, config: Optional[BootstrapConfig] = None) -> Bootstrapper:
+        """The session's bootstrap circuit (built on first use).
+
+        Pass a :class:`BootstrapConfig` on the *first* call to shape the
+        pipeline (DFT factor count, sine degree); later calls must not
+        contradict the circuit already built, since its rotation keys may
+        already be cached.
+        """
+        if self._bootstrapper is None:
+            self._bootstrapper = Bootstrapper(self.context, config)
+        elif config is not None and config != self._bootstrapper.config:
+            raise ParameterError(
+                "bootstrapper already built with a different config; "
+                "create a fresh session to change the bootstrap shape"
+            )
+        return self._bootstrapper
+
+    def bootstrap_keys(self) -> BootstrapKeys:
+        """Evks the bootstrap circuit needs, served from the lazy caches.
+
+        Like :attr:`relin_key`, generation happens on first use: the
+        relinearization and conjugation keys plus one rotation key per
+        distinct DFT step (all shared with ordinary rotations by the same
+        amounts).
+        """
+        bs = self.bootstrapper()
+        if self._bootstrap_keys is None:
+            self._bootstrap_keys = BootstrapKeys(
+                relin=self.relin_key,
+                conjugation=self.conjugation_key,
+                rotations={
+                    s: self.rotation_key(s)
+                    for s in bs.required_rotation_steps()
+                },
+            )
+        return self._bootstrap_keys
+
+    def bootstrap(self, ct: Union[CipherVector, Ciphertext]) -> CipherVector:
+        """Refresh a ciphertext: same message, level budget restored."""
+        raw = ct.ciphertext if isinstance(ct, CipherVector) else ct
+        out = self.bootstrapper().bootstrap(self.evaluator, raw,
+                                            self.bootstrap_keys())
+        return CipherVector(self, out)
 
     # -- encode / encrypt / decrypt ----------------------------------------------
 

@@ -18,11 +18,32 @@ from repro.ckks.keys import (
     rotation_galois_element,
 )
 from repro.ckks.keyswitch import apply_evk, key_switch, mod_down, mod_up_digit
+from repro.ckks.bootstrap import (
+    BootstrapConfig,
+    BootstrapKeys,
+    BootstrapPlan,
+    Bootstrapper,
+    CountingEvaluator,
+    generate_bootstrap_keys,
+    mod_raise,
+)
 from repro.ckks.linear import LinearTransform, generate_bsgs_keys
 from repro.ckks.noise import NoiseEstimate, NoiseModel, measure_noise
-from repro.ckks.polyeval import evaluate_horner, evaluate_power_basis
+from repro.ckks.polyeval import (
+    evaluate_chebyshev,
+    evaluate_horner,
+    evaluate_power_basis,
+)
 
 __all__ = [
+    "BootstrapConfig",
+    "BootstrapKeys",
+    "BootstrapPlan",
+    "Bootstrapper",
+    "CountingEvaluator",
+    "evaluate_chebyshev",
+    "generate_bootstrap_keys",
+    "mod_raise",
     "LinearTransform",
     "NoiseEstimate",
     "NoiseModel",

@@ -1,0 +1,49 @@
+"""CKKS bootstrapping: ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff.
+
+The subsystem that turns the library's levelled CKKS scheme into an
+unlimited-depth one — and the workload class (thousands of rotations and
+relinearizations, all hybrid key switches) the paper's accelerator
+analysis exists for.  See :mod:`repro.ckks.bootstrap.pipeline` for the
+circuit, :mod:`repro.ckks.bootstrap.plan` for the op accounting that
+feeds the ``BOOT`` performance workload.
+"""
+
+from repro.ckks.bootstrap.dft import (
+    coeff_to_slot_matrices,
+    grouped_diagonal_sets,
+    slot_to_coeff_matrices,
+    special_dft_matrix,
+)
+from repro.ckks.bootstrap.evalmod import (
+    choose_sine_degree,
+    sine_chebyshev_coeffs,
+    sine_fit_error,
+)
+from repro.ckks.bootstrap.instrument import CountingEvaluator
+from repro.ckks.bootstrap.modraise import mod_raise, overflow_bound
+from repro.ckks.bootstrap.pipeline import (
+    BootstrapConfig,
+    BootstrapKeys,
+    Bootstrapper,
+    generate_bootstrap_keys,
+)
+from repro.ckks.bootstrap.plan import BootstrapPlan, OpCounts
+
+__all__ = [
+    "BootstrapConfig",
+    "BootstrapKeys",
+    "BootstrapPlan",
+    "Bootstrapper",
+    "CountingEvaluator",
+    "OpCounts",
+    "choose_sine_degree",
+    "coeff_to_slot_matrices",
+    "generate_bootstrap_keys",
+    "grouped_diagonal_sets",
+    "mod_raise",
+    "overflow_bound",
+    "sine_chebyshev_coeffs",
+    "sine_fit_error",
+    "slot_to_coeff_matrices",
+    "special_dft_matrix",
+]

@@ -1,0 +1,207 @@
+"""Factored DFT matrices for CoeffToSlot / SlotToCoeff.
+
+CKKS decoding evaluates the message polynomial at the odd ``2N``-th roots
+of unity indexed by powers of five.  For a real polynomial ``u`` the slot
+view factors through the *folded* coefficient vector
+
+    ``v_k = u_k - i * u_{k + N/2}``,   ``slots(u) = E @ v``
+
+with the square special-DFT matrix ``E[j, k] = exp(-i*pi*5^j*k / N)``
+(matching :class:`repro.ckks.encoding.Encoder`'s FFT conventions).
+Bootstrapping needs ``E`` and ``E^{-1}`` evaluated *homomorphically*:
+SlotToCoeff multiplies the slot vector by ``E``; CoeffToSlot by
+``E^{-1}``.
+
+Like the plaintext FFT, ``E`` factors into ``log2(N/2)`` butterfly stages
+whose matrices have only three generalized diagonals ``{0, +h, -h}`` —
+the sparsity that turns an ``O(sqrt(N))``-rotation dense transform into a
+few rotations per stage.  The factorization here is decimation-in-time
+with the bit-reversal permutation *dropped*: CoeffToSlot then produces
+coefficients in bit-reversed slot order, which is invisible to the
+point-wise EvalMod between the two transforms, and SlotToCoeff (built
+from the same stage list applied in reverse) consumes the same order, so
+the permutations cancel exactly.  Grouping consecutive stages trades
+levels (one per grouped factor) against rotations per factor — the knob
+real bootstrapping implementations expose, reproduced here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def _rot_group(num_slots: int) -> np.ndarray:
+    """Root indices ``5^j mod 2N`` for ``j < N/2`` (``N = 2 * num_slots``)."""
+    two_n = 4 * num_slots
+    out = np.empty(num_slots, dtype=np.int64)
+    power = 1
+    for j in range(num_slots):
+        out[j] = power
+        power = power * 5 % two_n
+    return out
+
+
+def special_dft_matrix(num_slots: int) -> np.ndarray:
+    """The dense ``E`` with ``E[j, k] = exp(-i*pi*5^j*k / N)``."""
+    rot = _rot_group(num_slots)
+    n = 2 * num_slots
+    return np.exp(-1j * np.pi * np.outer(rot, np.arange(num_slots)) / n)
+
+
+def _butterfly_stage(num_slots: int, block: int, inverse: bool) -> np.ndarray:
+    """One decimation-in-time butterfly stage (or its inverse) as a matrix.
+
+    ``block`` is the butterfly span (2, 4, ..., num_slots).  The forward
+    stage maps ``out[r] = in[r] + t*in[r+h]``, ``out[r+h] = in[r] -
+    t*in[r+h]`` within each block (``h = block/2``); its inverse is again
+    a three-diagonal butterfly.
+    """
+    m = num_slots
+    rot = _rot_group(m)
+    two_n = 4 * m
+    h = block // 2
+    quad = block * 4
+    gap = two_n // quad
+    mat = np.zeros((m, m), dtype=np.complex128)
+    for base in range(0, m, block):
+        for j in range(h):
+            idx = (int(rot[j]) % quad) * gap
+            t = np.exp(-2j * np.pi * idx / two_n)
+            lo, hi = base + j, base + j + h
+            if inverse:
+                mat[lo, lo] = 0.5
+                mat[lo, hi] = 0.5
+                mat[hi, lo] = 0.5 / t
+                mat[hi, hi] = -0.5 / t
+            else:
+                mat[lo, lo] = 1.0
+                mat[lo, hi] = t
+                mat[hi, lo] = 1.0
+                mat[hi, hi] = -t
+    return mat
+
+
+def _compose(factors: Sequence[np.ndarray]) -> np.ndarray:
+    """Product of factors *in application order* (first applied first)."""
+    total = factors[0]
+    for f in factors[1:]:
+        total = f @ total
+    return total
+
+
+def _balanced_runs(count: int, groups: int) -> List[range]:
+    """Split ``range(count)`` into ``groups`` contiguous runs, larger runs
+    first (earlier factors run at higher levels where towers are cheapest).
+
+    Both the matrix grouping and the structural diagonal accounting use
+    this one partition — the plan-equals-instrumented-run invariant
+    depends on them never diverging.
+    """
+    if not 1 <= groups <= count:
+        raise ParameterError(
+            f"cannot split {count} DFT stages into {groups} groups"
+        )
+    sizes = [count // groups + (1 if i < count % groups else 0)
+             for i in range(groups)]
+    runs: List[range] = []
+    pos = 0
+    for size in sizes:
+        runs.append(range(pos, pos + size))
+        pos += size
+    return runs
+
+
+def _group(matrices: List[np.ndarray], groups: int) -> List[np.ndarray]:
+    """Merge consecutive stage matrices (application order) into factors."""
+    return [
+        _compose([matrices[i] for i in run])
+        for run in _balanced_runs(len(matrices), groups)
+    ]
+
+
+def coeff_to_slot_matrices(num_slots: int, stages: int) -> List[np.ndarray]:
+    """CoeffToSlot factors, in application order (one level each).
+
+    Their product is ``(1/2) * E^{-1}`` up to the internal bit-reversal:
+    applied to the slot view of a raised ciphertext they leave ``v_k / 2``
+    (folded coefficients, halved for the conjugate split) in the slots, in
+    bit-reversed order.
+    """
+    if num_slots < 2:
+        raise ParameterError("CoeffToSlot needs at least 2 slots")
+    blocks = []
+    block = 2
+    while block <= num_slots:
+        blocks.append(block)
+        block *= 2
+    # E = B_K ... B_1 P, so E^{-1} (sans P) applies B_K^{-1} first.
+    inverse_stages = [
+        _butterfly_stage(num_slots, b, inverse=True) for b in reversed(blocks)
+    ]
+    grouped = _group(inverse_stages, stages)
+    grouped[-1] = grouped[-1] * 0.5
+    return grouped
+
+
+def slot_to_coeff_matrices(num_slots: int, stages: int) -> List[np.ndarray]:
+    """SlotToCoeff factors, in application order (one level each).
+
+    Consumes the bit-reversed folded coefficients CoeffToSlot produced
+    (after EvalMod) and returns the slot view — i.e. the product is ``E``
+    restricted to that ordering, cancelling the dropped permutation.
+    """
+    if num_slots < 2:
+        raise ParameterError("SlotToCoeff needs at least 2 slots")
+    blocks = []
+    block = 2
+    while block <= num_slots:
+        blocks.append(block)
+        block *= 2
+    forward_stages = [_butterfly_stage(num_slots, b, inverse=False) for b in blocks]
+    return _group(forward_stages, stages)
+
+
+# -- structural diagonal accounting (no matrices) -------------------------------
+
+
+def stage_diagonal_sets(num_slots: int) -> List[Set[int]]:
+    """Generalized-diagonal index set of each butterfly stage.
+
+    A butterfly of span ``block`` touches diagonals ``{0, +h, -h}`` with
+    ``h = block/2`` (mod the slot count); both the forward stage and its
+    inverse share the set.  Listed smallest block first.
+    """
+    sets: List[Set[int]] = []
+    block = 2
+    while block <= num_slots:
+        h = block // 2
+        sets.append({0, h % num_slots, (num_slots - h) % num_slots})
+        block *= 2
+    return sets
+
+
+def grouped_diagonal_sets(
+    num_slots: int, stages: int, reverse: bool
+) -> List[Set[int]]:
+    """Diagonal sets of the grouped factors, by sumset composition.
+
+    The product of matrices supported on diagonal sets ``D1`` and ``D2``
+    is supported on the sumset ``D1 + D2 (mod slots)`` — exact for these
+    butterflies (twiddle products never cancel a whole diagonal; the
+    functional tests cross-check against the materialized matrices).
+    ``reverse=True`` gives the CoeffToSlot ordering (largest block first).
+    """
+    per_stage = stage_diagonal_sets(num_slots)
+    if reverse:
+        per_stage = list(reversed(per_stage))
+    out: List[Set[int]] = []
+    for run in _balanced_runs(len(per_stage), stages):
+        merged = {0}
+        for i in run:
+            merged = {(a + b) % num_slots for a in merged for b in per_stage[i]}
+        out.append(merged)
+    return out

@@ -1,0 +1,72 @@
+"""EvalMod: approximate ``x mod q_0`` via a Chebyshev sine approximation.
+
+After ModRaise + CoeffToSlot each slot holds ``t = eps + q_tilde * I``
+with ``q_tilde = q_0 / Delta``, integer ``|I| <= K`` and the small message
+residue ``eps``.  Since ``eps`` is exactly ``t mod q_tilde`` (centered),
+and messages are small relative to ``q_tilde``,
+
+    ``eps ~= (q_tilde / 2*pi) * sin(2*pi * t / q_tilde)``
+
+with approximation error ``(2*pi^2/3) * eps^3 / q_tilde^2`` — the reason
+bootstrapping parameters give the base prime extra bits (``q0_bits``).
+The sine is evaluated over ``t / (K * q_tilde) in [-1, 1]`` as a Chebyshev
+series (:func:`repro.ckks.polyeval.evaluate_chebyshev`); monomial
+coefficients of the same fit would grow ``2^degree``-fold and drown the
+fixed-point encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Degrees are capped where the ladder depth stops paying for itself on
+#: the chains this library instantiates (depth 8 = degree 255).
+MAX_SINE_DEGREE = 255
+
+
+def sine_chebyshev_coeffs(periods: int, degree: int) -> np.ndarray:
+    """Chebyshev coefficients of ``sin(2*pi*periods*x) / (2*pi)`` on [-1, 1].
+
+    The caller scales by ``q_tilde`` to obtain EvalMod's target function.
+    Only odd coefficients are non-zero (enforced exactly so the ciphertext
+    ladder skips even terms).
+    """
+    if periods < 1 or degree < 1:
+        raise ParameterError("sine approximation needs periods >= 1, degree >= 1")
+    # Least-squares fit on Chebyshev nodes (well conditioned in this basis).
+    samples = max(4 * (degree + 1), 64)
+    nodes = np.cos(np.pi * (np.arange(samples) + 0.5) / samples)
+    values = np.sin(2.0 * np.pi * periods * nodes) / (2.0 * np.pi)
+    coeffs = np.polynomial.chebyshev.chebfit(nodes, values, degree)
+    coeffs[0::2] = 0.0
+    return coeffs
+
+
+def sine_fit_error(periods: int, coeffs: np.ndarray) -> float:
+    """Max deviation of the fit from ``sin(2*pi*periods*x) / (2*pi)``."""
+    grid = np.linspace(-1.0, 1.0, 4096)
+    approx = np.polynomial.chebyshev.chebval(grid, coeffs)
+    exact = np.sin(2.0 * np.pi * periods * grid) / (2.0 * np.pi)
+    return float(np.max(np.abs(approx - exact)))
+
+
+def choose_sine_degree(periods: int, tol: float = 1e-4) -> int:
+    """Smallest odd degree whose Chebyshev fit meets ``tol``.
+
+    The coefficients are Bessel values ``J_k(2*pi*periods)``, which decay
+    super-exponentially once ``k`` passes ``2*pi*periods`` — the search
+    starts there and grows by ladder-friendly increments.
+    """
+    base = int(np.ceil(2.0 * np.pi * periods))
+    degree = base | 1
+    while degree <= MAX_SINE_DEGREE:
+        coeffs = sine_chebyshev_coeffs(periods, degree)
+        if sine_fit_error(periods, coeffs) <= tol:
+            return degree
+        degree += 8
+    raise ParameterError(
+        f"no sine fit under {tol:g} for {periods} periods within degree "
+        f"{MAX_SINE_DEGREE} (reduce the secret's hamming_weight)"
+    )

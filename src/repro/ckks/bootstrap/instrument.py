@@ -1,0 +1,97 @@
+"""Instrumentation: count homomorphic ops of a real circuit execution.
+
+:class:`CountingEvaluator` is a drop-in :class:`~repro.ckks.evaluator.
+Evaluator` that tallies every operation it performs.  Running the actual
+bootstrap pipeline under it yields the measured op profile the structural
+:class:`~repro.ckks.bootstrap.plan.BootstrapPlan` must reproduce — the
+tests pin the two together, which is what lets the ``BOOT`` accelerator
+workload claim its HKS count is "derived from the real circuit".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ckks.bootstrap.plan import OpCounts
+from repro.ckks.encrypt import Ciphertext
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeySwitchKey
+from repro.rns.poly import RNSPoly
+
+
+class CountingEvaluator(Evaluator):
+    """Evaluator that counts rotations, multiplies, additions and rescales.
+
+    Rotations that normalize to zero steps are not counted (they perform
+    no key switch); hoisted batches count one rotation per produced
+    ciphertext, since each still pays ApplyKey + ModDown.
+    """
+
+    def __init__(self, context):
+        super().__init__(context)
+        self.counters: Dict[str, int] = {
+            "rotations": 0,
+            "conjugations": 0,
+            "ct_multiplies": 0,
+            "pt_multiplies": 0,
+            "additions": 0,
+            "rescales": 0,
+        }
+
+    def snapshot(self) -> OpCounts:
+        c = self.counters
+        return OpCounts(
+            rotations=c["rotations"],
+            conjugations=c["conjugations"],
+            ct_multiplies=c["ct_multiplies"],
+            pt_multiplies=c["pt_multiplies"],
+            additions=c["additions"],
+            rescales=c["rescales"],
+        )
+
+    def reset(self) -> None:
+        for key in self.counters:
+            self.counters[key] = 0
+
+    # -- counted operations ---------------------------------------------------
+
+    def rotate(self, x: Ciphertext, steps: int, galois_key) -> Ciphertext:
+        if steps % (self.context.params.n // 2) != 0:
+            self.counters["rotations"] += 1
+        return super().rotate(x, steps, galois_key)
+
+    def hoisted_rotations(self, x: Ciphertext,
+                          galois_keys: Dict[int, KeySwitchKey]):
+        self.counters["rotations"] += len(galois_keys)
+        return super().hoisted_rotations(x, galois_keys)
+
+    def conjugate(self, x: Ciphertext, conj_key: KeySwitchKey) -> Ciphertext:
+        self.counters["conjugations"] += 1
+        return super().conjugate(x, conj_key)
+
+    def multiply(self, x: Ciphertext, y: Ciphertext,
+                 relin_key: KeySwitchKey) -> Ciphertext:
+        self.counters["ct_multiplies"] += 1
+        return super().multiply(x, y, relin_key)
+
+    def multiply_plain(self, x: Ciphertext, plaintext: RNSPoly,
+                       plain_scale=None) -> Ciphertext:
+        self.counters["pt_multiplies"] += 1
+        return super().multiply_plain(x, plaintext, plain_scale)
+
+    def add(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        self.counters["additions"] += 1
+        return super().add(x, y)
+
+    def sub(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        self.counters["additions"] += 1
+        return super().sub(x, y)
+
+    def add_plain(self, x: Ciphertext, plaintext: RNSPoly,
+                  plain_scale=None) -> Ciphertext:
+        self.counters["additions"] += 1
+        return super().add_plain(x, plaintext, plain_scale)
+
+    def rescale(self, x: Ciphertext) -> Ciphertext:
+        self.counters["rescales"] += 1
+        return super().rescale(x)

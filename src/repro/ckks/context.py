@@ -48,6 +48,14 @@ class CKKSParams:
     p_bits: int = 29
     scale_bits: int = 26
     error_std: float = 3.2
+    #: Bit size of the base prime ``q_0`` (defaults to ``q_bits``).  A wider
+    #: base prime gives bootstrapping its headroom: EvalMod's sine
+    #: approximation error shrinks with ``q_0 / Delta``.
+    q0_bits: int | None = None
+    #: Hamming weight of the ternary secret (``None`` = dense ternary).
+    #: Bootstrapping uses a sparse secret so that the ModRaise overflow
+    #: polynomial ``I`` stays small: ``|I| <= (h + 1) / 2``.
+    hamming_weight: int | None = None
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.n):
@@ -60,6 +68,14 @@ class CKKSParams:
             )
         if self.scale_bits >= self.q_bits + 3:
             raise ParameterError("scale must not exceed the prime size")
+        if self.q0_bits is not None and self.q0_bits < self.q_bits:
+            raise ParameterError(
+                f"q0_bits={self.q0_bits} must be >= q_bits={self.q_bits}"
+            )
+        if self.hamming_weight is not None and not 1 <= self.hamming_weight <= self.n:
+            raise ParameterError(
+                f"hamming_weight={self.hamming_weight} out of range [1, {self.n}]"
+            )
 
     @property
     def alpha(self) -> int:
@@ -82,7 +98,13 @@ class CKKSContext:
     def __init__(self, params: CKKSParams):
         self.params = params
         n = params.n
-        q_moduli = generate_primes(params.num_levels, n, params.q_bits)
+        if params.q0_bits is not None and params.q0_bits != params.q_bits:
+            q0 = generate_primes(1, n, params.q0_bits)
+            q_moduli = q0 + generate_primes(
+                params.num_levels - 1, n, params.q_bits, distinct_from=q0
+            )
+        else:
+            q_moduli = generate_primes(params.num_levels, n, params.q_bits)
         p_moduli = generate_primes(
             params.num_aux, n, params.p_bits, distinct_from=q_moduli
         )

@@ -141,10 +141,34 @@ class Evaluator:
     # -- rotations ---------------------------------------------------------------
 
     def rotate(self, x: Ciphertext, steps: int,
-               galois_key: KeySwitchKey) -> Ciphertext:
-        """Cyclic slot rotation by ``steps`` (the other HKS call site)."""
+               galois_key: KeySwitchKey | None) -> Ciphertext:
+        """Cyclic slot rotation by ``steps`` (the other HKS call site).
+
+        ``steps`` is reduced modulo the slot count (``N/2``); a rotation
+        that normalizes to zero returns a copy without touching the key —
+        the Galois element would be 1, so a full hybrid key switch would
+        only add noise for a no-op.  ``galois_key`` may be ``None`` in
+        that case.
+        """
+        steps %= self.context.params.n // 2
+        if steps == 0:
+            return x.copy()
+        if galois_key is None:
+            raise KeySwitchError(f"rotation by {steps} steps needs a Galois key")
         g = rotation_galois_element(steps, self.context.params.n)
         return self.apply_galois(x, g, galois_key)
+
+    def hoisted_rotations(self, x: Ciphertext,
+                          galois_keys: Dict[int, KeySwitchKey]
+                          ) -> Dict[int, Ciphertext]:
+        """Rotate ``x`` by every step in ``galois_keys`` sharing one ModUp.
+
+        Thin dispatch to :func:`repro.ckks.hoisting.hoisted_rotations`;
+        routing it through the evaluator lets instrumentation (and
+        subclasses) observe batched rotations the same way as single ones.
+        """
+        from repro.ckks.hoisting import hoisted_rotations
+        return hoisted_rotations(self.context, x, galois_keys)
 
     def conjugate(self, x: Ciphertext, conj_key: KeySwitchKey) -> Ciphertext:
         return self.apply_galois(x, 2 * self.context.params.n - 1, conj_key)

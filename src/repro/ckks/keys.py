@@ -29,6 +29,21 @@ def sample_ternary(n: int, rng: np.random.Generator) -> np.ndarray:
     return rng.integers(-1, 2, n, dtype=np.int64)
 
 
+def sample_sparse_ternary(n: int, weight: int,
+                          rng: np.random.Generator) -> np.ndarray:
+    """Ternary coefficients with exactly ``weight`` non-zeros (signs uniform).
+
+    Sparse secrets bound the ModRaise overflow polynomial: after lifting a
+    level-0 ciphertext to the full chain, ``c0 + c1*s = m + e + q_0*I``
+    with ``|I| <= (weight + 1) / 2`` — the interval EvalMod's sine
+    approximation must cover during bootstrapping.
+    """
+    coeffs = np.zeros(n, dtype=np.int64)
+    support = rng.choice(n, size=weight, replace=False)
+    coeffs[support] = rng.choice(np.array([-1, 1], dtype=np.int64), size=weight)
+    return coeffs
+
+
 def sample_error(n: int, std: float, rng: np.random.Generator) -> np.ndarray:
     """Rounded Gaussian error coefficients."""
     return np.round(rng.normal(0.0, std, n)).astype(np.int64)
@@ -88,7 +103,12 @@ class KeyGenerator:
         self.context = context
         self.rng = np.random.default_rng(seed)
         n = context.params.n
-        self.secret_key = SecretKey(sample_ternary(n, self.rng), context)
+        weight = context.params.hamming_weight
+        coeffs = (
+            sample_ternary(n, self.rng) if weight is None
+            else sample_sparse_ternary(n, weight, self.rng)
+        )
+        self.secret_key = SecretKey(coeffs, context)
 
     # -- encryption keys ---------------------------------------------------------
 

@@ -22,7 +22,6 @@ from repro.ckks.context import CKKSContext
 from repro.ckks.encoding import Encoder
 from repro.ckks.encrypt import Ciphertext
 from repro.ckks.evaluator import Evaluator
-from repro.ckks.hoisting import hoisted_rotations
 from repro.ckks.keys import KeyGenerator, KeySwitchKey
 from repro.errors import EncodingError, ParameterError
 
@@ -57,6 +56,10 @@ class LinearTransform:
         self.giant = int(math.ceil(dim / self.baby))
         #: encoded, pre-rotated diagonals keyed by (giant i, baby j).
         self._diagonals: Dict[tuple, Optional[np.ndarray]] = {}
+        #: plaintext encodings of the diagonals keyed by (i, j, level) — a
+        #: transform evaluated repeatedly at one level (every bootstrap
+        #: call, every BSGS giant step) encodes each diagonal only once.
+        self._encoded: Dict[tuple, "object"] = {}
         self._prepare()
 
     def _diagonal(self, d: int) -> np.ndarray:
@@ -80,9 +83,28 @@ class LinearTransform:
                 # the plaintext product, so the diagonal is pre-rotated back.
                 self._diagonals[(i, j)] = np.roll(diag, self.baby * i)
 
+    def _encoded_diagonal(self, i: int, j: int, level: int):
+        """Cached encoding of diagonal ``(i, j)`` at ``level`` (scale Delta)."""
+        key = (i, j, level)
+        pt = self._encoded.get(key)
+        if pt is None:
+            pt = self.encoder.encode(self._diagonals[(i, j)], level=level)
+            self._encoded[key] = pt
+        return pt
+
     def required_rotations(self) -> Dict[str, List[int]]:
-        """Baby and (non-zero) giant rotation steps needed for evaluation."""
-        baby = [j for j in range(1, self.baby)]
+        """Baby and giant rotation steps actually used by non-zero diagonals.
+
+        Baby steps a zero diagonal would have used are pruned — for sparse
+        matrices (e.g. the factored DFT stages of bootstrapping, three
+        diagonals each) this is the difference between ``O(sqrt(D))`` and
+        ``O(1)`` rotations per stage.
+        """
+        baby = sorted({
+            j
+            for (i, j), diag in self._diagonals.items()
+            if diag is not None and j > 0
+        })
         giant = [
             self.baby * i
             for i in range(1, self.giant)
@@ -111,8 +133,8 @@ class LinearTransform:
         if steps:
             if hoist:
                 baby_cts.update(
-                    hoisted_rotations(
-                        evaluator.context, ct, {j: baby_keys[j] for j in steps}
+                    evaluator.hoisted_rotations(
+                        ct, {j: baby_keys[j] for j in steps}
                     )
                 )
             else:
@@ -127,7 +149,7 @@ class LinearTransform:
                 diag = self._diagonals.get((i, j))
                 if diag is None:
                     continue
-                pt = self.encoder.encode(diag, level=ct.level)
+                pt = self._encoded_diagonal(i, j, ct.level)
                 term = evaluator.multiply_plain(baby_cts[j], pt)
                 inner = term if inner is None else evaluator.add(inner, term)
             if inner is None:

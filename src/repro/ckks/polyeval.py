@@ -1,14 +1,20 @@
-"""Polynomial evaluation on ciphertexts (Horner and power-basis BSGS).
+"""Polynomial evaluation on ciphertexts (Horner, power-basis and Chebyshev).
 
 Evaluating activation-function approximations is the other big consumer
 of ciphertext multiplications (and hence relinearization key switches) in
-private inference.  Two evaluators are provided:
+private inference.  Three evaluators are provided:
 
 * :func:`evaluate_horner` — depth = degree, minimal ciphertext state;
 * :func:`evaluate_power_basis` — precomputes ``x^2, x^4, ...`` and
-  combines them (fewer levels for the same degree on shallow chains).
+  combines them (fewer levels for the same degree on shallow chains);
+* :func:`evaluate_chebyshev` — Chebyshev-basis evaluation for
+  numerically stable high degrees.  Monomial coefficients of a good
+  ``sin`` approximation grow like ``2^degree`` and cancel catastrophically
+  under CKKS's fixed-point encoding; Chebyshev terms stay bounded by 1 on
+  the domain, which is what makes bootstrapping's EvalMod (degree ~60)
+  possible at all.
 
-Both manage CKKS scales explicitly: every ciphertext-ciphertext or
+All manage CKKS scales explicitly: every ciphertext-ciphertext or
 ciphertext-plaintext product is followed by a rescale, and constants are
 encoded at the running scale so additions stay aligned.
 """
@@ -16,6 +22,7 @@ encoded at the running scale so additions stay aligned.
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -26,14 +33,35 @@ from repro.ckks.keys import KeySwitchKey
 from repro.errors import ParameterError
 from repro.rns.poly import RNSPoly
 
+#: Per-encoder cache of constant plaintexts keyed by (value, level, scale).
+#: Encoding broadcasts a value into every slot and runs a length-2N FFT —
+#: a measurable hot-path cost when BSGS and EvalMod re-add the same
+#: constants at the same (level, scale) thousands of times per bootstrap.
+_CONSTANT_CACHE: "WeakKeyDictionary[Encoder, Dict[tuple, RNSPoly]]" = (
+    WeakKeyDictionary()
+)
 
-def _encode_constant(encoder: Encoder, value: float, level: int,
+_CONSTANT_CACHE_MAX = 4096
+
+
+def _encode_constant(encoder: Encoder, value: complex, level: int,
                      scale: float) -> RNSPoly:
-    return encoder.encode([value] * encoder.num_slots, level=level, scale=scale)
+    per_encoder = _CONSTANT_CACHE.get(encoder)
+    if per_encoder is None:
+        per_encoder = {}
+        _CONSTANT_CACHE[encoder] = per_encoder
+    key = (complex(value), level, float(scale))
+    pt = per_encoder.get(key)
+    if pt is None:
+        if len(per_encoder) >= _CONSTANT_CACHE_MAX:
+            per_encoder.clear()
+        pt = encoder.encode([value] * encoder.num_slots, level=level, scale=scale)
+        per_encoder[key] = pt
+    return pt
 
 
 def _add_constant(evaluator: Evaluator, encoder: Encoder, ct: Ciphertext,
-                  value: float) -> Ciphertext:
+                  value: complex) -> Ciphertext:
     pt = _encode_constant(encoder, value, ct.level, ct.scale)
     return evaluator.add_plain(ct, pt, plain_scale=ct.scale)
 
@@ -133,6 +161,171 @@ def evaluate_power_basis(
         term = _drop_to_level(evaluator, term, deepest)
         total = term if total is None else evaluator.add(total, term)
     return _add_constant(evaluator, encoder, total, coeffs[0])
+
+
+# -- Chebyshev basis -----------------------------------------------------------
+
+
+def chebyshev_ladder_order(coefficients: Sequence[complex]) -> List[int]:
+    """Build order of the scaled-Chebyshev terms ``S_k = 2*T_k`` needed to
+    evaluate the given coefficient vector (index = Chebyshev degree).
+
+    The ladder builds ``S_k`` from ``S_ceil(k/2)`` and ``S_floor(k/2)`` via
+
+        ``S_2m = S_m^2 - 2``   and   ``S_2m+1 = S_m+1 * S_m - S_1``
+
+    so each term needs its two halves (and ``S_1`` when odd).  Returns the
+    dependency closure of all non-zero coefficient indices ``>= 1`` in
+    ascending order — every entry after ``S_1`` costs exactly one
+    ciphertext multiply, so ``len(order) - 1`` is the relinearization-HKS
+    count of the evaluation (the number the BOOT workload model needs).
+    """
+    needed = {k for k, c in enumerate(coefficients) if k >= 1 and c != 0}
+    if not needed:
+        return []
+    work = set(needed)
+    closure = set()
+    while work:
+        k = work.pop()
+        if k in closure:
+            continue
+        closure.add(k)
+        if k > 1:
+            deps = {(k + 1) // 2, k // 2}
+            if k % 2 == 1:
+                deps.add(1)
+            work.update(deps - closure)
+    return sorted(closure)
+
+
+def chebyshev_depth(coefficients: Sequence[complex]) -> int:
+    """Multiplicative levels :func:`evaluate_chebyshev` consumes for
+    ``coefficients`` when given a prescaled input (``S_1`` directly):
+    ``ceil(log2 k_max)`` for the ladder plus one for the combine."""
+    order = chebyshev_ladder_order(coefficients)
+    if not order:
+        return 0
+    k_max = order[-1]
+    return max(1, (k_max - 1).bit_length()) + 1
+
+
+def _match_scale(evaluator: Evaluator, encoder: Encoder, ct: Ciphertext,
+                 level: int, target_scale: float) -> Ciphertext:
+    """Bring ``ct`` to ``level`` and *exactly* ``target_scale``.
+
+    Uses one plaintext multiply without a rescale, so unlike
+    :func:`_scale_correct` it costs no level — the caller's subsequent
+    rescale absorbs it.  Only valid when the scale grows (``corr >= 1``).
+    """
+    ct = _drop_to_level(evaluator, ct, level)
+    corr = target_scale / ct.scale
+    if abs(corr - 1.0) < 1e-12:
+        return ct
+    if corr < 1.0:
+        raise ParameterError(
+            f"cannot match scale {ct.scale:g} down to {target_scale:g}"
+        )
+    pt = encoder.encode([1.0] * encoder.num_slots, level=level, scale=corr)
+    out = evaluator.multiply_plain(ct, pt, plain_scale=corr)
+    # Rebuild with the exact float target: corr was rounded, and additions
+    # tolerate at most 0.5 of absolute scale mismatch.
+    return Ciphertext(out.c0, out.c1, level, target_scale)
+
+
+def evaluate_chebyshev(
+    evaluator: Evaluator,
+    encoder: Encoder,
+    ct: Ciphertext,
+    coefficients: Sequence[complex],
+    relin_key: KeySwitchKey,
+    prescaled: bool = False,
+) -> Ciphertext:
+    """``p(x) = sum_k c_k T_k(x)`` for slot values ``x`` in ``[-1, 1]``.
+
+    ``coefficients`` are Chebyshev-basis (index = degree; complex allowed —
+    bootstrapping's imaginary branch folds ``i`` into them).  Internally
+    the scaled basis ``S_k = 2*T_k`` is used: its recurrences are pure
+    multiply-subtract, and the subtrahend is scale-matched *before* the
+    rescale, so every ladder rung costs exactly one level regardless of
+    the small scale drift real prime chains exhibit.
+
+    With ``prescaled=True`` the input ciphertext must already hold
+    ``2x`` (callers that normalize their input with a plaintext multiply
+    anyway — EvalMod — fold the doubling in for free); otherwise one
+    level is spent doubling.
+    """
+    coeffs = [complex(c) for c in coefficients]
+    order = chebyshev_ladder_order(coeffs)
+    if not order:
+        zero = evaluator.sub(ct, ct)
+        return _add_constant(evaluator, encoder, zero,
+                             coeffs[0] if coeffs else 0.0)
+
+    if prescaled:
+        s1 = ct
+    else:
+        # S_1 = 2x via a scale-preserving constant multiply (one level).
+        q_top = evaluator.context.q_basis.moduli[ct.level]
+        pt = _encode_constant(encoder, 2.0, ct.level, float(q_top))
+        s1 = evaluator.rescale(
+            evaluator.multiply_plain(ct, pt, plain_scale=float(q_top))
+        )
+    terms: Dict[int, Ciphertext] = {1: s1}
+
+    for k in order:
+        if k == 1:
+            continue
+        hi, lo = (k + 1) // 2, k // 2
+        a, b = terms[hi], terms[lo]
+        level = min(a.level, b.level)
+        if level < 1:
+            raise ParameterError(
+                f"chebyshev degree {order[-1]} exhausts the level budget"
+            )
+        a = _drop_to_level(evaluator, a, level)
+        b = _drop_to_level(evaluator, b, level)
+        prod = evaluator.multiply(a, b, relin_key)
+        if k % 2 == 0:
+            # S_2m = S_m^2 - 2: subtract the constant at the product scale.
+            pt = _encode_constant(encoder, -2.0, level, prod.scale)
+            sub = evaluator.add_plain(prod, pt)
+        else:
+            # S_2m+1 = S_m+1 * S_m - S_1.
+            s1_matched = _match_scale(evaluator, encoder, terms[1], level,
+                                      prod.scale)
+            sub = evaluator.sub(prod, s1_matched)
+        terms[k] = evaluator.rescale(sub)
+
+    # Combine: encode c_k/2 at a corrective scale so every term rescales
+    # to exactly Delta (the power-basis trick), then align and sum.
+    delta = evaluator.context.params.scale
+    parts: List[Ciphertext] = []
+    for k in order:
+        if k >= len(coeffs) or coeffs[k] == 0:
+            continue
+        s_k = terms[k]
+        if s_k.level < 1:
+            raise ParameterError("chebyshev combine ran out of levels")
+        q_next = evaluator.context.q_basis.moduli[s_k.level]
+        plain_scale = delta * q_next / s_k.scale
+        pt = encoder.encode(
+            [coeffs[k] / 2.0] * encoder.num_slots,
+            level=s_k.level, scale=plain_scale,
+        )
+        part = evaluator.rescale(
+            evaluator.multiply_plain(s_k, pt, plain_scale=plain_scale)
+        )
+        parts.append(Ciphertext(part.c0, part.c1, part.level, delta))
+    deepest = min(p.level for p in parts)
+    total = None
+    for part in parts:
+        part = _drop_to_level(evaluator, part, deepest)
+        total = part if total is None else evaluator.add(total, part)
+    c0 = coeffs[0]
+    if c0 != 0:
+        pt = _encode_constant(encoder, c0, total.level, total.scale)
+        total = evaluator.add_plain(total, pt)
+    return total
 
 
 # -- level/scale alignment helpers ---------------------------------------------

@@ -1,0 +1,51 @@
+"""Bootstrapping experiment: the BOOT workload across schedules/backends.
+
+The paper's HKS analysis exists because of bootstrapping-class workloads —
+ARK/BTS-style accelerators are sized around the thousands of key switches
+one bootstrap performs.  This experiment prices exactly the circuit the
+functional layer runs (op counts derived from the bootstrap plan, see
+:func:`repro.workloads.bootstrap_workload`) on all three dataflow
+schedules, with keys on-chip and streamed, and reports the per-stage HKS
+breakdown the benchmark harness also emits.
+"""
+
+from __future__ import annotations
+
+from repro.api import estimate
+from repro.experiments.report import ExperimentResult
+from repro.workloads import bootstrap_workload
+
+
+def run() -> ExperimentResult:
+    workload = bootstrap_workload()
+    rows = []
+    for evk_on_chip in (True, False):
+        reports = estimate("BOOT", backend="rpu", schedule="all",
+                           evk_on_chip=evk_on_chip)
+        for report in reports:
+            rows.append(
+                {
+                    "schedule": report.schedule,
+                    "evks": "on-chip" if evk_on_chip else "streamed",
+                    "hks_calls": report.hks_calls,
+                    "GB": round(report.total_bytes / 1e9, 1),
+                    "AI": round(report.arithmetic_intensity, 2),
+                    "latency_s": round(report.latency_ms / 1e3, 2),
+                    "idle_%": round(report.compute_idle_fraction * 100, 1),
+                }
+            )
+    mix = workload.mix
+    notes = [
+        workload.description,
+        f"op mix: {mix.rotations} rotations+conj, {mix.ct_multiplies} "
+        f"ct-mults, {mix.pt_multiplies} pt-mults, {mix.additions} adds",
+        "HKS counts derive from the same BootstrapPlan the functional "
+        "pipeline is instrumentation-tested against (tests/test_bootstrap.py)",
+    ]
+    return ExperimentResult(
+        experiment="bootstrap",
+        description="one full CKKS bootstrap (BOOT workload) on the RPU: "
+                    "all schedules, evks on-chip vs streamed, 64 GB/s",
+        rows=rows,
+        notes=notes,
+    )

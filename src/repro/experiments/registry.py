@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.experiments import (
+    bootstrap,
     crossover,
     extras,
     facade,
@@ -40,6 +41,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "ablation": extras.run_budget_ablation,
     "crossover": crossover.run,
     "backends": facade.run,
+    "bootstrap": bootstrap.run,
 }
 
 

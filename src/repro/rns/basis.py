@@ -91,6 +91,31 @@ class RNSBasis:
             out[row] = [v % q for v in vals]
         return out
 
+    def convert_centered(self, residues: np.ndarray, target: "RNSBasis") -> np.ndarray:
+        """Exact basis extension via the centered representative.
+
+        Interprets ``residues`` (shape ``(len(self), N)``) as integers in
+        ``(-Q/2, Q/2]`` and re-decomposes them into ``target``.  This is
+        the ModRaise entry point of bootstrapping: a level-0 ciphertext's
+        towers are lifted into the full chain, which changes its value by
+        a multiple-of-``Q`` overflow polynomial that EvalMod later removes.
+        Unlike :mod:`repro.rns.bconv` this conversion is exact, not
+        approximate — ModRaise happens once per bootstrap, off the HKS
+        hot path, so it can afford full CRT composition.
+        """
+        residues = np.asarray(residues)
+        if len(self.moduli) == 1:
+            # Fast path for the common level-0 lift: no CRT needed.
+            q = self.moduli[0]
+            half = q // 2
+            centered_row = np.where(residues[0] > half, residues[0] - q, residues[0])
+            out = np.empty((len(target.moduli), residues.shape[1]), dtype=_INT64)
+            for row, t in enumerate(target.moduli):
+                out[row] = centered_row % t
+            return out
+        ints = self.compose(residues, centered=True)
+        return target.decompose(ints)
+
     def compose(self, residues: np.ndarray, centered: bool = True) -> np.ndarray:
         """Residue matrix ``(len(basis), N)`` -> exact integers (object array).
 

@@ -10,7 +10,8 @@ that claim can be reproduced quantitatively on the same simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from functools import lru_cache
+from typing import Callable, Dict, List
 
 from repro.core import DataflowConfig, get_dataflow
 from repro.core.stages import ntt_tower_ops
@@ -40,6 +41,106 @@ class HEOpMix:
         if min(self.rotations, self.ct_multiplies, self.pt_multiplies,
                self.additions) < 0:
             raise ParameterError("operation counts must be non-negative")
+
+
+@dataclass(frozen=True)
+class CompositeWorkload:
+    """A whole application circuit priced as op counts x per-op costs.
+
+    ``spec`` fixes the per-key-switch parameterization (ring, towers,
+    digits); ``mix`` counts how often each homomorphic operation runs.
+    Conjugations are folded into ``mix.rotations`` — an automorphism plus
+    a hybrid key switch either way.
+    """
+
+    name: str
+    spec: BenchmarkSpec
+    mix: HEOpMix
+    description: str = ""
+
+    @property
+    def hks_calls(self) -> int:
+        """Every rotation and ciphertext multiply is one hybrid key switch."""
+        return self.mix.rotations + self.mix.ct_multiplies
+
+
+#: The BOOT workload's per-HKS parameterization: ARK's Table III point.
+_BOOT_SPEC = BenchmarkSpec("BOOT", log_n=16, kl=24, kp=6, dnum=4)
+
+#: Modelled secret Hamming weight of the accelerator-scale bootstrap.
+_BOOT_SECRET_WEIGHT = 24
+
+
+@lru_cache(maxsize=None)
+def bootstrap_plan():
+    """The accelerator-scale bootstrap circuit shape (32k slots).
+
+    The same :class:`~repro.ckks.bootstrap.plan.BootstrapPlan` arithmetic
+    the functional pipeline is instrumentation-tested against, evaluated
+    at ``N = 2^16`` with the DFT split into 3 + 3 grouped factors and the
+    EvalMod degree chosen by the same sine-fit rule the pipeline uses.
+    """
+    from repro.ckks.bootstrap.evalmod import choose_sine_degree
+    from repro.ckks.bootstrap.plan import BootstrapPlan
+
+    periods = -(-(_BOOT_SECRET_WEIGHT + 1) // 2) + 1  # ceil(bound) + 1
+    return BootstrapPlan.from_shape(
+        num_slots=_BOOT_SPEC.n // 2,
+        cts_stages=3,
+        stc_stages=3,
+        sine_periods=periods,
+        sine_degree=choose_sine_degree(periods, tol=1e-5),
+    )
+
+
+@lru_cache(maxsize=None)
+def bootstrap_workload() -> CompositeWorkload:
+    """The ``BOOT`` workload: one full CKKS bootstrap at accelerator scale.
+
+    Operation counts are *derived from the real circuit* via
+    :func:`bootstrap_plan`; every rotation, conjugation and
+    relinearization is one hybrid key switch.
+    """
+    spec = _BOOT_SPEC
+    plan = bootstrap_plan()
+    ops = plan.op_counts()
+    mix = HEOpMix(
+        rotations=ops.rotations + ops.conjugations,
+        ct_multiplies=ops.ct_multiplies,
+        pt_multiplies=ops.pt_multiplies,
+        additions=ops.additions,
+    )
+    return CompositeWorkload(
+        name="BOOT",
+        spec=spec,
+        mix=mix,
+        description=(
+            f"one CKKS bootstrap at N=2^16: {ops.hks_calls} HKS calls "
+            f"({ops.rotations} rotations, {ops.conjugations} conjugation, "
+            f"{ops.ct_multiplies} relinearizations), sine degree "
+            f"{plan.sine_degree}"
+        ),
+    )
+
+
+#: Named composite workloads estimable via ``repro.api.estimate``.
+WORKLOADS: Dict[str, Callable[[], CompositeWorkload]] = {
+    "BOOT": bootstrap_workload,
+}
+
+
+def get_workload(name: str) -> CompositeWorkload:
+    """Look up a composite workload by (case-insensitive) name."""
+    key = name.upper()
+    if key not in WORKLOADS:
+        raise ParameterError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        )
+    return WORKLOADS[key]()
+
+
+def list_workloads() -> List[str]:
+    return sorted(WORKLOADS)
 
 
 def build_pointwise_graph(spec: BenchmarkSpec, kind: str) -> TaskGraph:

@@ -40,7 +40,8 @@ def max_err(cv: CipherVector, expected) -> float:
 class TestPresets:
     def test_known_presets_build_params(self):
         for name in list_presets():
-            assert get_preset(name).n >= 256
+            # every preset is a valid CKKSParams with a usable ring
+            assert get_preset(name).n >= 128
 
     def test_override(self):
         assert get_preset("tiny_ci", num_levels=4).num_levels == 4

@@ -193,3 +193,50 @@ class TestRotations:
         total = evaluator.add(ct, evaluator.rotate(ct, 1, key))
         expected = z + np.roll(z, -1)
         assert decode_error(encoder, decryptor, total, expected) < 2e-2
+
+
+class TestRotationNormalization:
+    """Regression: rotations reduce modulo the slot count, and a zero
+    rotation must not burn a hybrid key switch (it used to)."""
+
+    def test_zero_steps_needs_no_key(self, encoder, encryptor, evaluator, rng):
+        z = slots(encoder, rng)
+        ct = encryptor.encrypt(encoder.encode(z))
+        out = evaluator.rotate(ct, 0, None)
+        assert np.array_equal(out.c0.data, ct.c0.data)
+        assert np.array_equal(out.c1.data, ct.c1.data)
+        assert out.c0.data is not ct.c0.data  # a copy, not an alias
+
+    def test_full_turn_is_identity(self, encoder, encryptor, evaluator, rng):
+        z = slots(encoder, rng)
+        ct = encryptor.encrypt(encoder.encode(z))
+        out = evaluator.rotate(ct, encoder.num_slots, None)
+        assert np.array_equal(out.c0.data, ct.c0.data)
+
+    def test_zero_rotation_adds_no_noise(self, context, keygen, encoder,
+                                         encryptor, evaluator, rng):
+        from repro.ckks.noise import measure_noise
+
+        z = slots(encoder, rng)
+        ct = encryptor.encrypt(encoder.encode(z))
+        out = evaluator.rotate(ct, 0, None)
+        assert measure_noise(context, keygen.secret_key, out, z) == \
+            measure_noise(context, keygen.secret_key, ct, z)
+
+    def test_steps_reduced_modulo_slots(self, encoder, encryptor, decryptor,
+                                        evaluator, keygen, rng):
+        z = slots(encoder, rng)
+        key = keygen.rotation_key(3)
+        ct = encryptor.encrypt(encoder.encode(z))
+        a = evaluator.rotate(ct, 3, key)
+        b = evaluator.rotate(ct, 3 + encoder.num_slots, key)
+        assert np.array_equal(a.c0.data, b.c0.data)
+        assert decode_error(encoder, decryptor, b, np.roll(z, -3)) < 1e-2
+
+    def test_missing_key_for_real_rotation_rejected(self, encoder, encryptor,
+                                                    evaluator, rng):
+        from repro.errors import KeySwitchError
+
+        ct = encryptor.encrypt(encoder.encode(slots(encoder, rng)))
+        with pytest.raises(KeySwitchError):
+            evaluator.rotate(ct, 1, None)

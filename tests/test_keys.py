@@ -83,3 +83,35 @@ class TestGaloisElements:
     def test_rotation_element_is_odd(self):
         for steps in range(8):
             assert rotation_galois_element(steps, 128) % 2 == 1
+
+
+class TestSparseSecrets:
+    def test_sample_sparse_ternary_weight(self):
+        from repro.ckks.keys import sample_sparse_ternary
+
+        rng = np.random.default_rng(0)
+        coeffs = sample_sparse_ternary(256, 16, rng)
+        assert np.count_nonzero(coeffs) == 16
+        assert set(np.unique(coeffs)) <= {-1, 0, 1}
+
+    def test_keygen_respects_hamming_weight(self):
+        from repro.ckks.context import CKKSContext, CKKSParams
+
+        ctx = CKKSContext(CKKSParams(n=128, hamming_weight=8))
+        kg = KeyGenerator(ctx, seed=3)
+        assert np.count_nonzero(kg.secret_key.coeffs) == 8
+
+    def test_sparse_secret_still_decrypts(self):
+        from repro.ckks.context import CKKSContext, CKKSParams
+        from repro.ckks.encoding import Encoder
+        from repro.ckks.encrypt import Decryptor, Encryptor
+
+        ctx = CKKSContext(CKKSParams(n=128, hamming_weight=8))
+        kg = KeyGenerator(ctx, seed=3)
+        encoder = Encoder(ctx)
+        encryptor = Encryptor(ctx, kg.public_key(), seed=4)
+        decryptor = Decryptor(ctx, kg.secret_key)
+        z = np.linspace(-0.5, 0.5, encoder.num_slots)
+        ct = encryptor.encrypt(encoder.encode(z))
+        got = encoder.decode(decryptor.decrypt(ct), scale=ct.scale)
+        assert np.max(np.abs(got - z)) < 1e-3

@@ -95,3 +95,51 @@ class TestEvaluation:
         ct = encryptor.encrypt(encoder.encode(tiled(encoder, rng.uniform(-1, 1, dim))))
         out = transform.evaluate(evaluator, ct, baby, giant)
         assert out.level == ct.level - 1
+
+
+class TestSparseMatrixRotations:
+    """Baby steps are pruned to those non-zero diagonals actually use —
+    the win that makes factored DFT stages cheap."""
+
+    def test_sparse_diagonal_matrix_needs_few_rotations(self, encoder):
+        dim = 16
+        matrix = np.zeros((dim, dim))
+        idx = np.arange(dim)
+        matrix[idx, idx] = 1.0            # diagonal 0
+        matrix[idx, (idx + 8) % dim] = 0.5  # diagonal 8
+        transform = LinearTransform(encoder, matrix)
+        needed = transform.required_rotations()
+        # diagonal 8 = giant 2*baby(4) + baby 0: no baby rotations at all.
+        assert needed["baby"] == []
+        assert needed["giant"] == [8]
+
+    def test_sparse_evaluation_correct(self, encoder, encryptor, decryptor,
+                                       evaluator, keygen, rng):
+        dim = 16
+        matrix = np.zeros((dim, dim))
+        idx = np.arange(dim)
+        matrix[idx, idx] = 1.0
+        matrix[idx, (idx + 5) % dim] = -0.5
+        transform = LinearTransform(encoder, matrix)
+        baby, giant = generate_bsgs_keys(keygen, transform)
+        vec = rng.uniform(-1, 1, dim)
+        ct = encryptor.encrypt(encoder.encode(tiled(encoder, vec)))
+        out = transform.evaluate(evaluator, ct, baby, giant)
+        got = encoder.decode(decryptor.decrypt(out), scale=out.scale)[:dim].real
+        assert np.max(np.abs(got - matrix @ vec)) < 5e-2
+
+    def test_encoded_diagonals_cached_per_level(self, encoder, encryptor,
+                                                evaluator, keygen, rng):
+        dim = 8
+        transform = LinearTransform(encoder, rng.uniform(-1, 1, (dim, dim)))
+        baby, giant = generate_bsgs_keys(keygen, transform)
+        ct = encryptor.encrypt(encoder.encode(tiled(encoder, np.ones(dim))))
+        assert not transform._encoded
+        transform.evaluate(evaluator, ct, baby, giant)
+        cached = len(transform._encoded)
+        assert cached > 0
+        first = transform._encoded[next(iter(transform._encoded))]
+        transform.evaluate(evaluator, ct, baby, giant)
+        # Same level: no new encodings, same objects served.
+        assert len(transform._encoded) == cached
+        assert transform._encoded[next(iter(transform._encoded))] is first

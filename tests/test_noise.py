@@ -106,3 +106,48 @@ class TestBoundsCoverMeasurements:
         )
         predicted = model.rotate(model.fresh()).log2_noise
         assert measured <= predicted + 2
+
+
+class TestDeepChainProperty:
+    """Property test for the bootstrapping regime: the estimator must
+    cover the measured decryption error along a deep multiply -> rescale
+    -> rotate chain, at every step, without going vacuous."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bound_covers_deep_chain(self, context, keygen, encoder,
+                                     encryptor, evaluator, relin_key,
+                                     model, seed):
+        rng = np.random.default_rng(seed)
+        z = rng.uniform(-0.5, 0.5, encoder.num_slots)
+        rot_key = keygen.rotation_key(1)
+
+        ct = encryptor.encrypt(encoder.encode(z))
+        est = model.fresh()
+        expected = z.astype(np.complex128)
+
+        step = 0
+        while ct.level >= 1:
+            # multiply by itself, rescale, rotate — the ladder bootstrapping
+            # stresses (every op here is a key-switch or rescale).
+            ct = evaluator.rescale(evaluator.multiply(ct, ct, relin_key))
+            msg_bound = float(np.max(np.abs(expected)))
+            est = model.rescale(
+                model.multiply(est, est, msg_a=msg_bound, msg_b=msg_bound)
+            )
+            expected = expected * expected
+            ct = evaluator.rotate(ct, 1, rot_key)
+            est = model.rotate(est)
+            expected = np.roll(expected, -1)
+            step += 1
+
+            measured = measure_noise(context, keygen.secret_key, ct, expected)
+            predicted = est.log2_noise
+            assert measured <= predicted + 2, (
+                f"step {step}: measured 2^{measured:.1f} above "
+                f"predicted 2^{predicted:.1f}"
+            )
+            # Not vacuous: the bound stays within ~24 bits of reality.
+            assert predicted < measured + 24, f"step {step}"
+
+        assert step == context.params.max_level  # chain really went deep
+        assert est.budget_bits(context) > 0  # still decryptable per model

@@ -87,3 +87,79 @@ class TestPowerBasis:
         h = evaluate_horner(evaluator, encoder, ct, coeffs, relin_key)
         p = evaluate_power_basis(evaluator, encoder, ct, coeffs, relin_key)
         assert p.level >= h.level
+
+
+class TestChebyshev:
+    def cheb_value(self, coeffs, x):
+        return np.polynomial.chebyshev.chebval(x, np.asarray(coeffs))
+
+    @pytest.mark.parametrize("coeffs", [
+        [0.0, 1.0],                                  # T_1
+        [0.5, 0.0, -0.5],                            # constant + T_2
+        [0.0, 0.3, -0.2, 0.25, 0.0, -0.1],           # mixed, degree 5
+        [0.1] + [0.0, 0.2] * 3,                      # even-heavy, degree 6
+    ])
+    def test_matches_plain(self, encrypted_x, encoder, decryptor, evaluator,
+                           relin_key, coeffs):
+        from repro.ckks.polyeval import evaluate_chebyshev
+
+        x, ct = encrypted_x
+        res = evaluate_chebyshev(evaluator, encoder, ct, coeffs, relin_key)
+        got = encoder.decode(decryptor.decrypt(res), scale=res.scale).real
+        assert np.max(np.abs(got - self.cheb_value(coeffs, x))) < 5e-2
+
+    def test_ladder_order_closure(self):
+        from repro.ckks.polyeval import chebyshev_ladder_order
+
+        coeffs = [0.0] * 16
+        coeffs[15] = 1.0
+        order = chebyshev_ladder_order(coeffs)
+        assert order[-1] == 15
+        assert order == sorted(order)
+        for k in order:
+            if k > 1:
+                assert (k + 1) // 2 in order and k // 2 in order
+                if k % 2 == 1:
+                    assert 1 in order
+
+    def test_depth_is_logarithmic(self):
+        from repro.ckks.polyeval import chebyshev_depth
+
+        coeffs = [0.0] * 32
+        coeffs[31] = 1.0
+        assert chebyshev_depth(coeffs) == 6  # ceil(log2 31) + combine
+
+    def test_high_degree_stays_stable(self, rng):
+        """Degree 31 — far beyond what the monomial basis survives."""
+        from repro.ckks.polyeval import evaluate_chebyshev
+        from repro.ckks import (CKKSContext, CKKSParams, Decryptor, Encoder,
+                                Encryptor, Evaluator, KeyGenerator)
+
+        params = CKKSParams(n=128, num_levels=10, num_aux=4, dnum=4,
+                            q_bits=26, p_bits=29, scale_bits=26)
+        ctx = CKKSContext(params)
+        kg = KeyGenerator(ctx, seed=7)
+        enc = Encoder(ctx)
+        world_encryptor = Encryptor(ctx, kg.public_key(), seed=8)
+        world_decryptor = Decryptor(ctx, kg.secret_key)
+        ev = Evaluator(ctx)
+        relin = kg.relinearization_key()
+
+        x = rng.uniform(-1, 1, enc.num_slots)
+        ct = world_encryptor.encrypt(enc.encode(x))
+        coeffs = np.zeros(32)
+        coeffs[1::2] = rng.uniform(-0.3, 0.3, 16)
+        res = evaluate_chebyshev(ev, enc, ct, coeffs, relin)
+        got = enc.decode(world_decryptor.decrypt(res), scale=res.scale).real
+        assert np.max(np.abs(got - self.cheb_value(coeffs, x))) < 5e-3
+
+    def test_exhausted_levels_rejected(self, encoder, encryptor, evaluator,
+                                       relin_key):
+        from repro.ckks.polyeval import evaluate_chebyshev
+        from repro.errors import ParameterError
+
+        ct = encryptor.encrypt(encoder.encode([0.5]), level=1)
+        coeffs = [0.0] * 16
+        coeffs[15] = 1.0
+        with pytest.raises(ParameterError):
+            evaluate_chebyshev(evaluator, encoder, ct, coeffs, relin_key)

@@ -95,3 +95,28 @@ def test_crt_bijection_property(value):
     res = BASIS.decompose([value])
     back = int(BASIS.compose(res)[0])
     assert back % BASIS.product == value % BASIS.product
+
+
+class TestConvertCentered:
+    """The ModRaise primitive: exact centered re-embedding across bases."""
+
+    def test_single_modulus_fast_path(self):
+        source = RNSBasis([PRIMES[0]])
+        q0 = PRIMES[0]
+        vals = [0, 1, q0 - 1, q0 // 2, q0 // 2 + 1]
+        res = source.decompose(vals)
+        lifted = source.convert_centered(res, BASIS)
+        # Small residues re-embed exactly; wrapped ones pick up the sign.
+        composed = BASIS.compose(lifted)
+        for value, got in zip(vals, composed):
+            centered = value if value <= q0 // 2 else value - q0
+            assert int(got) == centered
+
+    def test_multi_tower_matches_compose_decompose(self):
+        rng = np.random.default_rng(5)
+        sub = RNSBasis(PRIMES[:2])
+        vals = [int(v) for v in rng.integers(-(10**9), 10**9, 16)]
+        res = sub.decompose(vals)
+        lifted = sub.convert_centered(res, BASIS)
+        expected = BASIS.decompose(sub.compose(res, centered=True))
+        assert np.array_equal(lifted, expected)

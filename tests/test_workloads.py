@@ -114,3 +114,42 @@ class TestExtrasExperiments:
         rows = run_budget_ablation().rows
         assert rows[-1]["MP/OC"] == 1.0
         assert rows[0]["MP/OC"] > 1.5
+
+
+class TestCompositeWorkloads:
+    def test_boot_registered(self):
+        from repro.workloads import get_workload, list_workloads
+
+        assert "BOOT" in list_workloads()
+        boot = get_workload("boot")  # case-insensitive
+        assert boot.name == "BOOT"
+        assert boot.spec.log_n == 16
+
+    def test_unknown_workload_rejected(self):
+        from repro.workloads import get_workload
+
+        with pytest.raises(ParameterError):
+            get_workload("RESNET")
+
+    def test_boot_counts_derive_from_plan(self):
+        from repro.workloads import bootstrap_plan, bootstrap_workload
+
+        plan, boot = bootstrap_plan(), bootstrap_workload()
+        ops = plan.op_counts()
+        assert boot.hks_calls == ops.hks_calls
+        assert boot.mix.rotations == ops.rotations + ops.conjugations
+        assert boot.mix.ct_multiplies == ops.ct_multiplies
+
+    def test_boot_is_cached(self):
+        from repro.workloads import bootstrap_workload
+
+        assert bootstrap_workload() is bootstrap_workload()
+
+    def test_boot_hks_share_dominates(self):
+        """Bootstrapping is the archetypal HKS-bound workload."""
+        from repro.workloads import bootstrap_workload, hks_time_share
+
+        boot = bootstrap_workload()
+        row = hks_time_share(boot.spec, boot.mix)
+        assert row["hks_share"] > 0.6
+        assert row["hks_calls"] == boot.hks_calls
