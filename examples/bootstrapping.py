@@ -46,11 +46,26 @@ def main() -> None:
           f"(level {result.level})")
 
     # The same circuit at accelerator scale (N=2^16), on all schedules.
+    # Each pipeline stage is priced at its true (descending) chain level.
     print("\nBOOT workload on the RPU (64 GB/s, evks on-chip):")
     for report in session.estimate("BOOT", backend="rpu", schedule="all"):
         print(f"  {report.schedule}: {report.latency_ms / 1e3:6.2f} s, "
               f"{report.total_bytes / 1e9:6.1f} GB moved, "
               f"{report.hks_calls} HKS calls")
+
+    print("\nper-phase breakdown (OC): level-aware HKS pricing")
+    oc = session.estimate("BOOT", backend="rpu", schedule="OC")
+    for phase in oc.phases:
+        print(f"  {phase.benchmark:8s} {phase.latency_ms / 1e3:6.2f} s, "
+              f"{phase.hks_calls:4d} HKS")
+
+    # Deep bootstrapped programs compose the same phases: inference with
+    # mid-network refreshes, and an encrypted training loop.
+    print("\ndeep workloads (OC):")
+    for name in ("RESNET_BOOT", "HELR"):
+        report = session.estimate(name, backend="rpu", schedule="OC")
+        print(f"  {name:12s} {report.latency_ms / 1e3:7.2f} s, "
+              f"{report.hks_calls} HKS across {len(report.phases)} phases")
 
 
 if __name__ == "__main__":

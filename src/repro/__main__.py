@@ -35,8 +35,8 @@ def cmd_info(_args) -> int:
 
     print("dataflows:", ", ".join(f"{d.name} ({d.title})" for d in DATAFLOWS.values()))
     print("backends:", ", ".join(list_backends()))
-    print("composite workloads:", ", ".join(list_workloads()),
-          "(e.g. `repro estimate BOOT`)")
+    print("workload programs:", ", ".join(list_workloads()),
+          "(e.g. `repro estimate BOOT --phases`)")
     print("session presets:", ", ".join(list_presets()))
     print("experiments: python -m repro.experiments --list")
     return 0
@@ -71,6 +71,18 @@ def cmd_estimate(args) -> int:
         reports = [reports]
     print(format_table([r.as_row() for r in reports],
                        title=f"{args.benchmark.upper()} via {args.backend!r}:"))
+    if args.phases:
+        for report in reports:
+            if not report.phases:
+                print(f"\n{report.benchmark}/{report.schedule}: "
+                      "no phase breakdown (single-HKS benchmark)")
+                continue
+            print()
+            print(format_table(
+                report.phase_rows(),
+                title=f"{report.benchmark}/{report.schedule} "
+                      "per-phase breakdown (descending chain levels):",
+            ))
     return 0
 
 
@@ -153,6 +165,10 @@ def main(argv=None) -> int:
                             help=f"one of {list_backends()}")
     p_estimate.add_argument("--schedule", default="all",
                             help="MP, DC, OC or 'all'")
+    p_estimate.add_argument("--phases", action="store_true",
+                            help="print the per-phase breakdown of "
+                                 "workload programs (BOOT, RESNET_BOOT, "
+                                 "HELR)")
     p_estimate.set_defaults(func=cmd_estimate)
     for name, fn in (("simulate", cmd_simulate), ("trace", cmd_trace)):
         p = sub.add_parser(name, help=f"{name} one configuration")

@@ -22,7 +22,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Protocol, Sequence, Union, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:
+    from repro.workloads import CompositeWorkload, WorkloadProgram
 
 from repro.errors import ParameterError
 from repro.params import BENCHMARKS, MB, BenchmarkSpec, get_benchmark
@@ -51,7 +64,10 @@ class RunReport:
     """Uniform result of estimating one (benchmark, schedule) point.
 
     ``latency_ms`` is ``None`` for backends that model traffic only (the
-    analytic backend); simulation backends always fill it.
+    analytic backend); simulation backends always fill it.  Composite
+    workload estimates additionally carry ``phases`` — one nested report
+    per :class:`~repro.workloads.ir.Phase`, in program order, so callers
+    can see where inside the circuit the time/traffic goes.
     """
 
     benchmark: str
@@ -71,6 +87,9 @@ class RunReport:
     #: switches the estimated circuit performs.  ``None`` for single-HKS
     #: benchmark estimates.
     hks_calls: Optional[int] = None
+    #: Per-phase breakdown of a composite workload estimate (one report
+    #: per program phase, in order).  Empty for single-HKS estimates.
+    phases: Tuple["RunReport", ...] = ()
     options: EstimateOptions = field(default_factory=EstimateOptions)
 
     @property
@@ -78,32 +97,38 @@ class RunReport:
         return self.total_bytes / MB
 
     @property
-    def arithmetic_intensity(self) -> float:
-        """Modular operations per DRAM byte (paper Table II's "AI")."""
+    def arithmetic_intensity(self) -> Optional[float]:
+        """Modular operations per DRAM byte (paper Table II's "AI").
+
+        ``None`` when the estimate moved no bytes at all (possible for
+        degenerate add-only phases) — callers must not divide by traffic
+        that does not exist.
+        """
         if self.total_bytes == 0:
-            return float("inf")
+            return None
         return self.mod_ops / self.total_bytes
 
     @property
     def achieved_gbs(self) -> Optional[float]:
-        if self.latency_ms is None or self.latency_ms == 0:
+        if not self.latency_ms:  # None for analytic, 0 for empty phases
             return None
         return self.total_bytes / (self.latency_ms / 1e3) / 1e9
 
     @property
     def achieved_gops(self) -> Optional[float]:
-        if self.latency_ms is None or self.latency_ms == 0:
+        if not self.latency_ms:
             return None
         return self.mod_ops / (self.latency_ms / 1e3) / 1e9
 
     def as_row(self) -> Dict[str, object]:
         """Flat dictionary for ``format_table``-style rendering."""
+        ai = self.arithmetic_intensity
         row: Dict[str, object] = {
             "benchmark": self.benchmark,
             "backend": self.backend,
             "schedule": self.schedule,
             "MB": round(self.total_mb, 1),
-            "AI": round(self.arithmetic_intensity, 2),
+            "AI": round(ai, 2) if ai is not None else "-",
             "spills": self.spill_stores,
         }
         if self.hks_calls is not None:
@@ -113,6 +138,10 @@ class RunReport:
         if self.compute_idle_fraction is not None:
             row["idle_%"] = round(self.compute_idle_fraction * 100, 1)
         return row
+
+    def phase_rows(self) -> List[Dict[str, object]]:
+        """Per-phase breakdown as flat dictionaries (empty if no phases)."""
+        return [p.as_row() for p in self.phases]
 
 
 @lru_cache(maxsize=None)
@@ -166,6 +195,78 @@ def _pointwise_graph(spec: BenchmarkSpec, kind: str):
     return build_pointwise_graph(spec, kind)
 
 
+def _fold_phase_reports(name: str, backend: str, schedule: str,
+                        phase_reports: Sequence[RunReport],
+                        options: EstimateOptions) -> RunReport:
+    """Sum per-phase reports into one program-level :class:`RunReport`.
+
+    Integer resources add; the on-chip peak is the max across phases
+    (phases run back-to-back, never concurrently); latency adds with the
+    idle fraction folded busy-time-weighted.  Folding a single phase
+    reproduces that phase's numbers exactly — the degenerate case the
+    legacy flat path maps onto.
+    """
+    latency_ms: Optional[float] = 0.0
+    busy_ms = 0.0
+    for report in phase_reports:
+        if report.latency_ms is None:
+            latency_ms = None
+            break
+        latency_ms += report.latency_ms
+        if report.compute_idle_fraction is not None:
+            busy_ms += report.latency_ms * (1.0 - report.compute_idle_fraction)
+    return RunReport(
+        benchmark=name,
+        backend=backend,
+        schedule=schedule,
+        total_bytes=sum(p.total_bytes for p in phase_reports),
+        data_bytes=sum(p.data_bytes for p in phase_reports),
+        evk_bytes=sum(p.evk_bytes for p in phase_reports),
+        mod_ops=sum(p.mod_ops for p in phase_reports),
+        num_tasks=sum(p.num_tasks for p in phase_reports),
+        peak_on_chip_bytes=max(p.peak_on_chip_bytes for p in phase_reports),
+        spill_stores=sum(p.spill_stores for p in phase_reports),
+        reloads=sum(p.reloads for p in phase_reports),
+        latency_ms=latency_ms,
+        compute_idle_fraction=(
+            1.0 - busy_ms / latency_ms if latency_ms else None
+        ),
+        hks_calls=sum(p.hks_calls or 0 for p in phase_reports),
+        phases=tuple(phase_reports),
+        options=options,
+    )
+
+
+def _run_program(backend, workload, schedule: str,
+                 options: EstimateOptions) -> RunReport:
+    """Shared composite path: coerce to the phase IR, price each phase on
+    ``backend``, fold.  Serves both built-in backends' ``run_composite``."""
+    from repro.workloads import as_program
+
+    program = as_program(workload)
+    phase_reports = [
+        backend._phase_report(phase, schedule, options)
+        for phase in program.phases
+    ]
+    return _fold_phase_reports(
+        program.name, backend.name, phase_reports[0].schedule,
+        phase_reports, options,
+    )
+
+
+@lru_cache(maxsize=None)
+def _cached_rpu_mix_report(backend: "RPUBackend", spec: BenchmarkSpec, mix,
+                           schedule: str,
+                           options: EstimateOptions) -> RunReport:
+    """Label-free RPU phase numbers, memoized across repeated phases.
+
+    Every argument is hashable (frozen dataclasses; the backend by
+    identity), and :class:`RunReport` is frozen, so repeated bootstrap
+    phases inside deep programs — and repeated estimate() requests —
+    share one simulation instead of re-running it."""
+    return backend._mix_report(spec, mix, schedule, options)
+
+
 @runtime_checkable
 class Backend(Protocol):
     """Anything that can estimate one (benchmark, schedule) point."""
@@ -208,24 +309,26 @@ class AnalyticBackend:
             options=options,
         )
 
-    def run_composite(self, workload, schedule: str,
+    def _phase_report(self, phase, schedule: str,
                       options: EstimateOptions) -> RunReport:
-        """Traffic/ops of a whole circuit: HKS calls + point-wise ops."""
-        base = self.run(workload.spec, schedule, options)
-        calls = workload.hks_calls
+        """Traffic/ops of one phase: HKS calls + point-wise ops at its level."""
+        base = self.run(phase.spec, schedule, options)
+        calls = phase.hks_calls
         total_bytes = calls * base.total_bytes
         data_bytes = calls * base.data_bytes
         mod_ops = calls * base.mod_ops
         num_tasks = calls * base.num_tasks
         for mix_field, kind in _POINTWISE_KINDS:
-            count = getattr(workload.mix, mix_field)
-            graph = _pointwise_graph(workload.spec, kind)
+            count = getattr(phase.mix, mix_field)
+            if count == 0:
+                continue
+            graph = _pointwise_graph(phase.spec, kind)
             total_bytes += count * graph.total_bytes()
             data_bytes += count * graph.total_bytes()
             mod_ops += count * graph.total_mod_ops()
             num_tasks += count * len(graph)
         return RunReport(
-            benchmark=workload.name,
+            benchmark=phase.label,
             backend=self.name,
             schedule=base.schedule,
             total_bytes=total_bytes,
@@ -233,12 +336,18 @@ class AnalyticBackend:
             evk_bytes=calls * base.evk_bytes,
             mod_ops=mod_ops,
             num_tasks=num_tasks,
-            peak_on_chip_bytes=base.peak_on_chip_bytes,
+            # A key-switch-free phase never holds the HKS working set.
+            peak_on_chip_bytes=base.peak_on_chip_bytes if calls else 0,
             spill_stores=calls * base.spill_stores,
             reloads=calls * base.reloads,
             hks_calls=calls,
             options=options,
         )
+
+    def run_composite(self, workload, schedule: str,
+                      options: EstimateOptions) -> RunReport:
+        """Traffic/ops of a whole program, folded phase by phase."""
+        return _run_program(self, workload, schedule, options)
 
 
 class RPUBackend:
@@ -282,17 +391,31 @@ class RPUBackend:
             modops_scale=options.modops_scale,
         )
 
-    def run_composite(self, workload, schedule: str,
+    def _phase_report(self, phase, schedule: str,
                       options: EstimateOptions) -> RunReport:
-        """Latency of a whole circuit: one simulation per distinct kernel,
-        scaled by the op mix (the simulator replays one HKS / one
-        point-wise op; a real run would interleave them identically in
-        steady state)."""
+        """Latency of one phase: one simulation per distinct kernel at the
+        phase's level, scaled by the phase op mix (the simulator replays
+        one HKS / one point-wise op; a real run would interleave them
+        identically in steady state).
+
+        Deep programs repeat the same bootstrap phases many times (HELR:
+        one per training iteration), so the label-free numbers are
+        memoized per ``(spec, mix, schedule, options)`` and only the
+        phase label is stamped on per call."""
+        from dataclasses import replace
+
+        numbers = _cached_rpu_mix_report(
+            self, phase.spec, phase.mix, schedule, options
+        )
+        return replace(numbers, benchmark=phase.label)
+
+    def _mix_report(self, spec: BenchmarkSpec, mix, schedule: str,
+                    options: EstimateOptions) -> RunReport:
         from repro.rpu import RPUSimulator
 
-        base = self.run(workload.spec, schedule, options)
+        base = self.run(spec, schedule, options)
         sim = RPUSimulator(self._machine(options))
-        calls = workload.hks_calls
+        calls = mix.hks_calls
         total_bytes = calls * base.total_bytes
         data_bytes = calls * base.data_bytes
         mod_ops = calls * base.mod_ops
@@ -300,8 +423,10 @@ class RPUBackend:
         latency_ms = calls * base.latency_ms
         busy_ms = calls * base.latency_ms * (1.0 - base.compute_idle_fraction)
         for mix_field, kind in _POINTWISE_KINDS:
-            count = getattr(workload.mix, mix_field)
-            graph = _pointwise_graph(workload.spec, kind)
+            count = getattr(mix, mix_field)
+            if count == 0:
+                continue
+            graph = _pointwise_graph(spec, kind)
             result = sim.simulate(graph)
             total_bytes += count * result.total_bytes
             data_bytes += count * result.data_bytes
@@ -312,7 +437,7 @@ class RPUBackend:
                 1.0 - result.compute_idle_fraction
             )
         return RunReport(
-            benchmark=workload.name,
+            benchmark=spec.name,
             backend=self.name,
             schedule=base.schedule,
             total_bytes=total_bytes,
@@ -320,7 +445,8 @@ class RPUBackend:
             evk_bytes=calls * base.evk_bytes,
             mod_ops=mod_ops,
             num_tasks=num_tasks,
-            peak_on_chip_bytes=base.peak_on_chip_bytes,
+            # A key-switch-free phase never holds the HKS working set.
+            peak_on_chip_bytes=base.peak_on_chip_bytes if calls else 0,
             spill_stores=calls * base.spill_stores,
             reloads=calls * base.reloads,
             latency_ms=latency_ms,
@@ -330,6 +456,15 @@ class RPUBackend:
             hks_calls=calls,
             options=options,
         )
+
+    def run_composite(self, workload, schedule: str,
+                      options: EstimateOptions) -> RunReport:
+        """Latency of a whole program, folded phase by phase.
+
+        Each phase simulates at its own point of the modulus chain —
+        descending tower counts make late phases strictly cheaper than
+        the flat top-of-chain pricing this path replaced."""
+        return _run_program(self, workload, schedule, options)
 
 
 # -- registry -----------------------------------------------------------------
@@ -366,25 +501,26 @@ register_backend(RPUBackend())
 
 # -- the single request path ---------------------------------------------------
 
-Workload = Union[str, BenchmarkSpec]
+Workload = Union[str, BenchmarkSpec, "WorkloadProgram", "CompositeWorkload"]
 
 
 def _resolve_workload(workload: Workload):
-    """Resolve a name/spec to a :class:`BenchmarkSpec` or composite workload.
+    """Resolve a name/spec to a :class:`BenchmarkSpec` or workload program.
 
     Names check Table III benchmarks first (``"ARK"``), then the named
-    composite circuits of :mod:`repro.workloads` (``"BOOT"``).
+    workload programs of :mod:`repro.workloads` (``"BOOT"``,
+    ``"RESNET_BOOT"``, ``"HELR"``).
     """
     if isinstance(workload, BenchmarkSpec):
         return workload
     if not isinstance(workload, str):
-        from repro.workloads import CompositeWorkload
+        from repro.workloads import CompositeWorkload, WorkloadProgram
 
-        if isinstance(workload, CompositeWorkload):
+        if isinstance(workload, (WorkloadProgram, CompositeWorkload)):
             return workload
         raise ParameterError(
-            f"workload must be a name, BenchmarkSpec or CompositeWorkload, "
-            f"got {type(workload).__name__}"
+            f"workload must be a name, BenchmarkSpec, WorkloadProgram or "
+            f"CompositeWorkload, got {type(workload).__name__}"
         )
     try:
         return get_benchmark(workload)
@@ -428,11 +564,16 @@ def estimate(
 ) -> Union[RunReport, List[RunReport]]:
     """Estimate ``workload`` on one backend across one or more schedules.
 
-    ``workload`` is a Table III benchmark name (``"ARK"``) or a
-    :class:`BenchmarkSpec`; ``schedule`` is ``"MP"``/``"DC"``/``"OC"``, a
-    sequence of those, or ``"all"``.  Remaining keyword arguments populate
-    :class:`EstimateOptions`.  Returns one report for a single schedule, a
-    list (in request order) otherwise.
+    ``workload`` is a Table III benchmark name (``"ARK"``), a
+    :class:`BenchmarkSpec`, or a named workload program (``"BOOT"``,
+    ``"RESNET_BOOT"``, ``"HELR"`` — or any
+    :class:`~repro.workloads.ir.WorkloadProgram`); program estimates are
+    folded phase by phase at each phase's own chain level, with the
+    per-phase breakdown on ``report.phases``.  ``schedule`` is
+    ``"MP"``/``"DC"``/``"OC"``, a sequence of those, or ``"all"``.
+    Remaining keyword arguments populate :class:`EstimateOptions`.
+    Returns one report for a single schedule, a list (in request order)
+    otherwise.
     """
     spec = _resolve_workload(workload)
     engine = get_backend(backend)

@@ -237,7 +237,11 @@ class FHESession:
                  schedule="OC", **options) -> Union[RunReport, List[RunReport]]:
         """Estimate an accelerator-scale workload via the backend registry.
 
-        ``workload`` is a paper Table III benchmark name or spec; see
+        ``workload`` is a paper Table III benchmark name or spec, or a
+        phase-structured workload program (``"BOOT"``, ``"RESNET_BOOT"``,
+        ``"HELR"`` or any :class:`~repro.workloads.ir.WorkloadProgram`) —
+        programs are priced phase by phase at descending chain levels,
+        with the breakdown on ``report.phases``.  See
         :func:`repro.api.backends.estimate` for schedules and options.
         The session's functional parameters are independent of the
         performance model, so any session can answer these queries.

@@ -141,6 +141,11 @@ class CKKSContext:
         """Active digit count at ``level`` (= dnum at the top level)."""
         return len(self.digit_indices(level))
 
+    # The derivation helpers below return shared per-process instances:
+    # prefix/subbasis/concat route through repro.rns.basis.get_basis, so
+    # repeated key switches never re-run RNSBasis construction (O(L^2)
+    # coprimality checks + CRT-constant inverses).
+
     def level_basis(self, level: int) -> RNSBasis:
         """Basis of the active chain towers ``{q_0 .. q_level}``."""
         self._check_level(level)
@@ -153,6 +158,16 @@ class CKKSContext:
     def digit_basis(self, level: int, digit: int) -> RNSBasis:
         """Basis of one digit's towers at ``level``."""
         return self.q_basis.subbasis(self.digit_indices(level)[digit])
+
+    def complement_basis(self, level: int, digit: int) -> RNSBasis:
+        """ModUp P2's target: the extended basis minus ``digit``'s towers.
+
+        This is what every ModUp BConv converts *into* (and what the
+        converter cache of :func:`repro.rns.bconv.get_converter` is keyed
+        on)."""
+        return self.extended_basis(level).subbasis(
+            self.complement_indices(level, digit)
+        )
 
     def complement_indices(self, level: int, digit: int) -> List[int]:
         """Indices (into the *extended* basis) of towers outside ``digit``.

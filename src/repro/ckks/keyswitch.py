@@ -47,10 +47,11 @@ def mod_up_digit(
     # P1: INTT the digit's towers into the coefficient domain.
     digit_coeff = digit_poly.to_coeff()
 
-    # P2: BConv from the digit basis to the complement basis.
+    # P2: BConv from the digit basis to the complement basis (both served
+    # from the context's derived-basis caches, as is the converter).
     complement = context.complement_indices(level, digit)
     extended = context.extended_basis(level)
-    target = extended.subbasis(complement)
+    target = context.complement_basis(level, digit)
     converter = get_converter(digit_coeff.basis, target)
     converted = RNSPoly(target, converter.convert(digit_coeff.data), Domain.COEFF)
 

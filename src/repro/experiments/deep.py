@@ -1,0 +1,55 @@
+"""Deep-workload experiment: bootstrapped programs priced level-aware.
+
+The scenario-diversity direction of the roadmap: unlimited-depth circuits
+built on top of bootstrapping.  ``RESNET_BOOT`` interleaves ResNet-20
+inference segments with mid-network refreshes; ``HELR`` trains an
+encrypted logistic-regression model with one bootstrap per iteration.
+Both lower to the same phase IR as ``BOOT``, so every phase — application
+slice or bootstrap stage — is priced at its true point of the modulus
+chain on both backends.
+"""
+
+from __future__ import annotations
+
+from repro.api import estimate
+from repro.experiments.report import ExperimentResult
+from repro.workloads import get_workload
+
+_PROGRAMS = ("BOOT", "RESNET_BOOT", "HELR")
+
+
+def run() -> ExperimentResult:
+    rows = []
+    for name in _PROGRAMS:
+        program = get_workload(name)
+        analytic = estimate(name, backend="analytic", schedule="OC")
+        rpu = estimate(name, backend="rpu", schedule="OC")
+        # Bootstrap stages carry cts*/evalmod/stc* as their final label
+        # component (optionally under a bootN/ prefix); app slices don't.
+        boot_phases = sum(
+            1 for p in program.phases
+            if p.label.rsplit("/", 1)[-1].startswith(("cts", "stc", "evalmod"))
+        )
+        rows.append(
+            {
+                "program": name,
+                "phases": len(program),
+                "boot_phases": boot_phases,
+                "hks_calls": program.hks_calls,
+                "GB": round(analytic.total_bytes / 1e9, 1),
+                "AI": round(rpu.arithmetic_intensity, 2),
+                "latency_s": round(rpu.latency_ms / 1e3, 2),
+                "idle_%": round(rpu.compute_idle_fraction * 100, 1),
+            }
+        )
+    notes = [get_workload(name).description for name in _PROGRAMS] + [
+        "OC schedule, 64 GB/s, evks on-chip; analytic and RPU backends "
+        "agree on traffic by construction",
+    ]
+    return ExperimentResult(
+        experiment="deep workloads",
+        description="bootstrapped deep programs (BOOT, RESNET_BOOT, HELR) "
+                    "folded phase-by-phase at descending chain levels",
+        rows=rows,
+        notes=notes,
+    )

@@ -7,6 +7,7 @@ from typing import Callable, Dict, List
 from repro.experiments import (
     bootstrap,
     crossover,
+    deep,
     extras,
     facade,
     figure2,
@@ -42,6 +43,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "crossover": crossover.run,
     "backends": facade.run,
     "bootstrap": bootstrap.run,
+    "deep": deep.run,
 }
 
 

@@ -11,6 +11,7 @@ basis conversion of :mod:`repro.rns.bconv` rely on.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Iterable, Sequence, Tuple
 
 import numpy as np
@@ -19,6 +20,20 @@ from repro.errors import ParameterError
 from repro.ntt.modmath import check_modulus, inv_mod
 
 _INT64 = np.int64
+
+
+@lru_cache(maxsize=None)
+def get_basis(moduli: Tuple[int, ...]) -> "RNSBasis":
+    """Process-wide :class:`RNSBasis` cache keyed by the moduli tuple.
+
+    A basis is immutable after construction, but constructing one runs
+    O(L^2) pairwise-coprimality checks plus a modular inverse per tower.
+    Key switching derives a digit/complement basis per call, so the
+    derivation helpers (``subbasis``/``prefix``/``concat``) all route
+    through this cache — the same ``lru_cache`` pattern as the NTT
+    twiddle tables in :mod:`repro.rns.poly`.
+    """
+    return RNSBasis(moduli)
 
 
 class RNSBasis:
@@ -65,17 +80,17 @@ class RNSBasis:
 
     def subbasis(self, indices: Sequence[int]) -> "RNSBasis":
         """Basis restricted to ``moduli[i] for i in indices`` (in order)."""
-        return RNSBasis(self.moduli[i] for i in indices)
+        return get_basis(tuple(self.moduli[i] for i in indices))
 
     def prefix(self, count: int) -> "RNSBasis":
         """Basis of the first ``count`` moduli."""
         if not 1 <= count <= len(self.moduli):
             raise ParameterError(f"prefix length {count} out of range")
-        return RNSBasis(self.moduli[:count])
+        return get_basis(self.moduli[:count])
 
     def concat(self, other: "RNSBasis") -> "RNSBasis":
         """Union basis ``self ++ other`` (moduli must stay distinct)."""
-        return RNSBasis(self.moduli + other.moduli)
+        return get_basis(self.moduli + other.moduli)
 
     # -- CRT maps ------------------------------------------------------------
 

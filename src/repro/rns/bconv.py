@@ -17,7 +17,7 @@ paper charges for ModUp/ModDown P2 (Section III-B).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from functools import lru_cache
 
 import numpy as np
 
@@ -79,14 +79,14 @@ class BasisConverter:
         return f"BasisConverter({len(self.source)} -> {len(self.target)} moduli)"
 
 
-_CONVERTER_CACHE: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], BasisConverter] = {}
-
-
+@lru_cache(maxsize=None)
 def get_converter(source: RNSBasis, target: RNSBasis) -> BasisConverter:
-    """Cached :class:`BasisConverter` lookup keyed by the two moduli tuples."""
-    key = (source.moduli, target.moduli)
-    conv = _CONVERTER_CACHE.get(key)
-    if conv is None:
-        conv = BasisConverter(source, target)
-        _CONVERTER_CACHE[key] = conv
-    return conv
+    """Cached :class:`BasisConverter` per ``(source, target)`` basis pair.
+
+    The same ``lru_cache`` pattern as the NTT twiddle tables
+    (:func:`repro.rns.poly.get_ntt_context`): :class:`RNSBasis` hashes by
+    its moduli tuple, so every level/digit combination builds its hat
+    tables exactly once per process no matter how many HKS calls a
+    large-ring functional run performs.
+    """
+    return BasisConverter(source, target)

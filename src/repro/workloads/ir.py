@@ -1,0 +1,208 @@
+"""Phase-structured workload IR: circuits as ordered, level-aware phases.
+
+The flat representation this package grew out of priced a whole circuit
+at one top-of-chain :class:`~repro.params.BenchmarkSpec`, even though a
+real CKKS circuit descends the modulus chain and every level strictly
+shrinks the tower count — and with it the cost of every hybrid key
+switch.  The IR here keeps that structure:
+
+* a :class:`Phase` is a run of homomorphic ops (:class:`HEOpMix`) priced
+  at one point of the chain (its own ``BenchmarkSpec``, typically derived
+  via :func:`level_spec`);
+* a :class:`WorkloadProgram` is an ordered list of phases — the unit both
+  estimation backends fold over, preserving a per-phase breakdown on the
+  resulting report;
+* the legacy flat :class:`CompositeWorkload` survives as the one-phase
+  degenerate case (:func:`as_program` converts, with a deprecation
+  warning when a backend receives one).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import ParameterError
+from repro.params import BenchmarkSpec
+from repro.workloads.mix import HEOpMix
+
+
+def level_spec(base: BenchmarkSpec, towers: int,
+               name: Optional[str] = None) -> BenchmarkSpec:
+    """Re-parameterize ``base`` at a lower point of its modulus chain.
+
+    ``towers`` is the active chain tower count (the paper's ``l``) at the
+    phase being priced.  The auxiliary basis ``P`` never shrinks, and the
+    digit width ``alpha`` is fixed at key-generation time, so the digit
+    count drops to ``ceil(towers / alpha)`` as the circuit descends — the
+    same digit *count* the functional layer's
+    :meth:`CKKSContext.digit_indices` uses at lower levels.  One
+    approximation: :class:`BenchmarkSpec` re-derives its digit partition
+    from ``(towers, dnum)``, so where ``ceil(towers / dnum)`` falls below
+    the base ``alpha`` the split differs slightly from the functional
+    layer's fixed-width one (e.g. towers=10 prices digits (5,5) where the
+    real partition is (6,4)) — tower totals and digit counts, the
+    first-order cost drivers, match exactly.
+    """
+    if not 1 <= towers <= base.kl:
+        raise ParameterError(
+            f"towers={towers} out of range [1, {base.kl}] for {base.name}"
+        )
+    if towers == base.kl and name is None:
+        return base
+    dnum = max(1, min(base.dnum, -(-towers // base.alpha)))
+    return BenchmarkSpec(
+        name or f"{base.name}@L{towers}",
+        log_n=base.log_n,
+        kl=towers,
+        kp=base.kp,
+        dnum=dnum,
+    )
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One contiguous run of a circuit priced at a single chain point."""
+
+    label: str
+    spec: BenchmarkSpec
+    mix: HEOpMix
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ParameterError("a phase needs a non-empty label")
+
+    @property
+    def hks_calls(self) -> int:
+        return self.mix.hks_calls
+
+    def relabeled(self, label: str) -> "Phase":
+        return Phase(label, self.spec, self.mix)
+
+
+@dataclass(frozen=True)
+class WorkloadProgram:
+    """An ordered sequence of phases — the estimable circuit IR.
+
+    Back-compat accessors (``spec``, ``mix``, ``hks_calls``) present the
+    aggregate view the flat representation used to offer, so callers that
+    only need totals keep working unchanged.
+    """
+
+    name: str
+    phases: Tuple[Phase, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("a workload program needs a name")
+        if not self.phases:
+            raise ParameterError(f"program {self.name!r} has no phases")
+        object.__setattr__(self, "phases", tuple(self.phases))
+        labels = [p.label for p in self.phases]
+        if len(set(labels)) != len(labels):
+            raise ParameterError(
+                f"program {self.name!r} has duplicate phase labels"
+            )
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def single(cls, name: str, spec: BenchmarkSpec, mix: HEOpMix,
+               description: str = "") -> "WorkloadProgram":
+        """The degenerate one-phase program (== the legacy flat pricing)."""
+        return cls(name, (Phase(name, spec, mix),), description)
+
+    # -- aggregate (flat-compatible) views -------------------------------------
+
+    @property
+    def spec(self) -> BenchmarkSpec:
+        """The top-of-chain parameterization: the widest phase's spec.
+
+        Programs need not *start* at the top (deep scenarios open with an
+        app segment inside the post-bootstrap window), so the flat view
+        picks the phase with the most active towers — flattening a
+        program onto this spec is always an upper bound on its cost.
+        """
+        return max((p.spec for p in self.phases), key=lambda s: s.kl)
+
+    @property
+    def mix(self) -> HEOpMix:
+        """All phase op counts summed — the flat view of the circuit."""
+        total = HEOpMix(0, 0, 0, 0)
+        for phase in self.phases:
+            total = total + phase.mix
+        return total
+
+    @property
+    def hks_calls(self) -> int:
+        return sum(p.hks_calls for p in self.phases)
+
+    def phase_hks_calls(self) -> Dict[str, int]:
+        """HKS calls by phase label (insertion-ordered)."""
+        return {p.label: p.hks_calls for p in self.phases}
+
+    def __iter__(self) -> Iterator[Phase]:
+        return iter(self.phases)
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadProgram({self.name!r}, {len(self.phases)} phases, "
+            f"{self.hks_calls} HKS)"
+        )
+
+
+@dataclass(frozen=True)
+class CompositeWorkload:
+    """Deprecated flat circuit: one spec x one mix (pre-IR representation).
+
+    Kept as a shim so research code written against the flat API keeps
+    running; estimation paths convert it to a one-phase
+    :class:`WorkloadProgram` via :func:`as_program`, which reproduces the
+    old report exactly.
+    """
+
+    name: str
+    spec: BenchmarkSpec
+    mix: HEOpMix
+    description: str = ""
+
+    @property
+    def hks_calls(self) -> int:
+        """Every rotation and ciphertext multiply is one hybrid key switch."""
+        return self.mix.hks_calls
+
+    def as_program(self) -> WorkloadProgram:
+        """Lift to the one-phase degenerate program."""
+        return WorkloadProgram.single(
+            self.name, self.spec, self.mix, self.description
+        )
+
+
+def as_program(workload: Union[WorkloadProgram, CompositeWorkload],
+               *, warn: bool = True) -> WorkloadProgram:
+    """Coerce either workload representation to the phase IR.
+
+    Passing a flat :class:`CompositeWorkload` warns: it prices every HKS
+    at the top of the chain, which the phase IR exists to avoid.
+    """
+    if isinstance(workload, WorkloadProgram):
+        return workload
+    if isinstance(workload, CompositeWorkload):
+        if warn:
+            warnings.warn(
+                "flat CompositeWorkload pricing is deprecated; build a "
+                "phase-structured WorkloadProgram (see repro.workloads) "
+                "for level-aware estimates",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return workload.as_program()
+    raise ParameterError(
+        f"expected WorkloadProgram or CompositeWorkload, "
+        f"got {type(workload).__name__}"
+    )

@@ -1,17 +1,17 @@
-"""Workload-level modelling: where does time go in a full HE application?
+"""Operation mixes and per-op task models shared by every workload.
 
-The paper's motivation is that hybrid key switching consumes ~70% of
-private-inference runtime (ResNet-20: 3,306 rotations).  This module
-composes HKS schedules with simple task models of the *non*-key-switching
-work (tensor products, plaintext multiplies, additions, automorphisms) so
-that claim can be reproduced quantitatively on the same simulator.
+A full HE application is, from the accelerator's point of view, a bag of
+hybrid key switches plus the element-wise work between them.  This module
+holds the two pieces every pricing path needs: :class:`HEOpMix` (how often
+each homomorphic op runs) and :func:`build_pointwise_graph` (the task
+model of one non-HKS op), plus the paper's motivation query
+:func:`hks_time_share`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.core import DataflowConfig, get_dataflow
 from repro.core.stages import ntt_tower_ops
@@ -23,7 +23,7 @@ from repro.rpu import RPUConfig, RPUSimulator
 
 @dataclass(frozen=True)
 class HEOpMix:
-    """Operation counts of one application run.
+    """Operation counts of one application run (or one workload phase).
 
     The default is a ResNet-20-class private inference: the rotation count
     is the paper's 3,306; the other counts follow the multiplexed-
@@ -42,105 +42,39 @@ class HEOpMix:
                self.additions) < 0:
             raise ParameterError("operation counts must be non-negative")
 
-
-@dataclass(frozen=True)
-class CompositeWorkload:
-    """A whole application circuit priced as op counts x per-op costs.
-
-    ``spec`` fixes the per-key-switch parameterization (ring, towers,
-    digits); ``mix`` counts how often each homomorphic operation runs.
-    Conjugations are folded into ``mix.rotations`` — an automorphism plus
-    a hybrid key switch either way.
-    """
-
-    name: str
-    spec: BenchmarkSpec
-    mix: HEOpMix
-    description: str = ""
-
     @property
     def hks_calls(self) -> int:
         """Every rotation and ciphertext multiply is one hybrid key switch."""
-        return self.mix.rotations + self.mix.ct_multiplies
+        return self.rotations + self.ct_multiplies
 
-
-#: The BOOT workload's per-HKS parameterization: ARK's Table III point.
-_BOOT_SPEC = BenchmarkSpec("BOOT", log_n=16, kl=24, kp=6, dnum=4)
-
-#: Modelled secret Hamming weight of the accelerator-scale bootstrap.
-_BOOT_SECRET_WEIGHT = 24
-
-
-@lru_cache(maxsize=None)
-def bootstrap_plan():
-    """The accelerator-scale bootstrap circuit shape (32k slots).
-
-    The same :class:`~repro.ckks.bootstrap.plan.BootstrapPlan` arithmetic
-    the functional pipeline is instrumentation-tested against, evaluated
-    at ``N = 2^16`` with the DFT split into 3 + 3 grouped factors and the
-    EvalMod degree chosen by the same sine-fit rule the pipeline uses.
-    """
-    from repro.ckks.bootstrap.evalmod import choose_sine_degree
-    from repro.ckks.bootstrap.plan import BootstrapPlan
-
-    periods = -(-(_BOOT_SECRET_WEIGHT + 1) // 2) + 1  # ceil(bound) + 1
-    return BootstrapPlan.from_shape(
-        num_slots=_BOOT_SPEC.n // 2,
-        cts_stages=3,
-        stc_stages=3,
-        sine_periods=periods,
-        sine_degree=choose_sine_degree(periods, tol=1e-5),
-    )
-
-
-@lru_cache(maxsize=None)
-def bootstrap_workload() -> CompositeWorkload:
-    """The ``BOOT`` workload: one full CKKS bootstrap at accelerator scale.
-
-    Operation counts are *derived from the real circuit* via
-    :func:`bootstrap_plan`; every rotation, conjugation and
-    relinearization is one hybrid key switch.
-    """
-    spec = _BOOT_SPEC
-    plan = bootstrap_plan()
-    ops = plan.op_counts()
-    mix = HEOpMix(
-        rotations=ops.rotations + ops.conjugations,
-        ct_multiplies=ops.ct_multiplies,
-        pt_multiplies=ops.pt_multiplies,
-        additions=ops.additions,
-    )
-    return CompositeWorkload(
-        name="BOOT",
-        spec=spec,
-        mix=mix,
-        description=(
-            f"one CKKS bootstrap at N=2^16: {ops.hks_calls} HKS calls "
-            f"({ops.rotations} rotations, {ops.conjugations} conjugation, "
-            f"{ops.ct_multiplies} relinearizations), sine degree "
-            f"{plan.sine_degree}"
-        ),
-    )
-
-
-#: Named composite workloads estimable via ``repro.api.estimate``.
-WORKLOADS: Dict[str, Callable[[], CompositeWorkload]] = {
-    "BOOT": bootstrap_workload,
-}
-
-
-def get_workload(name: str) -> CompositeWorkload:
-    """Look up a composite workload by (case-insensitive) name."""
-    key = name.upper()
-    if key not in WORKLOADS:
-        raise ParameterError(
-            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+    def __add__(self, other: "HEOpMix") -> "HEOpMix":
+        return HEOpMix(
+            self.rotations + other.rotations,
+            self.ct_multiplies + other.ct_multiplies,
+            self.pt_multiplies + other.pt_multiplies,
+            self.additions + other.additions,
         )
-    return WORKLOADS[key]()
 
+    def split(self, parts: int) -> List["HEOpMix"]:
+        """Divide every count as evenly as possible across ``parts`` mixes.
 
-def list_workloads() -> List[str]:
-    return sorted(WORKLOADS)
+        The pieces sum back to ``self`` exactly (remainders go to the
+        earliest parts) — the invariant phase lowering relies on.
+        """
+        if parts < 1:
+            raise ParameterError("parts must be positive")
+
+        def share(count: int) -> List[int]:
+            return [count // parts + (1 if i < count % parts else 0)
+                    for i in range(parts)]
+
+        return [
+            HEOpMix(r, c, p, a)
+            for r, c, p, a in zip(share(self.rotations),
+                                  share(self.ct_multiplies),
+                                  share(self.pt_multiplies),
+                                  share(self.additions))
+        ]
 
 
 def build_pointwise_graph(spec: BenchmarkSpec, kind: str) -> TaskGraph:

@@ -1,0 +1,34 @@
+"""Named workload programs estimable via ``repro.api.estimate``."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ParameterError
+from repro.workloads.builders import (
+    boot_program,
+    helr_program,
+    resnet_boot_program,
+)
+from repro.workloads.ir import WorkloadProgram
+
+#: Workload name -> zero-argument program builder.
+WORKLOADS: Dict[str, Callable[[], WorkloadProgram]] = {
+    "BOOT": boot_program,
+    "RESNET_BOOT": resnet_boot_program,
+    "HELR": helr_program,
+}
+
+
+def get_workload(name: str) -> WorkloadProgram:
+    """Look up a workload program by (case-insensitive) name."""
+    key = name.upper()
+    if key not in WORKLOADS:
+        raise ParameterError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        )
+    return WORKLOADS[key]()
+
+
+def list_workloads() -> List[str]:
+    return sorted(WORKLOADS)
