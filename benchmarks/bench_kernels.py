@@ -1,19 +1,40 @@
 """Microbenchmarks for the functional HKS kernels (numpy implementations).
 
 These time the actual modular arithmetic — NTT, basis conversion and the
-full reference key switch — at the functional layer's ring sizes.
+full reference key switch — at the functional layer's ring sizes, and
+emit ``BENCH_kernels.json``: per-kernel looped-vs-batched timings at
+``N = 2^7`` and ``N = 2^12``, cold-vs-warm twiddle-cache construction,
+and the end-to-end ``n7_boot`` bootstrap speedup of the batched engine
+over the retained looped reference path.
+
+The artifact test doubles as a perf regression guard: at ``N >= 2^12``
+the batched kernels must never be slower than the looped path.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -q -s
+Quick mode (CI): add ``--benchmark-disable`` — the JSON artifact is still
+written, only the pytest-benchmark timing loops are skipped.
 """
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.ckks import CKKSContext, CKKSParams, KeyGenerator, key_switch
 from repro.ckks.keys import sample_ternary
+from repro.ntt.batch import get_batch_ntt
 from repro.ntt.primes import generate_primes
 from repro.ntt.transform import NTTContext
 from repro.rns.basis import RNSBasis
 from repro.rns.bconv import BasisConverter
+from repro.rns.dispatch import use_kernel_mode
 from repro.rns.poly import RNSPoly
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 
 @pytest.fixture(scope="module")
@@ -88,3 +109,140 @@ def test_bench_functional_oc_dataflow(benchmark, hks_setup):
         execute_dataflow, get_dataflow("OC"), ctx, poly, key, level
     )
     assert c0.num_towers == level + 1
+
+
+# -- looped vs batched artifact + regression guard ----------------------------
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` runs (noise-robust)."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _kernel_times(log_n: int, towers: int, bits: int, repeats: int):
+    """Per-kernel looped vs batched microseconds at one ring size."""
+    n = 1 << log_n
+    moduli = generate_primes(towers, n, bits)
+    basis = RNSBasis(moduli)
+    rng = np.random.default_rng(log_n)
+    mat = np.stack([rng.integers(0, q, n, dtype=np.int64) for q in moduli])
+    contexts = [NTTContext(n, q) for q in moduli]
+    engine = get_batch_ntt(n, tuple(moduli))
+    half = towers // 2
+    src = RNSBasis(moduli[:half])
+    dst = RNSBasis(moduli[half:])
+    conv = BasisConverter(src, dst)
+    src_mat = mat[:half]
+
+    out = {}
+    out["ntt_forward_looped_us"] = _best_of(
+        lambda: [contexts[i].forward(mat[i]) for i in range(towers)], repeats
+    ) * 1e6
+    out["ntt_forward_batched_us"] = _best_of(lambda: engine.forward(mat), repeats) * 1e6
+    out["ntt_inverse_looped_us"] = _best_of(
+        lambda: [contexts[i].inverse(mat[i]) for i in range(towers)], repeats
+    ) * 1e6
+    out["ntt_inverse_batched_us"] = _best_of(lambda: engine.inverse(mat), repeats) * 1e6
+    out["bconv_looped_us"] = _best_of(
+        lambda: conv.convert_reference(src_mat), repeats
+    ) * 1e6
+    out["bconv_batched_us"] = _best_of(lambda: conv.convert(src_mat), repeats) * 1e6
+    # CRT compose: the looped reference walks python bigints, so a single
+    # timed run is plenty (and honest about its interpreted cost).
+    crt_cols = min(n, 256)
+    crt_mat = np.ascontiguousarray(mat[:, :crt_cols])
+    out["crt_compose_looped_us"] = _best_of(
+        lambda: basis.compose_reference(crt_mat, centered=True), 1
+    ) * 1e6
+    out["crt_compose_batched_us"] = _best_of(
+        lambda: basis.compose(crt_mat, centered=True), max(1, repeats // 2)
+    ) * 1e6
+    out["crt_compose_columns"] = crt_cols
+    out["towers"] = towers
+    return out
+
+
+def _twiddle_cache_times() -> dict:
+    """Cold vs warm NTTContext construction through the disk cache."""
+    n = 1 << 12
+    moduli = generate_primes(4, n, 28)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        saved = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            cold = _best_of(lambda: [NTTContext(n, q) for q in moduli], 1)
+            warm = _best_of(lambda: [NTTContext(n, q) for q in moduli], 3)
+        finally:
+            if saved is None:
+                del os.environ["REPRO_CACHE_DIR"]
+            else:
+                os.environ["REPRO_CACHE_DIR"] = saved
+    return {
+        "rings": f"4x NTTContext(n=2^12)",
+        "cold_ms": cold * 1e3,
+        "warm_ms": warm * 1e3,
+        "speedup": cold / warm if warm > 0 else float("inf"),
+    }
+
+
+def _bootstrap_times() -> dict:
+    """End-to-end n7_boot bootstrap: batched engine vs looped reference."""
+    from repro.api import FHESession
+
+    session = FHESession.create("n7_boot", seed=21)
+    rng = np.random.default_rng(22)
+    z = rng.uniform(-0.2, 0.2, session.num_slots)
+    ct = session.encrypt(z, level=0)
+    ct.bootstrap()  # materialize circuit + keys outside the timings
+    batched = _best_of(lambda: ct.bootstrap(), 3)
+    with use_kernel_mode("looped"):
+        looped = _best_of(lambda: ct.bootstrap(), 2)
+    return {
+        "preset": "n7_boot",
+        "batched_s": batched,
+        "looped_s": looped,
+        "speedup": looped / batched,
+    }
+
+
+def test_emit_kernels_artifact():
+    """Write BENCH_kernels.json and hold the perf guards.
+
+    Guard (hard): at ``N >= 2^12`` every batched kernel must be at least
+    as fast as its looped reference — whole-matrix passes can never lose
+    to ``L`` interpreted per-tower calls at large rings.
+    """
+    payload = {
+        "kernels": {
+            "n7": _kernel_times(7, 21, 26, repeats=30),
+            "n12": _kernel_times(12, 13, 28, repeats=5),
+        },
+        "twiddle_cache": _twiddle_cache_times(),
+        "bootstrap_e2e": _bootstrap_times(),
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    n12 = payload["kernels"]["n12"]
+    for kernel in ("ntt_forward", "ntt_inverse", "bconv", "crt_compose"):
+        looped = n12[f"{kernel}_looped_us"]
+        batched = n12[f"{kernel}_batched_us"]
+        assert batched <= looped, (
+            f"{kernel}: batched ({batched:.0f}us) slower than looped "
+            f"({looped:.0f}us) at N=2^12"
+        )
+    boot = payload["bootstrap_e2e"]
+    # Acceptance target is >= 5x on a quiet machine; the hard regression
+    # floor is set below that so CI noise cannot flake the build.
+    assert boot["speedup"] >= 3.0, (
+        f"bootstrap speedup regressed to {boot['speedup']:.2f}x"
+    )
+    print(
+        f"\nn7_boot bootstrap: batched {boot['batched_s']:.3f}s vs "
+        f"looped {boot['looped_s']:.3f}s -> {boot['speedup']:.2f}x; "
+        f"twiddle cache warm {payload['twiddle_cache']['speedup']:.1f}x faster"
+    )

@@ -1,0 +1,124 @@
+"""Cross-process disk cache for precomputed kernel tables.
+
+Building an NTT twiddle table costs a ``2N``-th root-of-unity search plus
+``N`` modular multiplies per ``(N, q)`` pair, and a BConv hat table costs
+``|B| x |T|`` big-integer reductions per basis pair.  Within one process
+those are amortized by ``lru_cache``; across processes — the CLI, a test
+run, a sharded functional workload — every cold interpreter used to pay
+them again.  This module persists the tables under a versioned cache
+directory so a cold interpreter skips regeneration entirely.
+
+Layout: one ``.npz`` file per table, named ``<kind>-<fingerprint>.npz``
+with an embedded format-version array.  Writes are atomic
+(``os.replace`` of a same-directory temp file) so concurrent processes
+never observe a torn file; corrupted or stale-version files are treated
+as misses and quietly rewritten.
+
+Configuration:
+
+- ``REPRO_CACHE_DIR`` — overrides the cache location.  Set it to an
+  empty string to disable disk caching entirely.
+- default — ``$XDG_CACHE_HOME/repro-kernels`` (``~/.cache/repro-kernels``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+#: Bump when the on-disk layout of any cached table changes; stale files
+#: are treated as misses and rewritten in the new format.
+CACHE_VERSION = 1
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def cache_dir() -> Optional[Path]:
+    """Resolve the active cache directory, or ``None`` when disabled.
+
+    The environment variable is consulted on every call (not captured at
+    import time) so tests and subprocesses can repoint or disable the
+    cache without reloading the library.
+    """
+    override = os.environ.get(_ENV_VAR)
+    if override is not None:
+        if override == "":
+            return None
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-kernels"
+
+
+def fingerprint(parts: Iterable) -> str:
+    """Stable short hex digest of a heterogeneous key tuple.
+
+    Used for keys too long to embed in a filename, e.g. the full moduli
+    lists of a BConv basis pair.
+    """
+    text = "|".join(str(p) for p in parts)
+    return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+
+def _path_for(kind: str, key: str) -> Optional[Path]:
+    root = cache_dir()
+    if root is None:
+        return None
+    return root / f"{kind}-{key}.npz"
+
+
+def load(kind: str, key: str) -> Optional[Dict[str, np.ndarray]]:
+    """Fetch cached arrays for ``(kind, key)``; ``None`` on any miss.
+
+    A file that cannot be parsed, lacks the version marker, or carries a
+    different :data:`CACHE_VERSION` is a miss — the caller regenerates
+    and :func:`store` overwrites it atomically.
+    """
+    path = _path_for(kind, key)
+    if path is None or not path.is_file():
+        return None
+    try:
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except Exception:
+        return None
+    version = arrays.pop("__cache_version__", None)
+    if version is None or int(version) != CACHE_VERSION:
+        return None
+    return arrays
+
+
+def store(kind: str, key: str, arrays: Dict[str, np.ndarray]) -> bool:
+    """Persist arrays for ``(kind, key)``; returns False when disabled.
+
+    Best-effort: an unwritable cache directory degrades to a no-op
+    rather than failing the computation that produced the tables.
+    """
+    path = _path_for(kind, key)
+    if path is None:
+        return False
+    payload = dict(arrays)
+    payload["__cache_version__"] = np.int64(CACHE_VERSION)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False
+    return True

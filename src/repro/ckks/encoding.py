@@ -87,12 +87,16 @@ class Encoder:
         return RNSPoly.from_integers(basis, ints, domain=Domain.EVAL)
 
     def decode(self, poly: RNSPoly, scale: float | None = None) -> np.ndarray:
-        """Decode an EVAL/COEFF-domain polynomial back to N/2 complex slots."""
+        """Decode an EVAL/COEFF-domain polynomial back to N/2 complex slots.
+
+        CRT composition goes straight to ``float64`` through the limb
+        engine (:meth:`repro.rns.basis.RNSBasis.compose_real`) — decode
+        never materializes per-coefficient python big integers.
+        """
         if scale is None:
             scale = self.context.params.scale
         coeff_poly = poly.to_coeff()
-        ints = coeff_poly.basis.compose(coeff_poly.data, centered=True)
-        coeffs = np.array([float(v) for v in ints], dtype=np.float64)
+        coeffs = coeff_poly.basis.compose_real(coeff_poly.data)
         return self.project(coeffs / scale)
 
     def _as_slots(self, values) -> np.ndarray:

@@ -16,7 +16,9 @@ from repro.ckks.encrypt import Ciphertext
 from repro.ckks.keys import KeySwitchKey, rotation_galois_element
 from repro.ckks.keyswitch import key_switch
 from repro.errors import KeySwitchError, ParameterError
-from repro.rns.poly import Domain, RNSPoly
+from repro.ntt.batch import get_batch_ntt
+from repro.rns import dispatch
+from repro.rns.poly import Domain, RNSPoly, automorphism_stacked
 
 
 class Evaluator:
@@ -100,11 +102,44 @@ class Evaluator:
             raise ParameterError("cannot rescale a level-0 ciphertext")
         q_last = self.context.q_basis.moduli[level]
         inv = self.context.rescale_inverses(level)
-        c0 = self._rescale_poly(x.c0, level, inv)
-        c1 = self._rescale_poly(x.c1, level, inv)
+        eval_domain = (
+            x.c0.domain is Domain.EVAL and x.c1.domain is Domain.EVAL
+        )
+        if not (dispatch.batched_enabled() and eval_domain):
+            # Looped reference path; also handles COEFF-domain inputs,
+            # which the stacked EVAL-domain kernel below cannot.
+            c0 = self._rescale_poly(x.c0, level, inv)
+            c1 = self._rescale_poly(x.c1, level, inv)
+            return Ciphertext(c0, c1, level - 1, x.scale / q_last)
+        # Both halves share every constant, and the whole rescale happens
+        # in the EVAL domain: the NTT is a ring homomorphism, so
+        # ``NTT((c_i - centered) * inv) == (NTT(c_i) - NTT(centered)) * inv``
+        # exactly.  Only the dropped top towers round-trip to COEFF (a
+        # 2-row INTT) to produce the centered correction polynomial, whose
+        # per-modulus NTT images are then subtracted from the retained
+        # EVAL rows — bit-identical to rescaling c0 and c1 separately in
+        # the coefficient domain.
+        n = x.c0.n
+        basis = self.context.level_basis(level - 1)
+        last = np.stack([x.c0.data[level], x.c1.data[level]])
+        last_coeff = get_batch_ntt(n, (q_last, q_last)).inverse(last)
+        half = q_last // 2
+        centered = np.where(last_coeff > half, last_coeff - q_last, last_coeff)
+        correction = np.repeat(centered, level, axis=0) % np.concatenate(
+            [basis.q_column, basis.q_column]
+        )
+        q_col2 = np.concatenate([basis.q_column, basis.q_column])
+        corr_eval = get_batch_ntt(n, basis.moduli * 2).forward(correction)
+        kept = np.concatenate([x.c0.data[:level], x.c1.data[:level]])
+        inv_col2 = np.array(list(inv) * 2, dtype=np.int64)[:, None]
+        rows = (kept - corr_eval) % q_col2
+        rows = rows * inv_col2 % q_col2
+        c0 = RNSPoly(basis, rows[:level].copy(), Domain.EVAL)
+        c1 = RNSPoly(basis, rows[level:].copy(), Domain.EVAL)
         return Ciphertext(c0, c1, level - 1, x.scale / q_last)
 
     def _rescale_poly(self, poly: RNSPoly, level: int, inv_scalars) -> RNSPoly:
+        """Per-tower rescale loop — the retained looped reference path."""
         coeff = poly.to_coeff()
         q_last = self.context.q_basis.moduli[level]
         last = coeff.data[level]
@@ -176,8 +211,7 @@ class Evaluator:
     def apply_galois(self, x: Ciphertext, galois_element: int,
                      key: KeySwitchKey) -> Ciphertext:
         """Apply ``X -> X^g`` then key-switch the rotated ``c1`` back to ``s``."""
-        rot0 = x.c0.automorphism(galois_element)
-        rot1 = x.c1.automorphism(galois_element)
+        rot0, rot1 = automorphism_stacked([x.c0, x.c1], galois_element)
         ks0, ks1 = key_switch(self.context, rot1, key, x.level)
         return Ciphertext(rot0 + ks0, ks1, x.level, x.scale)
 

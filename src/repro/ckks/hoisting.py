@@ -26,11 +26,11 @@ from typing import Dict, List, Sequence
 from repro.ckks.context import CKKSContext
 from repro.ckks.encrypt import Ciphertext
 from repro.ckks.keys import KeySwitchKey, rotation_galois_element
-from repro.ckks.keyswitch import apply_evk, mod_down, mod_up_digit
+from repro.ckks.keyswitch import apply_evk, mod_down_pair, mod_up_all
 from repro.core.stages import OpCount, bconv_tower_ops, ntt_tower_ops
 from repro.errors import KeySwitchError
 from repro.params import BenchmarkSpec
-from repro.rns.poly import RNSPoly
+from repro.rns.poly import RNSPoly, automorphism_stacked
 
 
 def hoisted_rotations(
@@ -48,19 +48,15 @@ def hoisted_rotations(
         raise KeySwitchError("hoisted_rotations needs at least one rotation")
     level = ct.level
     n = context.params.n
-    # The shared, expensive part: ModUp of c1 (all digits).
-    extended: List[RNSPoly] = [
-        mod_up_digit(context, ct.c1, level, d)
-        for d in range(context.num_digits(level))
-    ]
+    # The shared, expensive part: ModUp of c1 (all digits, whole-matrix).
+    extended: List[RNSPoly] = mod_up_all(context, ct.c1, level)
     results: Dict[int, Ciphertext] = {}
     for steps, key in galois_keys.items():
         g = rotation_galois_element(steps, n)
-        rotated_digits = [digit.automorphism(g) for digit in extended]
+        # One stacked pass permutes c0 and every extended digit together.
+        rot_c0, *rotated_digits = automorphism_stacked([ct.c0, *extended], g)
         acc0, acc1 = apply_evk(context, rotated_digits, key, level)
-        ks0 = mod_down(context, acc0, level)
-        ks1 = mod_down(context, acc1, level)
-        rot_c0 = ct.c0.automorphism(g)
+        ks0, ks1 = mod_down_pair(context, acc0, acc1, level)
         results[steps] = Ciphertext(rot_c0 + ks0, ks1, level, ct.scale)
     return results
 

@@ -19,12 +19,15 @@ Everything operates on EVAL-domain inputs/outputs, as on the RPU.
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
 from repro.ckks.context import CKKSContext
 from repro.ckks.keys import KeySwitchKey
 from repro.errors import KeySwitchError
+from repro.ntt.batch import get_batch_ntt
+from repro.rns import dispatch
 from repro.rns.bconv import get_converter
 from repro.rns.poly import Domain, RNSPoly
 
@@ -58,17 +61,14 @@ def mod_up_digit(
     # P3: NTT back to the evaluation domain.
     converted_eval = converted.to_eval()
 
-    # Reassemble rows in extended-basis order (bypass towers + converted).
-    conv_rows = {tower: row for row, tower in enumerate(complement)}
+    # Reassemble rows in extended-basis order (bypass towers + converted):
+    # every tower index belongs to exactly one of the two groups, so two
+    # fancy-indexed assignments fill the preallocated matrix completely.
     total = level + 1 + len(context.p_basis)
-    rows = []
-    for tower in range(total):
-        if tower in conv_rows:
-            rows.append(converted_eval.data[conv_rows[tower]])
-        else:
-            local = indices.index(tower)
-            rows.append(digit_poly.data[local])
-    return RNSPoly(extended, np.stack(rows), Domain.EVAL)
+    out = np.empty((total, poly.n), dtype=converted_eval.data.dtype)
+    out[np.asarray(complement, dtype=np.intp)] = converted_eval.data
+    out[np.asarray(indices, dtype=np.intp)] = digit_poly.data
+    return RNSPoly(extended, out, Domain.EVAL)
 
 
 def apply_evk(
@@ -78,18 +78,63 @@ def apply_evk(
     level: int,
 ) -> Tuple[RNSPoly, RNSPoly]:
     """ModUp P4 + P5: multiply each extended digit by its evk pair and sum."""
-    pairs = key.restricted(context, level)
-    if len(extended_digits) != len(pairs):
+    if not dispatch.batched_enabled():
+        pairs = key.restricted(context, level)
+        if len(extended_digits) != len(pairs):
+            raise KeySwitchError(
+                f"{len(extended_digits)} digits but key provides {len(pairs)} pairs"
+            )
+        acc0 = acc1 = None
+        for digit_poly, (b_d, a_d) in zip(extended_digits, pairs):
+            part0 = digit_poly * b_d
+            part1 = digit_poly * a_d
+            acc0 = part0 if acc0 is None else acc0 + part0
+            acc1 = part1 if acc1 is None else acc1 + part1
+        return acc0, acc1
+    # Whole-matrix P4/P5: stack every digit, multiply both key halves in
+    # two passes, then fold the digit axis with one unreduced sum per half
+    # (dnum canonical residues sum far below 2**63, so a single ``% q``
+    # after the fold matches the per-digit running reduction exactly).
+    count, b_tall, a_tall, q_tall = _stacked_evk(context, key, level)
+    if len(extended_digits) != count:
         raise KeySwitchError(
-            f"{len(extended_digits)} digits but key provides {len(pairs)} pairs"
+            f"{len(extended_digits)} digits but key provides {count} pairs"
         )
-    acc0 = acc1 = None
-    for digit_poly, (b_d, a_d) in zip(extended_digits, pairs):
-        part0 = digit_poly * b_d
-        part1 = digit_poly * a_d
-        acc0 = part0 if acc0 is None else acc0 + part0
-        acc1 = part1 if acc1 is None else acc1 + part1
-    return acc0, acc1
+    basis = extended_digits[0].basis
+    towers = len(basis)
+    n = extended_digits[0].n
+    ext = (
+        extended_digits[0].data
+        if count == 1
+        else np.concatenate([d.data for d in extended_digits])
+    )
+    acc = []
+    for keys_tall in (b_tall, a_tall):
+        prod = ext * keys_tall % q_tall
+        folded = prod.reshape(count, towers, n).sum(axis=0) % basis.q_column
+        acc.append(RNSPoly(basis, folded, Domain.EVAL))
+    return acc[0], acc[1]
+
+
+#: Stacked evk tower matrices per (key, level) — the restriction and row
+#: concatenation allocate the same arrays on every HKS call otherwise.
+_EVK_STACK_CACHE: "WeakKeyDictionary[KeySwitchKey, dict]" = WeakKeyDictionary()
+
+
+def _stacked_evk(context: CKKSContext, key: KeySwitchKey, level: int):
+    try:
+        per_key = _EVK_STACK_CACHE.setdefault(key, {})
+    except TypeError:  # un-weakref-able key subclass: build uncached
+        per_key = {}
+    entry = per_key.get(level)
+    if entry is None:
+        pairs = key.restricted(context, level)
+        b_tall = np.concatenate([b.data for b, _ in pairs])
+        a_tall = np.concatenate([a.data for _, a in pairs])
+        q_tall = np.concatenate([pairs[0][0].basis.q_column] * len(pairs))
+        entry = (len(pairs), b_tall, a_tall, q_tall)
+        per_key[level] = entry
+    return entry
 
 
 def mod_down(context: CKKSContext, poly: RNSPoly, level: int) -> RNSPoly:
@@ -119,6 +164,107 @@ def mod_down(context: CKKSContext, poly: RNSPoly, level: int) -> RNSPoly:
     return (q_part - conv_eval).scale_by(inv_scalars)
 
 
+def mod_up_all(context: CKKSContext, poly: RNSPoly, level: int) -> List[RNSPoly]:
+    """ModUp P1-P3 for *every* digit in whole-matrix passes.
+
+    Bit-identical to ``[mod_up_digit(context, poly, level, d) for d in
+    range(dnum)]`` but batched: the digit bases partition the chain
+    towers, so P1 is one INTT of the full ``(l+1, N)`` matrix, P2 runs
+    one blocked BConv per digit, and P3 is a single NTT over the
+    concatenation of every complement basis (the batched engine keys
+    twiddles per row, so duplicated moduli across digits are fine).
+    """
+    if poly.domain is not Domain.EVAL:
+        raise KeySwitchError("ModUp expects an EVAL-domain input")
+    if not dispatch.batched_enabled():
+        return [
+            mod_up_digit(context, poly, level, d)
+            for d in range(context.num_digits(level))
+        ]
+    n = poly.n
+    digit_groups = context.digit_indices(level)
+    # P1: one batched INTT covers every digit's towers at once.
+    coeff = get_batch_ntt(n, poly.basis.moduli).inverse(poly.data)
+    # P2: blocked BConv per digit into its complement basis.
+    converted = []
+    for digit, indices in enumerate(digit_groups):
+        digit_basis = poly.basis.subbasis(indices)
+        target = context.complement_basis(level, digit)
+        rows = coeff[np.asarray(indices, dtype=np.intp)]
+        converted.append(get_converter(digit_basis, target).convert(rows))
+    # P3: one stacked NTT across every digit's complement towers.
+    stacked_moduli = tuple(
+        m
+        for digit in range(len(digit_groups))
+        for m in context.complement_basis(level, digit).moduli
+    )
+    stacked = get_batch_ntt(n, stacked_moduli).forward(np.concatenate(converted))
+    # Reassemble each digit in extended-basis order (bypass + converted).
+    extended = context.extended_basis(level)
+    total = level + 1 + len(context.p_basis)
+    out_polys: List[RNSPoly] = []
+    row = 0
+    for digit, indices in enumerate(digit_groups):
+        complement = context.complement_indices(level, digit)
+        block = stacked[row : row + len(complement)]
+        row += len(complement)
+        out = np.empty((total, n), dtype=block.dtype)
+        out[np.asarray(complement, dtype=np.intp)] = block
+        idx = np.asarray(indices, dtype=np.intp)
+        out[idx] = poly.data[idx]
+        out_polys.append(RNSPoly(extended, out, Domain.EVAL))
+    return out_polys
+
+
+def mod_down_pair(
+    context: CKKSContext, a: RNSPoly, b: RNSPoly, level: int
+) -> Tuple[RNSPoly, RNSPoly]:
+    """ModDown of the ``(c0', c1')`` accumulator pair in shared passes.
+
+    Bit-identical to ``(mod_down(a), mod_down(b))``: the two halves stack
+    into one INTT / one NTT (duplicated moduli tuples), and the single
+    shared converter sees both halves side by side along the coefficient
+    axis — BConv is column-independent, so widening ``N`` is free.
+    """
+    if not dispatch.batched_enabled():
+        return mod_down(context, a, level), mod_down(context, b, level)
+    for poly in (a, b):
+        if poly.domain is not Domain.EVAL:
+            raise KeySwitchError("ModDown expects an EVAL-domain input")
+    num_q = level + 1
+    num_p = len(context.p_basis)
+    n = a.n
+    for poly in (a, b):
+        if poly.num_towers != num_q + num_p:
+            raise KeySwitchError(
+                f"expected {num_q + num_p} towers, got {poly.num_towers}"
+            )
+    level_basis = context.level_basis(level)
+    # P1: one INTT of both halves' K auxiliary towers.
+    p_rows = np.concatenate([a.data[num_q:], b.data[num_q:]])
+    p_coeff = get_batch_ntt(n, context.p_basis.moduli * 2).inverse(p_rows)
+    # P2: one BConv P -> Q_l with the halves side by side along N.
+    converter = get_converter(context.p_basis, level_basis)
+    side_by_side = np.concatenate([p_coeff[:num_p], p_coeff[num_p:]], axis=1)
+    conv = converter.convert(side_by_side)
+    # P3: one NTT back over both halves.
+    conv_rows = np.concatenate([conv[:, :n], conv[:, n:]])
+    conv_eval = get_batch_ntt(n, level_basis.moduli * 2).forward(conv_rows)
+    # P4: (q_part - conv) * P^-1 for both halves in one matrix pass.
+    q_rows = np.concatenate([a.data[:num_q], b.data[:num_q]])
+    q_col2 = np.concatenate([level_basis.q_column, level_basis.q_column])
+    inv_col2 = np.array(
+        [context.p_inv_mod_q[i] for i in range(num_q)] * 2, dtype=np.int64
+    )[:, None]
+    diff = q_rows - conv_eval
+    diff = np.where(diff < 0, diff + q_col2, diff)
+    out = diff * inv_col2 % q_col2
+    return (
+        RNSPoly(level_basis, out[:num_q].copy(), Domain.EVAL),
+        RNSPoly(level_basis, out[num_q:].copy(), Domain.EVAL),
+    )
+
+
 def key_switch(
     context: CKKSContext, poly: RNSPoly, key: KeySwitchKey, level: int
 ) -> Tuple[RNSPoly, RNSPoly]:
@@ -128,9 +274,6 @@ def key_switch(
     ``s_from -> s``), the outputs satisfy
     ``c0' + c1' * s ~= c * s_from (mod Q_l)`` up to key-switching noise.
     """
-    digits = [
-        mod_up_digit(context, poly, level, d)
-        for d in range(context.num_digits(level))
-    ]
+    digits = mod_up_all(context, poly, level)
     acc0, acc1 = apply_evk(context, digits, key, level)
-    return mod_down(context, acc0, level), mod_down(context, acc1, level)
+    return mod_down_pair(context, acc0, acc1, level)

@@ -31,6 +31,7 @@ from repro.ckks.encrypt import Ciphertext
 from repro.ckks.evaluator import Evaluator
 from repro.ckks.keys import KeySwitchKey
 from repro.errors import ParameterError
+from repro.rns import dispatch
 from repro.rns.poly import RNSPoly
 
 #: Per-encoder cache of constant plaintexts keyed by (value, level, scale).
@@ -225,7 +226,13 @@ def _match_scale(evaluator: Evaluator, encoder: Encoder, ct: Ciphertext,
         raise ParameterError(
             f"cannot match scale {ct.scale:g} down to {target_scale:g}"
         )
-    pt = encoder.encode([1.0] * encoder.num_slots, level=level, scale=corr)
+    # corr is deterministic per circuit position, so the constant cache
+    # serves repeated bootstraps without re-encoding (the looped reference
+    # mode re-encodes every time, as the pre-optimization code did).
+    if dispatch.batched_enabled():
+        pt = _encode_constant(encoder, 1.0, level, corr)
+    else:
+        pt = encoder.encode([1.0] * encoder.num_slots, level=level, scale=corr)
     out = evaluator.multiply_plain(ct, pt, plain_scale=corr)
     # Rebuild with the exact float target: corr was rounded, and additions
     # tolerate at most 0.5 of absolute scale mismatch.

@@ -13,10 +13,17 @@ from repro.ntt.modmath import (
     sub_mod,
     to_residues,
 )
+from repro.ntt.batch import BatchNTT, get_batch_ntt
 from repro.ntt.primes import generate_primes, primitive_root, root_of_unity
-from repro.ntt.transform import NTTContext, bit_reverse_indices, is_power_of_two
+from repro.ntt.transform import (
+    NTTContext,
+    bit_reverse_indices,
+    get_ntt_context,
+    is_power_of_two,
+)
 
 __all__ = [
+    "BatchNTT",
     "MAX_MODULUS_BITS",
     "NTTContext",
     "add_mod",
@@ -24,6 +31,8 @@ __all__ = [
     "centered",
     "check_modulus",
     "generate_primes",
+    "get_batch_ntt",
+    "get_ntt_context",
     "inv_mod",
     "is_power_of_two",
     "is_probable_prime",

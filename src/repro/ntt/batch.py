@@ -1,0 +1,208 @@
+"""Whole-matrix negacyclic NTT over an RNS tower stack.
+
+:class:`NTTContext` transforms one tower at a time, so converting an
+``(L, N)`` RNS polynomial between domains costs ``L * log2(N)`` numpy
+passes — at the functional layer's small rings the interpreter overhead
+of those ``L`` separate calls dominates the arithmetic.  This engine
+stacks the per-tower twiddle tables into ``(L, N)`` matrices and keeps
+the moduli as a column vector ``q[:, None]``, so one butterfly stage
+updates *every* tower at once and a full transform is ``log2(N)``
+vectorized passes total.
+
+Two further tricks shave numpy passes off each stage:
+
+- **lazy reduction** — butterfly outputs are allowed to grow a few
+  multiples of ``q`` beyond canonical before a single whole-array ``% q``
+  pass reclaims them; the growth cap is chosen per moduli stack so every
+  twiddle product provably stays below ``2**62``.  All intermediates stay
+  congruent mod ``q``, and the final canonicalization makes outputs
+  bit-identical to the eagerly-reduced scalar network.
+- **preallocated scratch** — each stage writes the difference leg through
+  a reused ``(L, N/2)`` buffer instead of allocating per call, and the
+  input is canonical by the :class:`repro.rns.poly.RNSPoly` invariant so
+  no ``% q`` validation pass is spent on entry.
+
+The twiddle stacks are assembled from the per-``(N, q)``
+:class:`NTTContext` tables, which persist across processes via
+:mod:`repro.cache`; a warm cache makes both layers free to construct.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ntt.transform import get_ntt_context
+
+_INT64 = np.int64
+
+
+class BatchNTT:
+    """Batched negacyclic NTT for a fixed ordered tuple of moduli.
+
+    All inputs/outputs are ``(L, N)`` int64 matrices of canonical
+    residues, row ``i`` modulo ``moduli[i]``.  Outputs are bit-identical
+    to looping :meth:`NTTContext.forward` / :meth:`NTTContext.inverse`
+    over the rows — ``tests/test_kernel_equivalence.py`` holds this as a
+    hypothesis property.
+    """
+
+    def __init__(self, n: int, moduli: Tuple[int, ...]):
+        contexts = [get_ntt_context(n, q) for q in moduli]
+        self.n = n
+        self.moduli = tuple(moduli)
+        #: (L, 1) column vector of moduli — broadcasts against (L, m, t)
+        #: butterfly legs as (L, 1, 1).
+        self._q = np.array(self.moduli, dtype=_INT64)[:, None]
+        self._q3 = self._q[:, :, None]
+        self._psi_rev = np.stack([c._psi_rev for c in contexts])
+        self._psi_inv_rev = np.stack([c._psi_inv_rev for c in contexts])
+        self._n_inv = np.array([c._n_inv for c in contexts], dtype=_INT64)[:, None]
+        #: How many multiples of q an operand may carry while its twiddle
+        #: product still fits comfortably in int64.
+        max_q = max(self.moduli)
+        self._lazy_cap = max(1, (1 << 62) // (max_q * max_q))
+        self._scratch = np.empty((len(self.moduli), max(1, n // 2)), dtype=_INT64)
+        self._work = np.empty((len(self.moduli), n), dtype=_INT64)
+        # Per-stage twiddle slices, contiguous and pre-shaped for the
+        # (L, m, t) butterfly blocks, so the hot loop does no slicing.
+        self._fwd_tw = []
+        m = 1
+        while m < n:
+            self._fwd_tw.append(
+                np.ascontiguousarray(self._psi_rev[:, m : 2 * m])[:, :, None]
+            )
+            m *= 2
+        self._inv_tw = []
+        m = n
+        while m > 1:
+            h = m // 2
+            self._inv_tw.append(
+                np.ascontiguousarray(self._psi_inv_rev[:, h : 2 * h])[:, :, None]
+            )
+            m = h
+        # The stacked tables are only needed to build the per-stage slices;
+        # engines live forever in the lru cache, so drop the duplicates.
+        del self._psi_rev
+        del self._psi_inv_rev
+
+    # -- public API ---------------------------------------------------------
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """COEFF -> EVAL for a whole ``(L, N)`` tower matrix at once.
+
+        Residues must already be canonical (``[0, q_i)`` per row) — the
+        callers inside :class:`repro.rns.poly.RNSPoly` maintain that
+        invariant, so no ``% q`` canonicalization pass is spent on entry.
+        Each butterfly stage reads one ping-pong buffer and writes the
+        other (4 numpy passes: twiddle multiply, reduce, sum leg,
+        difference leg); intermediates run signed and lazily reduced, and
+        the final canonicalization restores exact agreement with the
+        eagerly-reduced scalar network.
+        """
+        src, dst, spare = self._buffers(coeffs)
+        original = src
+        towers = len(self.moduli)
+        q3 = self._q3
+        tmp = self._scratch
+        bound = 1  # operand magnitudes are < bound * q
+        stage = 0
+        m, t = 1, self.n
+        while m < self.n:
+            t //= 2
+            if bound > self._lazy_cap:
+                src %= self._q
+                bound = 1
+            blk = src.reshape(towers, m, 2 * t)
+            out_blk = dst.reshape(towers, m, 2 * t)
+            lo = blk[:, :, :t]
+            whi = tmp.reshape(towers, m, t)
+            np.multiply(blk[:, :, t:], self._fwd_tw[stage], out=whi)
+            whi %= q3
+            np.add(lo, whi, out=out_blk[:, :, :t])
+            np.subtract(lo, whi, out=out_blk[:, :, t:])
+            bound += 1
+            stage += 1
+            src, dst = dst, (spare if src is original else src)
+            m *= 2
+        src %= self._q
+        return src
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """EVAL (bit-reversed) -> COEFF for a whole ``(L, N)`` matrix."""
+        src, dst, spare = self._buffers(evals)
+        original = src
+        towers = len(self.moduli)
+        q3 = self._q3
+        tmp = self._scratch
+        bound = 1
+        stage = 0
+        t, m = 1, self.n
+        while m > 1:
+            h = m // 2
+            if bound > self._lazy_cap:
+                src %= self._q
+                bound = 1
+            blk = src.reshape(towers, h, 2 * t)
+            out_blk = dst.reshape(towers, h, 2 * t)
+            lo = blk[:, :, :t]
+            hi = blk[:, :, t:]
+            # GS butterfly: (lo', hi') = (lo + hi, (lo - hi) * w mod q).
+            # The signed difference stays within +/- bound * q, so its
+            # twiddle product fits int64 and numpy's % returns canonical.
+            diff = tmp.reshape(towers, h, t)
+            np.subtract(lo, hi, out=diff)
+            np.add(lo, hi, out=out_blk[:, :, :t])
+            np.multiply(diff, self._inv_tw[stage], out=out_blk[:, :, t:])
+            out_blk[:, :, t:] %= q3
+            bound *= 2
+            stage += 1
+            src, dst = dst, (spare if src is original else src)
+            t *= 2
+            m = h
+        if bound > self._lazy_cap:
+            src %= self._q
+        src *= self._n_inv
+        src %= self._q
+        return src
+
+    # -- helpers ------------------------------------------------------------
+
+    def _buffers(self, arr: np.ndarray):
+        """Validate input and set up the ping-pong buffer pair.
+
+        The input array is only ever *read* (stage 1 writes into a
+        buffer), and the buffer parity is arranged so the final stage
+        lands in a freshly allocated caller-owned array, never in the
+        engine's reusable scratch.
+        """
+        arr = np.asarray(arr, dtype=_INT64)
+        expected = (len(self.moduli), self.n)
+        if arr.shape != expected:
+            raise ParameterError(
+                f"batched NTT expects shape {expected}, got {arr.shape}"
+            )
+        stages = self.n.bit_length() - 1
+        if stages == 0:
+            return arr.copy(), None, None
+        result = np.empty(expected, dtype=_INT64)
+        if stages % 2 == 1:
+            return arr, result, self._work
+        return arr, self._work, result
+
+    def __repr__(self) -> str:
+        return f"BatchNTT(n={self.n}, towers={len(self.moduli)})"
+
+
+@lru_cache(maxsize=None)
+def get_batch_ntt(n: int, moduli: Tuple[int, ...]) -> BatchNTT:
+    """Shared per-``(N, moduli)`` engine, assembled from cached contexts.
+
+    Key switching walks a fixed set of level/digit bases, so the number of
+    distinct stacks is small; each holds two ``(L, N)`` int64 tables plus
+    an ``(L, N/2)`` scratch buffer.
+    """
+    return BatchNTT(n, tuple(int(q) for q in moduli))

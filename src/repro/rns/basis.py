@@ -6,6 +6,11 @@ represented as matrices of residues; this module provides the exact CRT
 maps between the two representations plus the precomputed constants
 (``Q_hat_i = Q / q_i`` and its inverse) that both CRT and the approximate
 basis conversion of :mod:`repro.rns.bconv` rely on.
+
+The CRT maps run on the vectorized limb engine of :mod:`repro.rns.crt`
+by default; the original per-coefficient python-int implementations are
+retained as ``*_reference`` methods (and selected by the ``"looped"``
+kernel mode) so equivalence is a testable property, not an assumption.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.ntt.modmath import check_modulus, inv_mod
+from repro.rns import dispatch
 
 _INT64 = np.int64
 
@@ -60,6 +66,9 @@ class RNSBasis:
         self.hat_invs: Tuple[int, ...] = tuple(
             inv_mod(h, q) for h, q in zip(self.hats, moduli)
         )
+        #: (L, 1) int64 column of the moduli — the broadcast shape every
+        #: whole-matrix kernel reduces against.
+        self.q_column: np.ndarray = np.array(moduli, dtype=_INT64)[:, None]
 
     def __len__(self) -> int:
         return len(self.moduli)
@@ -94,12 +103,36 @@ class RNSBasis:
 
     # -- CRT maps ------------------------------------------------------------
 
+    def _crt_engine(self):
+        from repro.rns.crt import get_engine
+
+        return get_engine(self)
+
     def decompose(self, values) -> np.ndarray:
         """Exact integers (any magnitude, possibly negative) -> residue matrix.
 
         ``values`` is a length-``N`` sequence; the result has shape
-        ``(len(basis), N)`` with canonical residues.
+        ``(len(basis), N)`` with canonical residues.  Integer-dtyped numpy
+        input takes a single vectorized ``np.mod`` pass; python big
+        integers go through the limb engine of :mod:`repro.rns.crt`.
         """
+        arr = np.asarray(values)
+        if arr.ndim > 1:
+            arr = arr.ravel()
+        if (
+            arr.dtype != object
+            and np.issubdtype(arr.dtype, np.integer)
+            and not (arr.dtype.kind == "u" and arr.dtype.itemsize == 8)
+        ):
+            # int64-representable plaintexts: no object round-trip.
+            # (uint64 is excluded: values >= 2**63 would wrap in the cast.)
+            return np.mod(arr.astype(_INT64, copy=False)[None, :], self.q_column)
+        if dispatch.batched_enabled():
+            return self._crt_engine().decompose_ints(arr)
+        return self.decompose_reference(arr)
+
+    def decompose_reference(self, values) -> np.ndarray:
+        """Per-coefficient python-int decomposition (scalar reference)."""
         vals = [int(v) for v in np.asarray(values, dtype=object).ravel()]
         out = np.empty((len(self.moduli), len(vals)), dtype=_INT64)
         for row, q in enumerate(self.moduli):
@@ -115,8 +148,8 @@ class RNSBasis:
         towers are lifted into the full chain, which changes its value by
         a multiple-of-``Q`` overflow polynomial that EvalMod later removes.
         Unlike :mod:`repro.rns.bconv` this conversion is exact, not
-        approximate — ModRaise happens once per bootstrap, off the HKS
-        hot path, so it can afford full CRT composition.
+        approximate — but since PR 4 it is also fully vectorized (limb
+        matrices end to end, no per-coefficient python ints).
         """
         residues = np.asarray(residues)
         if len(self.moduli) == 1:
@@ -128,8 +161,10 @@ class RNSBasis:
             for row, t in enumerate(target.moduli):
                 out[row] = centered_row % t
             return out
-        ints = self.compose(residues, centered=True)
-        return target.decompose(ints)
+        if dispatch.batched_enabled():
+            return self._crt_engine().convert_centered(residues, target)
+        ints = self.compose_reference(residues, centered=True)
+        return target.decompose_reference(ints)
 
     def compose(self, residues: np.ndarray, centered: bool = True) -> np.ndarray:
         """Residue matrix ``(len(basis), N)`` -> exact integers (object array).
@@ -137,6 +172,36 @@ class RNSBasis:
         With ``centered=True`` the result lies in ``(-Q/2, Q/2]``, which is
         the representative CKKS decoding needs.
         """
+        if dispatch.batched_enabled():
+            residues = np.asarray(residues)
+            if residues.shape[0] != len(self.moduli):
+                raise ParameterError(
+                    f"residue matrix has {residues.shape[0]} rows, "
+                    f"basis has {len(self.moduli)} moduli"
+                )
+            return self._crt_engine().compose_ints(residues, centered=centered)
+        return self.compose_reference(residues, centered=centered)
+
+    def compose_real(self, residues: np.ndarray) -> np.ndarray:
+        """Centered composition straight to ``float64`` (CKKS decode path).
+
+        Avoids materializing python big integers entirely; the centered
+        magnitude is computed exactly in limb space before the single
+        float conversion, so small decode outputs lose no precision.
+        """
+        residues = np.asarray(residues)
+        if residues.shape[0] != len(self.moduli):
+            raise ParameterError(
+                f"residue matrix has {residues.shape[0]} rows, "
+                f"basis has {len(self.moduli)} moduli"
+            )
+        if not dispatch.batched_enabled():
+            ints = self.compose_reference(residues, centered=True)
+            return np.array([float(v) for v in ints], dtype=np.float64)
+        return self._crt_engine().compose_float(residues)
+
+    def compose_reference(self, residues: np.ndarray, centered: bool = True) -> np.ndarray:
+        """Per-coefficient python-bigint CRT (scalar reference)."""
         residues = np.asarray(residues)
         if residues.shape[0] != len(self.moduli):
             raise ParameterError(

@@ -1,0 +1,53 @@
+"""Kernel-mode switch: batched engines vs the retained looped reference.
+
+Every batched kernel in this package (whole-matrix NTT, blocked-matmul
+BConv, limb-matrix CRT) keeps its original per-tower / per-coefficient
+implementation alive as a *reference path*.  The property tests in
+``tests/test_kernel_equivalence.py`` prove the two bit-identical, and the
+benchmarks flip this switch to measure the speedup of the batched
+engines against the exact pre-optimization code path on the same build.
+
+The default is ``"batched"``; nothing in the library changes behaviour
+between modes — only which implementation computes the identical result.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import ParameterError
+
+BATCHED = "batched"
+LOOPED = "looped"
+
+_MODE = BATCHED
+
+
+def kernel_mode() -> str:
+    """Currently active kernel mode (``"batched"`` or ``"looped"``)."""
+    return _MODE
+
+
+def batched_enabled() -> bool:
+    return _MODE == BATCHED
+
+
+def set_kernel_mode(mode: str) -> None:
+    """Select the kernel implementation globally (process-wide)."""
+    global _MODE
+    if mode not in (BATCHED, LOOPED):
+        raise ParameterError(
+            f"unknown kernel mode {mode!r}; expected {BATCHED!r} or {LOOPED!r}"
+        )
+    _MODE = mode
+
+
+@contextmanager
+def use_kernel_mode(mode: str):
+    """Temporarily run under the given kernel mode (benchmarks, tests)."""
+    previous = kernel_mode()
+    set_kernel_mode(mode)
+    try:
+        yield
+    finally:
+        set_kernel_mode(previous)

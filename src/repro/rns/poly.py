@@ -5,22 +5,32 @@ with one row ("tower") per RNS modulus, each row holding the residues of a
 degree-``N`` negacyclic polynomial.  Rows live either in the coefficient
 domain or the (bit-reversed) evaluation domain; the per-tower NTTs that move
 between the two are exactly the P1/P3 stages of HKS.
+
+All arithmetic and domain changes run as whole-matrix kernels: one numpy
+pass against the basis' ``q[:, None]`` modulus column instead of a python
+loop over towers, and ``log2(N)`` batched butterfly stages total for the
+NTTs (:mod:`repro.ntt.batch`).  The per-tower loops survive as the
+``"looped"`` kernel mode (:mod:`repro.rns.dispatch`) — the reference the
+batched kernels are property-tested bit-exact against.
 """
 
 from __future__ import annotations
 
 import enum
-from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.ntt.batch import get_batch_ntt
 from repro.ntt.modmath import add_mod, mul_mod, neg_mod, sub_mod
-from repro.ntt.transform import NTTContext
+from repro.ntt.transform import get_ntt_context
+from repro.rns import dispatch
 from repro.rns.basis import RNSBasis
 
 _INT64 = np.int64
+
+__all__ = ["Domain", "RNSPoly", "automorphism_stacked", "get_ntt_context"]
 
 
 class Domain(enum.Enum):
@@ -28,12 +38,6 @@ class Domain(enum.Enum):
 
     COEFF = "coeff"
     EVAL = "eval"
-
-
-@lru_cache(maxsize=None)
-def get_ntt_context(n: int, q: int) -> NTTContext:
-    """Shared per-(N, q) twiddle tables; building them is the expensive part."""
-    return NTTContext(n, q)
 
 
 class RNSPoly:
@@ -121,22 +125,33 @@ class RNSPoly:
 
     def __add__(self, other: "RNSPoly") -> "RNSPoly":
         self._check_compatible(other)
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = add_mod(self.data[i], other.data[i], q)
+        if dispatch.batched_enabled():
+            s = self.data + other.data
+            out = np.where(s >= self.basis.q_column, s - self.basis.q_column, s)
+        else:
+            out = np.empty_like(self.data)
+            for i, q in enumerate(self.basis.moduli):
+                out[i] = add_mod(self.data[i], other.data[i], q)
         return RNSPoly(self.basis, out, self.domain)
 
     def __sub__(self, other: "RNSPoly") -> "RNSPoly":
         self._check_compatible(other)
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = sub_mod(self.data[i], other.data[i], q)
+        if dispatch.batched_enabled():
+            d = self.data - other.data
+            out = np.where(d < 0, d + self.basis.q_column, d)
+        else:
+            out = np.empty_like(self.data)
+            for i, q in enumerate(self.basis.moduli):
+                out[i] = sub_mod(self.data[i], other.data[i], q)
         return RNSPoly(self.basis, out, self.domain)
 
     def __neg__(self) -> "RNSPoly":
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = neg_mod(self.data[i], q)
+        if dispatch.batched_enabled():
+            out = np.where(self.data == 0, self.data, self.basis.q_column - self.data)
+        else:
+            out = np.empty_like(self.data)
+            for i, q in enumerate(self.basis.moduli):
+                out[i] = neg_mod(self.data[i], q)
         return RNSPoly(self.basis, out, self.domain)
 
     def __mul__(self, other: "RNSPoly") -> "RNSPoly":
@@ -144,18 +159,28 @@ class RNSPoly:
         self._check_compatible(other)
         if self.domain is not Domain.EVAL:
             raise ParameterError("polynomial product requires EVAL domain")
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = mul_mod(self.data[i], other.data[i], q)
+        if dispatch.batched_enabled():
+            out = self.data * other.data % self.basis.q_column
+        else:
+            out = np.empty_like(self.data)
+            for i, q in enumerate(self.basis.moduli):
+                out[i] = mul_mod(self.data[i], other.data[i], q)
         return RNSPoly(self.basis, out, self.domain)
 
     def scale_by(self, scalars: Sequence[int]) -> "RNSPoly":
         """Multiply tower ``i`` by scalar ``scalars[i] mod q_i`` (any domain)."""
         if len(scalars) != self.num_towers:
             raise ParameterError("need one scalar per tower")
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = mul_mod(self.data[i], int(scalars[i]) % q, q)
+        if dispatch.batched_enabled():
+            col = np.array(
+                [int(s) % q for s, q in zip(scalars, self.basis.moduli)],
+                dtype=_INT64,
+            )[:, None]
+            out = self.data * col % self.basis.q_column
+        else:
+            out = np.empty_like(self.data)
+            for i, q in enumerate(self.basis.moduli):
+                out[i] = mul_mod(self.data[i], int(scalars[i]) % q, q)
         return RNSPoly(self.basis, out, self.domain)
 
     # -- domain changes (HKS P1/P3) -------------------------------------------
@@ -163,17 +188,23 @@ class RNSPoly:
     def to_eval(self) -> "RNSPoly":
         if self.domain is Domain.EVAL:
             return self.copy()
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = get_ntt_context(self.n, q).forward(self.data[i])
+        if dispatch.batched_enabled():
+            out = get_batch_ntt(self.n, self.basis.moduli).forward(self.data)
+        else:
+            out = np.empty_like(self.data)
+            for i, q in enumerate(self.basis.moduli):
+                out[i] = get_ntt_context(self.n, q).forward(self.data[i])
         return RNSPoly(self.basis, out, Domain.EVAL)
 
     def to_coeff(self) -> "RNSPoly":
         if self.domain is Domain.COEFF:
             return self.copy()
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = get_ntt_context(self.n, q).inverse(self.data[i])
+        if dispatch.batched_enabled():
+            out = get_batch_ntt(self.n, self.basis.moduli).inverse(self.data)
+        else:
+            out = np.empty_like(self.data)
+            for i, q in enumerate(self.basis.moduli):
+                out[i] = get_ntt_context(self.n, q).inverse(self.data[i])
         return RNSPoly(self.basis, out, Domain.COEFF)
 
     def to_domain(self, domain: Domain) -> "RNSPoly":
@@ -218,6 +249,10 @@ class RNSPoly:
 
         Coefficient ``a_j`` moves to exponent ``j*g mod 2N``; exponents that
         land in ``[N, 2N)`` wrap with a sign flip because ``X^N = -1``.
+        The permutation and sign mask are shared by every tower, so the
+        whole matrix moves in one fancy-indexed assignment into a
+        preallocated output — ``dest`` is a permutation of ``0..N-1``, so
+        every output slot is written and no zero-fill pass is needed.
         """
         g = int(galois_element)
         if g % 2 == 0:
@@ -229,11 +264,67 @@ class RNSPoly:
         dest = np.where(e < n, e, e - n)
         flip = e >= n
         out = np.empty_like(coeff.data)
-        for i, q in enumerate(self.basis.moduli):
-            row = np.zeros(n, dtype=_INT64)
-            vals = coeff.data[i]
-            vals = np.where(flip, neg_mod(vals, q), vals)
-            row[dest] = vals
-            out[i] = row
+        if dispatch.batched_enabled():
+            vals = np.where(
+                flip[None, :],
+                np.where(coeff.data == 0, coeff.data, self.basis.q_column - coeff.data),
+                coeff.data,
+            )
+            out[:, dest] = vals
+        else:
+            for i, q in enumerate(self.basis.moduli):
+                row = np.zeros(n, dtype=_INT64)
+                vals = coeff.data[i]
+                vals = np.where(flip, neg_mod(vals, q), vals)
+                row[dest] = vals
+                out[i] = row
         result = RNSPoly(self.basis, out, Domain.COEFF)
         return result.to_domain(self.domain)
+
+
+def automorphism_stacked(polys: Sequence[RNSPoly], galois_element: int) -> list:
+    """Apply one Galois map to several polynomials in a single batched pass.
+
+    The permutation and sign mask depend only on ``(N, g)``, so the
+    polynomials' tower matrices are stacked into one tall matrix (their
+    moduli tuples concatenated — duplicates are fine, the batched NTT
+    keys per row) and moved through INTT -> permute -> NTT exactly once.
+    Inputs must share ring degree and domain; outputs match
+    ``[p.automorphism(g) for p in polys]`` bit for bit.
+    """
+    polys = list(polys)
+    if not polys:
+        return []
+    if len(polys) == 1 or not dispatch.batched_enabled():
+        return [p.automorphism(galois_element) for p in polys]
+    g = int(galois_element)
+    if g % 2 == 0:
+        raise ParameterError(f"Galois element must be odd, got {g}")
+    n = polys[0].n
+    domain = polys[0].domain
+    for p in polys[1:]:
+        if p.n != n or p.domain is not domain:
+            raise ParameterError("stacked automorphism needs a shared n and domain")
+    moduli = tuple(m for p in polys for m in p.basis.moduli)
+    q_col = np.array(moduli, dtype=_INT64)[:, None]
+    data = np.concatenate([p.data for p in polys])
+    engine = get_batch_ntt(n, moduli)
+    coeff = engine.inverse(data) if domain is Domain.EVAL else data
+    j = np.arange(n, dtype=np.int64)
+    e = (j * g) % (2 * n)
+    dest = np.where(e < n, e, e - n)
+    flip = e >= n
+    vals = np.where(
+        flip[None, :], np.where(coeff == 0, coeff, q_col - coeff), coeff
+    )
+    out = np.empty_like(coeff)
+    out[:, dest] = vals
+    if domain is Domain.EVAL:
+        out = engine.forward(out)
+    results = []
+    row = 0
+    for p in polys:
+        block = out[row : row + p.num_towers]
+        row += p.num_towers
+        results.append(RNSPoly(p.basis, block.copy(), domain))
+    return results

@@ -2,6 +2,15 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
+# Isolate the kernel-table disk cache (repro.cache) per test run unless the
+# caller pinned a directory: module-scope test objects build NTT contexts at
+# import time, so this must happen before any repro import.
+if "REPRO_CACHE_DIR" not in os.environ:
+    os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="repro-kernels-test-")
+
 import numpy as np
 import pytest
 

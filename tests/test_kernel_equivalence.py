@@ -1,0 +1,484 @@
+"""Bit-exactness of the batched kernel engine against the scalar references.
+
+Every batched kernel introduced by the whole-matrix engine — stacked
+negacyclic NTT, blocked-matmul BConv, limb-matrix CRT compose/decompose —
+retains its original per-tower / per-coefficient implementation as a
+reference path.  These property tests assert *exact* integer equality
+between the two across random ``(L, N, q)`` draws; there are no
+tolerance-based comparisons anywhere in this file.
+
+Also covered: the cross-process disk cache (corrupted-file and
+stale-version recovery, atomicity of what readers observe) and the
+second-process warm start guarantee that a populated ``REPRO_CACHE_DIR``
+rebuilds no twiddle table.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cache
+from repro.errors import ParameterError
+from repro.ntt import transform
+from repro.ntt.batch import BatchNTT, get_batch_ntt
+from repro.ntt.primes import generate_primes
+from repro.ntt.transform import NTTContext
+from repro.rns.basis import RNSBasis
+from repro.rns.bconv import BasisConverter
+from repro.rns.crt import get_engine, int_to_limbs, limbs_to_int
+from repro.rns.dispatch import use_kernel_mode
+from repro.rns.poly import Domain, RNSPoly
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# -- strategies ----------------------------------------------------------------
+
+ntt_worlds = st.tuples(
+    st.sampled_from([8, 32, 128, 512]),          # N
+    st.integers(min_value=1, max_value=8),       # L
+    st.sampled_from([20, 24, 26, 29]),           # modulus bits
+    st.integers(min_value=0, max_value=2**31),   # data seed
+)
+
+
+def _primes_for(n: int, count: int, bits: int):
+    usable_bits = max(bits, (2 * n).bit_length() + 2)
+    return generate_primes(count, n, min(usable_bits, 30))
+
+
+# -- batched NTT vs per-tower scalar loop --------------------------------------
+
+
+class TestBatchedNTT:
+    @settings(max_examples=25, deadline=None)
+    @given(ntt_worlds)
+    def test_forward_matches_scalar_rows(self, world):
+        n, towers, bits, seed = world
+        moduli = _primes_for(n, towers, bits)
+        rng = np.random.default_rng(seed)
+        mat = np.stack([rng.integers(0, q, n, dtype=np.int64) for q in moduli])
+        batched = get_batch_ntt(n, tuple(moduli)).forward(mat)
+        scalar = np.stack(
+            [NTTContext(n, q).forward(mat[i]) for i, q in enumerate(moduli)]
+        )
+        assert np.array_equal(batched, scalar)
+
+    @settings(max_examples=25, deadline=None)
+    @given(ntt_worlds)
+    def test_inverse_matches_scalar_rows(self, world):
+        n, towers, bits, seed = world
+        moduli = _primes_for(n, towers, bits)
+        rng = np.random.default_rng(seed)
+        mat = np.stack([rng.integers(0, q, n, dtype=np.int64) for q in moduli])
+        batched = get_batch_ntt(n, tuple(moduli)).inverse(mat)
+        scalar = np.stack(
+            [NTTContext(n, q).inverse(mat[i]) for i, q in enumerate(moduli)]
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_roundtrip_and_input_preserved(self):
+        n = 128
+        moduli = _primes_for(n, 5, 26)
+        eng = get_batch_ntt(n, tuple(moduli))
+        rng = np.random.default_rng(3)
+        mat = np.stack([rng.integers(0, q, n, dtype=np.int64) for q in moduli])
+        backup = mat.copy()
+        fwd = eng.forward(mat)
+        assert np.array_equal(mat, backup), "forward must not mutate its input"
+        out = eng.inverse(fwd)
+        assert np.array_equal(fwd, eng.forward(mat)), "inverse must not mutate"
+        assert np.array_equal(out, mat)
+
+    def test_output_buffers_are_caller_owned(self):
+        """Two consecutive transforms must not alias each other's output."""
+        n = 64
+        moduli = _primes_for(n, 3, 22)
+        eng = get_batch_ntt(n, tuple(moduli))
+        rng = np.random.default_rng(4)
+        a = np.stack([rng.integers(0, q, n, dtype=np.int64) for q in moduli])
+        b = np.stack([rng.integers(0, q, n, dtype=np.int64) for q in moduli])
+        fa = eng.forward(a)
+        snapshot = fa.copy()
+        eng.forward(b)
+        assert np.array_equal(fa, snapshot)
+
+    def test_duplicate_moduli_rows_independent(self):
+        n = 64
+        q = _primes_for(n, 1, 24)[0]
+        eng = BatchNTT(n, (q, q))
+        rng = np.random.default_rng(5)
+        mat = rng.integers(0, q, (2, n), dtype=np.int64)
+        out = eng.forward(mat)
+        ctx = NTTContext(n, q)
+        assert np.array_equal(out[0], ctx.forward(mat[0]))
+        assert np.array_equal(out[1], ctx.forward(mat[1]))
+
+    def test_shape_mismatch_rejected(self):
+        n = 64
+        moduli = _primes_for(n, 2, 22)
+        eng = get_batch_ntt(n, tuple(moduli))
+        with pytest.raises(ParameterError):
+            eng.forward(np.zeros((2, n + 1), dtype=np.int64))
+
+
+# -- blocked BConv vs running-reduction loop -----------------------------------
+
+
+class TestBlockedBConv:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from([20, 26, 29]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_convert_matches_reference(self, src_towers, dst_towers, bits, seed):
+        primes = _primes_for(64, src_towers + dst_towers, bits)
+        src = RNSBasis(primes[:src_towers])
+        dst = RNSBasis(primes[src_towers:])
+        conv = BasisConverter(src, dst)
+        rng = np.random.default_rng(seed)
+        residues = np.stack(
+            [rng.integers(0, q, 48, dtype=np.int64) for q in src.moduli]
+        )
+        assert np.array_equal(
+            conv.convert(residues), conv.convert_reference(residues)
+        )
+
+    def test_chunk_boundary_is_exact_at_max_width(self):
+        """Full-width 29/30-bit moduli force the smallest chunk size."""
+        primes = _primes_for(64, 12, 29)
+        src = RNSBasis(primes[:9])
+        dst = RNSBasis(primes[9:])
+        conv = BasisConverter(src, dst)
+        rng = np.random.default_rng(11)
+        worst = np.stack([np.full(32, q - 1, dtype=np.int64) for q in src.moduli])
+        rand = np.stack([rng.integers(0, q, 32, dtype=np.int64) for q in src.moduli])
+        for residues in (worst, rand):
+            assert np.array_equal(
+                conv.convert(residues), conv.convert_reference(residues)
+            )
+
+
+# -- limb-matrix CRT vs python-bigint reference --------------------------------
+
+
+crt_worlds = st.tuples(
+    st.integers(min_value=1, max_value=8),       # L
+    st.sampled_from([20, 26, 29]),               # bits
+    st.integers(min_value=0, max_value=2**31),   # seed
+)
+
+
+class TestVectorizedCRT:
+    @settings(max_examples=25, deadline=None)
+    @given(crt_worlds)
+    def test_compose_matches_reference(self, world):
+        towers, bits, seed = world
+        basis = RNSBasis(_primes_for(64, towers, bits))
+        rng = np.random.default_rng(seed)
+        residues = np.stack(
+            [rng.integers(0, q, 24, dtype=np.int64) for q in basis.moduli]
+        )
+        for centered in (True, False):
+            got = basis.compose(residues, centered=centered)
+            ref = basis.compose_reference(residues, centered=centered)
+            assert list(got) == list(ref)
+
+    def test_compose_boundary_values(self):
+        """Values next to 0, Q/2 and Q — where centering and the
+        float64 overshoot estimate are most fragile."""
+        basis = RNSBasis(_primes_for(64, 5, 26))
+        q = basis.product
+        specials = [0, 1, q - 1, q // 2, q // 2 + 1, q // 2 - 1, q - 2, 2]
+        residues = basis.decompose_reference(specials)
+        for centered in (True, False):
+            got = basis.compose(residues, centered=centered)
+            ref = basis.compose_reference(residues, centered=centered)
+            assert list(got) == list(ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(crt_worlds)
+    def test_decompose_roundtrip_bigints(self, world):
+        towers, bits, seed = world
+        basis = RNSBasis(_primes_for(64, towers, bits))
+        rng = np.random.default_rng(seed)
+        q = basis.product
+        values = [int(rng.integers(0, 2**62)) * 7 % q - q // 2 for _ in range(16)]
+        got = basis.decompose(values)
+        ref = basis.decompose_reference(values)
+        assert np.array_equal(got, ref)
+        assert list(basis.compose(got, centered=True)) == [
+            v if v <= (q - 1) // 2 else v - q for v in [v % q for v in values]
+        ]
+
+    def test_decompose_int64_fast_path(self):
+        """Integer-dtyped input must take the vectorized np.mod path and
+        agree with the reference, negatives included."""
+        basis = RNSBasis(_primes_for(64, 4, 26))
+        vals = np.array([-5, -1, 0, 1, 2**40, -(2**40), 123456789], dtype=np.int64)
+        got = basis.decompose(vals)
+        ref = basis.decompose_reference([int(v) for v in vals])
+        assert got.dtype == np.int64
+        assert np.array_equal(got, ref)
+
+    def test_decompose_uint64_above_int63_exact(self):
+        """uint64 values >= 2**63 must not wrap through an int64 cast."""
+        basis = RNSBasis(_primes_for(64, 3, 26))
+        vals = np.array([2**63 + 5, 2**64 - 1, 7], dtype=np.uint64)
+        got = basis.decompose(vals)
+        ref = basis.decompose_reference([int(v) for v in vals])
+        assert np.array_equal(got, ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(crt_worlds)
+    def test_convert_centered_matches_reference(self, world):
+        towers, bits, seed = world
+        primes = _primes_for(64, towers + 3, bits)
+        basis = RNSBasis(primes[:towers])
+        target = RNSBasis(primes[towers:])
+        rng = np.random.default_rng(seed)
+        residues = np.stack(
+            [rng.integers(0, q, 20, dtype=np.int64) for q in basis.moduli]
+        )
+        got = basis.convert_centered(residues, target)
+        ref = target.decompose_reference(
+            basis.compose_reference(residues, centered=True)
+        )
+        assert np.array_equal(got, ref)
+
+    def test_convert_centered_shared_moduli(self):
+        """ModRaise extends a prefix basis into a superset chain that
+        *contains* the source moduli — rows for shared moduli must come
+        back exact, not approximate."""
+        primes = _primes_for(64, 6, 26)
+        basis = RNSBasis(primes[:2])
+        target = RNSBasis(primes)  # includes the source moduli
+        rng = np.random.default_rng(9)
+        residues = np.stack(
+            [rng.integers(0, q, 20, dtype=np.int64) for q in basis.moduli]
+        )
+        got = basis.convert_centered(residues, target)
+        ref = target.decompose_reference(
+            basis.compose_reference(residues, centered=True)
+        )
+        assert np.array_equal(got, ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(crt_worlds)
+    def test_compose_real_matches_reference_floats(self, world):
+        towers, bits, seed = world
+        basis = RNSBasis(_primes_for(64, towers, bits))
+        rng = np.random.default_rng(seed)
+        # Decode-realistic magnitudes: small centered values, exactly
+        # representable in float64 — the float path must equal
+        # float(reference int) with no tolerance.
+        values = [int(v) for v in rng.integers(-(2**48), 2**48, 16)]
+        residues = basis.decompose_reference(values)
+        got = basis.compose_real(residues)
+        ref = np.array(
+            [float(v) for v in basis.compose_reference(residues, centered=True)]
+        )
+        assert got.dtype == np.float64
+        assert np.array_equal(got, ref)
+
+    def test_limb_codec_roundtrip(self):
+        value = 0x1234_5678_9ABC_DEF0_1122_3344
+        limbs = int_to_limbs(value, 8)
+        assert limbs_to_int(limbs) == value
+        with pytest.raises(ParameterError):
+            int_to_limbs(value, 2)
+        with pytest.raises(ParameterError):
+            int_to_limbs(-1, 8)
+
+    def test_engine_limb_plan_covers_presum(self):
+        basis = RNSBasis(_primes_for(64, 8, 29))
+        engine = get_engine(basis)
+        head = basis.product.bit_length()
+        assert engine.num_limbs * 16 >= head + 32
+
+
+# -- whole-pipeline mode equivalence -------------------------------------------
+
+
+class TestKernelModeEquivalence:
+    def test_key_switch_identical_across_modes(self, context, keygen, rng):
+        from repro.ckks import key_switch
+        from repro.ckks.keys import sample_ternary
+
+        level = context.params.max_level
+        key = keygen.switch_key(sample_ternary(context.params.n, rng))
+        poly = RNSPoly.random_uniform(
+            context.level_basis(level), context.params.n, rng
+        )
+        with use_kernel_mode("batched"):
+            b0, b1 = key_switch(context, poly, key, level)
+        with use_kernel_mode("looped"):
+            l0, l1 = key_switch(context, poly, key, level)
+        assert np.array_equal(b0.data, l0.data)
+        assert np.array_equal(b1.data, l1.data)
+
+    def test_poly_arithmetic_identical_across_modes(self, rng):
+        basis = RNSBasis(_primes_for(64, 4, 26))
+        a = RNSPoly.random_uniform(basis, 64, rng)
+        b = RNSPoly.random_uniform(basis, 64, rng)
+        with use_kernel_mode("looped"):
+            ref = [
+                (a + b).data, (a - b).data, (-a).data, (a * b).data,
+                a.scale_by([3, 5, 7, 11]).data,
+                a.to_coeff().data, a.automorphism(5).data,
+            ]
+        with use_kernel_mode("batched"):
+            got = [
+                (a + b).data, (a - b).data, (-a).data, (a * b).data,
+                a.scale_by([3, 5, 7, 11]).data,
+                a.to_coeff().data, a.automorphism(5).data,
+            ]
+        for g, r in zip(got, ref):
+            assert np.array_equal(g, r)
+
+    def test_unknown_mode_rejected(self):
+        from repro.rns.dispatch import set_kernel_mode
+
+        with pytest.raises(ParameterError):
+            set_kernel_mode("turbo")
+
+
+# -- disk cache: recovery, versioning, warm start ------------------------------
+
+
+def _ntt_key(n: int, q: int) -> str:
+    return f"n{n}-q{q}"
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        arrays = {"a": np.arange(5, dtype=np.int64)}
+        assert cache.store("unit", "k1", arrays)
+        loaded = cache.load("unit", "k1")
+        assert loaded is not None
+        assert np.array_equal(loaded["a"], arrays["a"])
+
+    def test_disabled_by_empty_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert cache.cache_dir() is None
+        assert not cache.store("unit", "k", {"a": np.zeros(1)})
+        assert cache.load("unit", "k") is None
+
+    def test_corrupted_file_recovers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        n, q = 64, _primes_for(64, 1, 22)[0]
+        clean = NTTContext(n, q)
+        path = tmp_path / f"ntt-{_ntt_key(n, q)}.npz"
+        assert path.is_file()
+        path.write_bytes(b"this is not an npz archive")
+        assert cache.load("ntt", _ntt_key(n, q)) is None
+        rebuilt = NTTContext(n, q)  # must rebuild, not crash
+        assert np.array_equal(rebuilt._psi_rev, clean._psi_rev)
+        # ... and the rebuild healed the file on disk.
+        healed = cache.load("ntt", _ntt_key(n, q))
+        assert healed is not None
+        assert np.array_equal(healed["psi_rev"], clean._psi_rev)
+
+    def test_stale_version_recovers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        n, q = 64, _primes_for(64, 1, 22)[0]
+        clean = NTTContext(n, q)
+        key = _ntt_key(n, q)
+        # Rewrite the entry claiming a future format version.
+        stale = {name: arr for name, arr in cache.load("ntt", key).items()}
+        stale["__cache_version__"] = np.int64(cache.CACHE_VERSION + 1)
+        path = tmp_path / f"ntt-{key}.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, **stale)
+        assert cache.load("ntt", key) is None, "stale version must be a miss"
+        rebuilt = NTTContext(n, q)
+        assert np.array_equal(rebuilt._psi_inv_rev, clean._psi_inv_rev)
+
+    def test_cached_tables_bit_identical_to_fresh(self, tmp_path, monkeypatch):
+        n, q = 128, _primes_for(128, 1, 26)[0]
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = NTTContext(n, q)   # cold: computes + stores
+        second = NTTContext(n, q)  # warm: loads
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        fresh = NTTContext(n, q)   # no cache at all
+        for ctx in (second, fresh):
+            assert np.array_equal(ctx._psi_rev, first._psi_rev)
+            assert np.array_equal(ctx._psi_inv_rev, first._psi_inv_rev)
+
+    def test_bconv_hat_tables_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        primes = _primes_for(64, 6, 26)
+        src, dst = RNSBasis(primes[:3]), RNSBasis(primes[3:])
+        first = BasisConverter(src, dst)
+        builds = __import__("repro.rns.bconv", fromlist=["x"]).HAT_TABLE_BUILDS
+        second = BasisConverter(src, dst)
+        after = __import__("repro.rns.bconv", fromlist=["x"]).HAT_TABLE_BUILDS
+        assert after == builds, "second converter must hit the disk cache"
+        assert np.array_equal(first._hat_mod, second._hat_mod)
+
+
+class TestWarmStart:
+    WARM_SCRIPT = """
+import sys
+from repro.api.presets import get_preset
+from repro.ckks.context import CKKSContext
+from repro.ntt import transform
+
+params = get_preset("n7_boot")
+ctx = CKKSContext(params)
+for q in (*ctx.q_basis.moduli, *ctx.p_basis.moduli):
+    transform.get_ntt_context(params.n, q)
+print(transform.POWER_TABLE_BUILDS)
+"""
+
+    def _run(self, cache_dir: str) -> int:
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = cache_dir
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", self.WARM_SCRIPT],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return int(out.stdout.strip().splitlines()[-1])
+
+    def test_second_process_regenerates_nothing(self, tmp_path):
+        cold = self._run(str(tmp_path))
+        assert cold > 0, "first process must build the tables"
+        warm = self._run(str(tmp_path))
+        assert warm == 0, (
+            f"warm start regenerated {warm} power tables despite a "
+            "populated REPRO_CACHE_DIR"
+        )
+
+    def test_warm_start_never_calls_power_table(self, tmp_path, monkeypatch):
+        """In-process variant: with a populated cache, constructing the
+        whole n7_boot chain must not touch ``_power_table`` at all."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.api.presets import get_preset
+        from repro.ckks.context import CKKSContext
+
+        params = get_preset("n7_boot")
+        ctx = CKKSContext(params)
+        moduli = (*ctx.q_basis.moduli, *ctx.p_basis.moduli)
+        for q in moduli:
+            NTTContext(params.n, q)  # populate (bypasses the lru cache)
+
+        def boom(self, base):
+            raise AssertionError("warm start must not rebuild power tables")
+
+        monkeypatch.setattr(NTTContext, "_power_table", boom)
+        for q in moduli:
+            NTTContext(params.n, q)
