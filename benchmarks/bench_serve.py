@@ -1,0 +1,124 @@
+"""Serving-layer benchmarks: dedup throughput, disk warm start, sharding.
+
+Times the plan/execute serving layer against a naive ``estimate()`` loop
+and emits ``BENCH_serve.json``:
+
+* cold vs warm service on repeated HELR requests (the multi-session
+  pattern the ROADMAP's serving item targets), with the dedup hit rate;
+* a second, fresh service answering from the cross-process disk cache;
+* 1 worker vs K shard-pool workers on a batch of distinct plans.
+
+Guard: warm deduped service throughput must beat the naive loop by >=5x
+on repeated HELR requests — the acceptance bar of the serving PR.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q -s
+Quick mode (CI): add ``--benchmark-disable`` — the JSON artifact is still
+written, only the repeated timing loops are skipped.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import build_plan, estimate
+from repro.serve import EstimateService, ShardPool
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+REQUESTS = 64
+WORKLOAD = "HELR"
+
+
+@pytest.fixture()
+def serve_cache_dir(tmp_path, monkeypatch):
+    """Point the disk cache at a fresh directory for the whole scenario."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serve-cache"))
+    return tmp_path / "serve-cache"
+
+
+def _plans(n=REQUESTS, workload=WORKLOAD):
+    return [build_plan(workload, backend="rpu", schedule="OC")
+            for _ in range(n)]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="serve")
+def test_bench_warm_service_request(benchmark):
+    """Latency of one warm deduped request (submit + gather + result)."""
+    service = EstimateService(disk_cache=False)
+    service.estimate(build_plan(WORKLOAD, backend="rpu", schedule="OC"))
+    report = benchmark(
+        lambda: service.estimate(
+            build_plan(WORKLOAD, backend="rpu", schedule="OC")
+        )
+    )
+    assert report.hks_calls and service.stats.computed == 1
+
+
+def test_emit_serve_artifact_and_speedup_guard(serve_cache_dir):
+    """Write BENCH_serve.json and enforce the >=5x warm-throughput bar."""
+    # Steady state for the naive side: model caches warm.
+    estimate(WORKLOAD, backend="rpu", schedule="OC")
+    naive_s = _timed(lambda: [
+        estimate(WORKLOAD, backend="rpu", schedule="OC")
+        for _ in range(REQUESTS)
+    ])
+
+    service = EstimateService()
+    cold_s = _timed(lambda: service.estimate_many(_plans()))
+    warm_s = _timed(lambda: service.estimate_many(_plans()))
+    stats = service.stats.as_row()
+
+    # A fresh process would see exactly what a fresh service sees here:
+    # nothing in memory, the report on disk.
+    second = EstimateService()
+    disk_warm_s = _timed(lambda: second.estimate_many(_plans()))
+    disk_stats = second.stats.as_row()
+
+    # Sharding: distinct plans, sequential vs K worker processes.
+    distinct = [build_plan(name, backend="rpu", schedule="OC")
+                for name in ("BTS1", "BTS2", "BTS3", "ARK")]
+    solo = EstimateService(disk_cache=False)
+    solo_s = _timed(lambda: solo.estimate_many(list(distinct)))
+    with ShardPool(2) as pool:
+        sharded = EstimateService(pool=pool, disk_cache=False)
+        sharded_s = _timed(lambda: sharded.estimate_many(list(distinct)))
+
+    payload = {
+        "workload": WORKLOAD,
+        "requests": REQUESTS,
+        "naive_loop_s": naive_s,
+        "service_cold_s": cold_s,
+        "service_warm_s": warm_s,
+        "second_process_disk_warm_s": disk_warm_s,
+        "warm_speedup_vs_naive": naive_s / warm_s,
+        "service_stats": stats,
+        "second_process_stats": disk_stats,
+        "shard_distinct_plans": [p.name for p in distinct],
+        "shard_1_worker_s": solo_s,
+        "shard_2_workers_s": sharded_s,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"wrote {ARTIFACT.name}: warm service "
+          f"{payload['warm_speedup_vs_naive']:.1f}x over naive loop, "
+          f"dedup hit rate {stats['dedup_hit_rate']:.2%}")
+
+    # The serving contract: one computation, everyone else hits.
+    assert stats["computed"] == 1
+    assert stats["submitted"] == 2 * REQUESTS
+    # A second process answers from disk without recomputing.
+    assert disk_stats["computed"] == 0
+    assert disk_stats["disk_hits"] >= 1
+    # The acceptance bar: warm deduped throughput >=5x the naive loop.
+    assert naive_s / warm_s >= 5.0, (
+        f"warm service only {naive_s / warm_s:.1f}x over naive estimate() "
+        f"loop ({naive_s:.4f}s vs {warm_s:.4f}s for {REQUESTS} requests)"
+    )

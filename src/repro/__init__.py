@@ -26,7 +26,10 @@ The research layers remain available underneath:
 * :mod:`repro.rpu` — the RPU machine model, B1K ISA and the dual-queue
   decoupled task simulator;
 * :mod:`repro.experiments` — regenerates every table and figure of the
-  paper's evaluation (``python -m repro.experiments``).
+  paper's evaluation (``python -m repro.experiments``);
+* :mod:`repro.serve` — the multi-session serving layer: batch, dedup,
+  cache and shard :class:`~repro.api.plan.Plan` executions
+  (``python -m repro serve-bench``).
 """
 
 import warnings as _warnings
@@ -34,8 +37,11 @@ import warnings as _warnings
 from repro.api import (
     CipherVector,
     FHESession,
+    Plan,
     RunReport,
+    build_plan,
     estimate,
+    execute_plan,
     get_backend,
     list_backends,
     register_backend,

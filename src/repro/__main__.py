@@ -3,10 +3,12 @@
 Usage::
 
     python -m repro info                      # library + benchmark summary
+    python -m repro backends                  # registered estimation backends
     python -m repro analyze BTS3              # Table-II-style analysis
     python -m repro estimate ARK --backend rpu --schedule all
     python -m repro simulate ARK --dataflow OC --bandwidth 12.8
     python -m repro trace ARK --dataflow MP --bandwidth 8
+    python -m repro serve-bench HELR --requests 64 --workers 2
 
 Everything routes through :mod:`repro.api` — the same facade user code
 calls.  (Full paper regeneration lives in ``python -m repro.experiments``.)
@@ -18,7 +20,7 @@ import argparse
 import sys
 
 from repro import __version__
-from repro.api import estimate, list_backends, list_presets
+from repro.api import describe_backends, estimate, list_backends, list_presets
 from repro.experiments.report import format_table
 from repro.params import BENCHMARKS, MB, get_benchmark
 
@@ -39,6 +41,70 @@ def cmd_info(_args) -> int:
           "(e.g. `repro estimate BOOT --phases`)")
     print("session presets:", ", ".join(list_presets()))
     print("experiments: python -m repro.experiments --list")
+    return 0
+
+
+def cmd_backends(_args) -> int:
+    """Stable, scriptable listing of the registered estimation backends."""
+    rows = [
+        {"backend": name, "description": doc}
+        for name, doc in describe_backends().items()
+    ]
+    print(format_table(rows, title="registered backends (sorted, stable):"))
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    """Throughput of the serving layer vs a naive estimate() loop."""
+    import time
+
+    from repro.api import build_plan
+    from repro.serve import EstimateService
+
+    def plans():
+        return [
+            build_plan(args.workload, backend=args.backend,
+                       schedule=args.schedule)
+            for _ in range(args.requests)
+        ]
+
+    # Warm the model caches so both sides time steady-state request cost.
+    build_plan(args.workload, backend=args.backend,
+               schedule=args.schedule).run()
+
+    start = time.perf_counter()
+    for _ in range(args.requests):
+        estimate(args.workload, backend=args.backend, schedule=args.schedule)
+    naive_s = time.perf_counter() - start
+
+    service = EstimateService(workers=args.workers,
+                              disk_cache=not args.no_disk_cache)
+    try:
+        start = time.perf_counter()
+        service.estimate_many(plans())
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        service.estimate_many(plans())
+        warm_s = time.perf_counter() - start
+    finally:
+        service.close()
+
+    rows = [
+        {"mode": "naive estimate() loop", "seconds": naive_s,
+         "req_per_s": args.requests / naive_s},
+        {"mode": "service (first batch)", "seconds": cold_s,
+         "req_per_s": args.requests / cold_s},
+        {"mode": "service (warm)", "seconds": warm_s,
+         "req_per_s": args.requests / warm_s},
+    ]
+    print(format_table(
+        rows,
+        title=f"{args.requests} x {args.workload} on {args.backend!r}/"
+              f"{args.schedule} (workers={args.workers}):",
+    ))
+    stats = service.stats.as_row()
+    print(f"\nservice stats: {stats}")
+    print(f"warm speedup over naive loop: {naive_s / warm_s:.1f}x")
     return 0
 
 
@@ -150,6 +216,26 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro")
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("info", help="library and benchmark summary")
+    p_backends = sub.add_parser(
+        "backends", help="registered estimation backends (stable order)"
+    )
+    p_backends.set_defaults(func=cmd_backends)
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="serving-layer throughput vs a naive estimate() loop",
+    )
+    p_serve.add_argument("workload", nargs="?", default="HELR",
+                         help="benchmark or program name (default HELR)")
+    p_serve.add_argument("--requests", type=int, default=64,
+                         help="requests per timed loop")
+    p_serve.add_argument("--backend", default="rpu",
+                         help=f"one of {list_backends()}")
+    p_serve.add_argument("--schedule", default="OC", help="MP, DC or OC")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="shard pool size (0/1 = in-process)")
+    p_serve.add_argument("--no-disk-cache", action="store_true",
+                         help="skip the cross-process report cache")
+    p_serve.set_defaults(func=cmd_serve_bench)
     p_analyze = sub.add_parser("analyze", help="traffic/AI analysis")
     p_analyze.add_argument("benchmark")
     p_analyze.add_argument("--sram-mb", type=int, default=32)

@@ -11,7 +11,12 @@ Three layers, smallest surface first:
 * the backend registry — ``session.estimate(workload, backend=...,
   schedule=...)`` answers accelerator-scale performance questions for all
   three paper dataflows and the RPU simulator through one typed
-  :class:`RunReport`.
+  :class:`RunReport`;
+* the plan/execute pipeline — ``session.plan(...)`` freezes a request
+  into a typed, hashable, content-addressed :class:`Plan`;
+  ``plan.run()`` (via :func:`execute_plan`) produces the same
+  :class:`RunReport` bit for bit, and :mod:`repro.serve` batches, dedups
+  and shards plans for multi-session throughput.
 
 The lower layers (:mod:`repro.ckks`, :mod:`repro.core`, :mod:`repro.rpu`)
 remain importable for research code that needs the knobs; this package is
@@ -25,12 +30,15 @@ from repro.api.backends import (
     RPUBackend,
     RunReport,
     SCHEDULES,
+    describe_backends,
     estimate,
+    execute_plan,
     get_backend,
     list_backends,
     register_backend,
 )
 from repro.api.cipher import CipherVector
+from repro.api.plan import Plan, build_plan, report_from_dict, report_to_dict
 from repro.api.presets import DEFAULT_PRESET, PRESETS, get_preset, list_presets
 from repro.api.session import FHESession
 
@@ -42,13 +50,19 @@ __all__ = [
     "EstimateOptions",
     "FHESession",
     "PRESETS",
+    "Plan",
     "RPUBackend",
     "RunReport",
     "SCHEDULES",
+    "build_plan",
+    "describe_backends",
     "estimate",
+    "execute_plan",
     "get_backend",
     "get_preset",
     "list_backends",
     "list_presets",
     "register_backend",
+    "report_from_dict",
+    "report_to_dict",
 ]

@@ -35,6 +35,7 @@ from typing import (
 )
 
 if TYPE_CHECKING:
+    from repro.api.plan import Plan
     from repro.workloads import CompositeWorkload, WorkloadProgram
 
 from repro.errors import ParameterError
@@ -237,21 +238,47 @@ def _fold_phase_reports(name: str, backend: str, schedule: str,
     )
 
 
-def _run_program(backend, workload, schedule: str,
-                 options: EstimateOptions) -> RunReport:
-    """Shared composite path: coerce to the phase IR, price each phase on
-    ``backend``, fold.  Serves both built-in backends' ``run_composite``."""
-    from repro.workloads import as_program
+class PlanBackendBase:
+    """Plan-execution skeleton shared by the built-in backends.
 
-    program = as_program(workload)
-    phase_reports = [
-        backend._phase_report(phase, schedule, options)
-        for phase in program.phases
-    ]
-    return _fold_phase_reports(
-        program.name, backend.name, phase_reports[0].schedule,
-        phase_reports, options,
-    )
+    :meth:`run_plan` is the primary entry point: it dispatches a resolved
+    :class:`~repro.api.plan.Plan` to the engine's single-benchmark
+    pricing (``_spec_report``) or folds its phase-structured program
+    through ``_phase_report``.  The historic ``run`` / ``run_composite``
+    methods survive as thin adapters that wrap their arguments into a
+    plan — one execution path, however the request arrives.
+    """
+
+    def run_plan(self, plan: "Plan") -> RunReport:
+        """Execute one resolved plan (the primary backend entry point)."""
+        workload = plan.workload
+        if isinstance(workload, BenchmarkSpec):
+            return self._spec_report(workload, plan.schedule, plan.options)
+        phase_reports = [
+            self._phase_report(phase, plan.schedule, plan.options)
+            for phase in workload.phases
+        ]
+        return _fold_phase_reports(
+            workload.name, self.name, phase_reports[0].schedule,
+            phase_reports, plan.options,
+        )
+
+    def run(self, spec: BenchmarkSpec, schedule: str,
+            options: EstimateOptions) -> RunReport:
+        """Thin adapter: wrap a single-benchmark request into a plan."""
+        from repro.api.plan import Plan
+
+        return self.run_plan(Plan(workload=spec, backend=self.name,
+                                  schedule=schedule, options=options))
+
+    def run_composite(self, workload, schedule: str,
+                      options: EstimateOptions) -> RunReport:
+        """Thin adapter: wrap a workload program (or the deprecated flat
+        ``CompositeWorkload``, which warns while lifting) into a plan."""
+        from repro.api.plan import Plan
+
+        return self.run_plan(Plan(workload=workload, backend=self.name,
+                                  schedule=schedule, options=options))
 
 
 @lru_cache(maxsize=None)
@@ -269,17 +296,22 @@ def _cached_rpu_mix_report(backend: "RPUBackend", spec: BenchmarkSpec, mix,
 
 @runtime_checkable
 class Backend(Protocol):
-    """Anything that can estimate one (benchmark, schedule) point."""
+    """Anything that can execute a resolved estimate plan.
+
+    ``run_plan`` is the primary entry point.  Backends that predate the
+    plan API may instead expose the legacy ``run(spec, schedule,
+    options)`` / ``run_composite(workload, schedule, options)`` pair;
+    :func:`execute_plan` adapts either shape.
+    """
 
     name: str
 
-    def run(self, spec: BenchmarkSpec, schedule: str,
-            options: EstimateOptions) -> RunReport:
-        """Produce a :class:`RunReport` for ``spec`` under ``schedule``."""
+    def run_plan(self, plan: "Plan") -> RunReport:
+        """Produce a :class:`RunReport` for one resolved :class:`Plan`."""
         ...
 
 
-class AnalyticBackend:
+class AnalyticBackend(PlanBackendBase):
     """Traffic/AI analysis of the generated schedules (paper Table II).
 
     Wraps :func:`repro.core.analyze_dataflow`; no timing model, so
@@ -288,8 +320,8 @@ class AnalyticBackend:
 
     name = "analytic"
 
-    def run(self, spec: BenchmarkSpec, schedule: str,
-            options: EstimateOptions) -> RunReport:
+    def _spec_report(self, spec: BenchmarkSpec, schedule: str,
+                     options: EstimateOptions) -> RunReport:
         report = _cached_analysis(
             spec, schedule.upper(), options.sram_mb, options.evk_on_chip,
             options.key_compression,
@@ -312,7 +344,7 @@ class AnalyticBackend:
     def _phase_report(self, phase, schedule: str,
                       options: EstimateOptions) -> RunReport:
         """Traffic/ops of one phase: HKS calls + point-wise ops at its level."""
-        base = self.run(phase.spec, schedule, options)
+        base = self._spec_report(phase.spec, schedule, options)
         calls = phase.hks_calls
         total_bytes = calls * base.total_bytes
         data_bytes = calls * base.data_bytes
@@ -344,19 +376,18 @@ class AnalyticBackend:
             options=options,
         )
 
-    def run_composite(self, workload, schedule: str,
-                      options: EstimateOptions) -> RunReport:
-        """Traffic/ops of a whole program, folded phase by phase."""
-        return _run_program(self, workload, schedule, options)
+class RPUBackend(PlanBackendBase):
+    """Cycle-level replay on the dual-queue RPU simulator (paper Section V).
 
-
-class RPUBackend:
-    """Cycle-level replay on the dual-queue RPU simulator (paper Section V)."""
+    Program estimates fold phase by phase; each phase simulates at its
+    own point of the modulus chain, so descending tower counts make late
+    phases strictly cheaper than flat top-of-chain pricing.
+    """
 
     name = "rpu"
 
-    def run(self, spec: BenchmarkSpec, schedule: str,
-            options: EstimateOptions) -> RunReport:
+    def _spec_report(self, spec: BenchmarkSpec, schedule: str,
+                     options: EstimateOptions) -> RunReport:
         from repro.rpu import RPUSimulator
 
         graph, stats = _cached_schedule(
@@ -413,7 +444,7 @@ class RPUBackend:
                     options: EstimateOptions) -> RunReport:
         from repro.rpu import RPUSimulator
 
-        base = self.run(spec, schedule, options)
+        base = self._spec_report(spec, schedule, options)
         sim = RPUSimulator(self._machine(options))
         calls = mix.hks_calls
         total_bytes = calls * base.total_bytes
@@ -457,15 +488,6 @@ class RPUBackend:
             options=options,
         )
 
-    def run_composite(self, workload, schedule: str,
-                      options: EstimateOptions) -> RunReport:
-        """Latency of a whole program, folded phase by phase.
-
-        Each phase simulates at its own point of the modulus chain —
-        descending tower counts make late phases strictly cheaper than
-        the flat top-of-chain pricing this path replaced."""
-        return _run_program(self, workload, schedule, options)
-
 
 # -- registry -----------------------------------------------------------------
 
@@ -473,12 +495,19 @@ _REGISTRY: Dict[str, Backend] = {}
 
 
 def register_backend(backend: Backend, replace: bool = False) -> None:
-    """Add a backend to the registry under its ``name``."""
+    """Add a backend to the registry under its ``name``.
+
+    A backend must expose ``run_plan`` (preferred) or the legacy ``run``
+    method; either satisfies :func:`execute_plan`.
+    """
     name = backend.name.lower()
     if not replace and name in _REGISTRY:
         raise ParameterError(f"backend {name!r} is already registered")
-    if not callable(getattr(backend, "run", None)):
-        raise ParameterError(f"backend {name!r} has no run() method")
+    if not (callable(getattr(backend, "run_plan", None))
+            or callable(getattr(backend, "run", None))):
+        raise ParameterError(
+            f"backend {name!r} has no run_plan() or run() method"
+        )
     _REGISTRY[name] = backend
 
 
@@ -492,7 +521,21 @@ def get_backend(name: str) -> Backend:
 
 
 def list_backends() -> List[str]:
+    """Registered backend names in deterministic (sorted) order.
+
+    Stable across registration order, interpreter hash seeds and
+    processes — serving configurations and docs may rely on it.
+    """
     return sorted(_REGISTRY)
+
+
+def describe_backends() -> Dict[str, str]:
+    """Backend name -> one-line description, in :func:`list_backends` order."""
+    out: Dict[str, str] = {}
+    for name in list_backends():
+        doc = (_REGISTRY[name].__doc__ or "").strip()
+        out[name] = doc.splitlines()[0] if doc else ""
+    return out
 
 
 register_backend(AnalyticBackend())
@@ -555,6 +598,27 @@ def _resolve_schedules(schedule: Union[str, Sequence[str]]) -> List[str]:
     return out
 
 
+def execute_plan(plan: "Plan") -> RunReport:
+    """Run one resolved plan on its backend — the single execution path.
+
+    Prefers the backend's ``run_plan``; backends registered with only the
+    legacy ``run`` / ``run_composite`` surface are adapted in place.
+    """
+    engine = get_backend(plan.backend)
+    run_plan = getattr(engine, "run_plan", None)
+    if callable(run_plan):
+        return run_plan(plan)
+    if isinstance(plan.workload, BenchmarkSpec):
+        return engine.run(plan.workload, plan.schedule, plan.options)
+    runner = getattr(engine, "run_composite", None)
+    if runner is None:
+        raise ParameterError(
+            f"backend {plan.backend!r} cannot estimate composite workloads "
+            f"like {plan.workload.name!r}"
+        )
+    return runner(plan.workload, plan.schedule, plan.options)
+
+
 def estimate(
     workload: Workload,
     *,
@@ -574,9 +638,16 @@ def estimate(
     Remaining keyword arguments populate :class:`EstimateOptions`.
     Returns one report for a single schedule, a list (in request order)
     otherwise.
+
+    This is a thin wrapper over the plan/execute pipeline: one
+    :class:`~repro.api.plan.Plan` is built per schedule and executed via
+    :func:`execute_plan`, so results are bit-identical to
+    ``session.plan(...).run()``.
     """
+    from repro.api.plan import Plan
+
     spec = _resolve_workload(workload)
-    engine = get_backend(backend)
+    get_backend(backend)  # unknown backends fail before option parsing
     valid = sorted(EstimateOptions.__dataclass_fields__)
     unknown = sorted(set(options) - set(valid))
     if unknown:
@@ -585,16 +656,11 @@ def estimate(
         )
     opts = EstimateOptions(**options)
     schedules = _resolve_schedules(schedule)
-    if isinstance(spec, BenchmarkSpec):
-        runner = engine.run
-    else:
-        runner = getattr(engine, "run_composite", None)
-        if runner is None:
-            raise ParameterError(
-                f"backend {backend!r} cannot estimate composite workloads "
-                f"like {spec.name!r}"
-            )
-    reports = [runner(spec, s, opts) for s in schedules]
+    reports = [
+        execute_plan(Plan(workload=spec, backend=backend, schedule=s,
+                          options=opts))
+        for s in schedules
+    ]
     if isinstance(schedule, str) and schedule.lower() != "all":
         return reports[0]
     return reports

@@ -24,8 +24,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.api.backends import RunReport, estimate as _estimate
+from repro.api.backends import EstimateOptions, RunReport, estimate as _estimate
 from repro.api.cipher import CipherVector
+from repro.api.plan import Plan, build_plan
 from repro.api.presets import DEFAULT_PRESET, get_preset
 from repro.ckks.bootstrap import BootstrapConfig, BootstrapKeys, Bootstrapper
 from repro.ckks.context import CKKSContext, CKKSParams
@@ -233,6 +234,21 @@ class FHESession:
 
     # -- performance estimation ----------------------------------------------------
 
+    def plan(self, workload, *, backend: str = "rpu", schedule: str = "OC",
+             options: Optional[EstimateOptions] = None, **option_fields) -> Plan:
+        """Resolve an estimate request into a typed, executable :class:`Plan`.
+
+        The plan/execute split of :meth:`estimate`: the workload name,
+        backend, schedule and options are validated and frozen once, and
+        the returned :class:`~repro.api.plan.Plan` is hashable,
+        JSON-serializable and content-addressed (``plan.digest``) — the
+        unit the serving layer (:mod:`repro.serve`) batches, dedups and
+        caches.  ``plan(...).run()`` is bit-identical to
+        ``estimate(...)`` with the same arguments.
+        """
+        return build_plan(workload, backend=backend, schedule=schedule,
+                          options=options, **option_fields)
+
     def estimate(self, workload, *, backend: str = "rpu",
                  schedule="OC", **options) -> Union[RunReport, List[RunReport]]:
         """Estimate an accelerator-scale workload via the backend registry.
@@ -245,5 +261,9 @@ class FHESession:
         :func:`repro.api.backends.estimate` for schedules and options.
         The session's functional parameters are independent of the
         performance model, so any session can answer these queries.
+
+        Back-compat wrapper: each (workload, schedule) point builds a
+        :meth:`plan` and executes it, so results match ``plan().run()``
+        bit for bit.
         """
         return _estimate(workload, backend=backend, schedule=schedule, **options)

@@ -24,6 +24,7 @@ Configuration:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import tempfile
 from pathlib import Path
@@ -106,12 +107,20 @@ def store(kind: str, key: str, arrays: Dict[str, np.ndarray]) -> bool:
     payload["__cache_version__"] = np.int64(CACHE_VERSION)
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Each writer gets its own mkstemp-unique temp file in the target
+        # directory, fully writes and flushes it, then os.replace()s it
+        # over the entry.  Two racing serve workers therefore both
+        # publish complete files; whichever rename lands last wins, and a
+        # concurrent reader sees either the old or the new entry — never
+        # a torn one.
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=path.stem, suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -122,3 +131,27 @@ def store(kind: str, key: str, arrays: Dict[str, np.ndarray]) -> bool:
     except OSError:
         return False
     return True
+
+
+# -- JSON entries ---------------------------------------------------------------
+#
+# The serving layer caches RunReport payloads — plain JSON, not arrays.
+# They ride the same versioned, atomically-replaced .npz container (the
+# document is embedded as a uint8 array), so one namespace, one layout
+# version and one concurrency story cover every cached artifact.
+
+def store_json(kind: str, key: str, obj) -> bool:
+    """Persist a JSON-serializable object for ``(kind, key)``."""
+    data = np.frombuffer(json.dumps(obj).encode(), dtype=np.uint8)
+    return store(kind, key, {"__json__": data})
+
+
+def load_json(kind: str, key: str):
+    """Fetch a JSON document stored by :func:`store_json`; ``None`` on miss."""
+    arrays = load(kind, key)
+    if arrays is None or "__json__" not in arrays:
+        return None
+    try:
+        return json.loads(arrays["__json__"].tobytes().decode())
+    except (ValueError, UnicodeDecodeError):
+        return None

@@ -24,12 +24,7 @@ def run() -> ExperimentResult:
         program = get_workload(name)
         analytic = estimate(name, backend="analytic", schedule="OC")
         rpu = estimate(name, backend="rpu", schedule="OC")
-        # Bootstrap stages carry cts*/evalmod/stc* as their final label
-        # component (optionally under a bootN/ prefix); app slices don't.
-        boot_phases = sum(
-            1 for p in program.phases
-            if p.label.rsplit("/", 1)[-1].startswith(("cts", "stc", "evalmod"))
-        )
+        boot_phases = program.num_bootstrap_phases
         rows.append(
             {
                 "program": name,

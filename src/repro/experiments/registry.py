@@ -16,6 +16,7 @@ from repro.experiments import (
     figure7,
     figure8,
     figure9,
+    serving,
     table2,
     table3,
     table4,
@@ -44,6 +45,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "backends": facade.run,
     "bootstrap": bootstrap.run,
     "deep": deep.run,
+    "serving": serving.run,
 }
 
 

@@ -1,0 +1,64 @@
+"""Serving-layer experiment: multi-session estimate throughput.
+
+The "millions of users" direction of the roadmap, made measurable: many
+sessions repeatedly ask for the same deep-workload estimates, and the
+serving layer (:mod:`repro.serve`) answers them by micro-batching,
+digest-level dedup and report caching instead of re-running the backend
+per request.  This experiment times a naive ``estimate()`` loop against
+the service for each registered program and reports the dedup hit rate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import build_plan, estimate
+from repro.experiments.report import ExperimentResult
+from repro.serve import EstimateService
+
+_PROGRAMS = ("BOOT", "RESNET_BOOT", "HELR")
+_REQUESTS = 32
+
+
+def run() -> ExperimentResult:
+    rows = []
+    for name in _PROGRAMS:
+        # Steady state on both sides: model caches warm, service cold.
+        estimate(name, backend="rpu", schedule="OC")
+
+        start = time.perf_counter()
+        for _ in range(_REQUESTS):
+            estimate(name, backend="rpu", schedule="OC")
+        naive_s = time.perf_counter() - start
+
+        service = EstimateService(disk_cache=False)
+        service.estimate(build_plan(name, backend="rpu", schedule="OC"))
+        start = time.perf_counter()
+        service.estimate_many(
+            [build_plan(name, backend="rpu", schedule="OC")
+             for _ in range(_REQUESTS)]
+        )
+        served_s = time.perf_counter() - start
+
+        rows.append(
+            {
+                "program": name,
+                "requests": _REQUESTS,
+                "naive_req_s": round(_REQUESTS / naive_s),
+                "served_req_s": round(_REQUESTS / served_s),
+                "speedup": round(naive_s / served_s, 1),
+                "dedup_hit_rate": round(service.stats.dedup_hit_rate, 3),
+            }
+        )
+    return ExperimentResult(
+        experiment="serving layer",
+        description="repeated multi-session estimates through the "
+                    "plan/execute serving layer vs a naive estimate() loop",
+        rows=rows,
+        notes=[
+            "RPU backend, OC schedule; identical plans dedup to one "
+            "computation per batch, answered from the report LRU",
+            "python -m repro serve-bench adds shard-pool and disk-cache "
+            "modes",
+        ],
+    )

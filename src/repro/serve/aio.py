@@ -1,0 +1,72 @@
+"""``asyncio`` front-end for the estimate service.
+
+An async serving endpoint (a web handler, a notebook, a gateway fanning
+out to many tenants) awaits ``AsyncEstimateService.estimate(plan)``;
+concurrent awaiters land in the same micro-batch, so identical plans
+dedup exactly as in the synchronous service and distinct plans shard
+together.  The blocking ``gather()`` runs in the event loop's default
+executor — the loop itself never blocks on a backend run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.api.backends import RunReport
+    from repro.api.plan import Plan
+
+from repro.serve.service import EstimateService
+
+
+class AsyncEstimateService:
+    """Awaitable facade over :class:`~repro.serve.service.EstimateService`.
+
+    Wrap an existing service (sharing its caches and stats) or let the
+    constructor build one from the same keyword arguments
+    ``EstimateService`` takes.
+    """
+
+    def __init__(self, service: Optional[EstimateService] = None, **kwargs):
+        self.service = service if service is not None else EstimateService(**kwargs)
+        self._flush: Optional[asyncio.Task] = None
+
+    async def estimate(self, plan: "Plan") -> "RunReport":
+        """Submit one plan and await its report.
+
+        Awaiters that arrive while a flush is in flight are queued for
+        the next one — every handle resolves after at most two flushes.
+        """
+        loop = asyncio.get_running_loop()
+        handle = self.service.submit(plan)
+        while not handle.done:
+            if self._flush is None or self._flush.done():
+                self._flush = loop.create_task(self._drain(loop))
+            await asyncio.shield(self._flush)
+        return handle.result()
+
+    async def estimate_many(self, plans: Sequence["Plan"]) -> List["RunReport"]:
+        """Estimate a batch concurrently (identical plans compute once)."""
+        return list(await asyncio.gather(
+            *(self.estimate(plan) for plan in plans)
+        ))
+
+    async def _drain(self, loop: asyncio.AbstractEventLoop) -> None:
+        # Yield once so every coroutine already scheduled this tick can
+        # submit into the batch before it is gathered.
+        await asyncio.sleep(0)
+        await loop.run_in_executor(None, self.service.gather)
+
+    @property
+    def stats(self):
+        return self.service.stats
+
+    def close(self) -> None:
+        self.service.close()
+
+    async def __aenter__(self) -> "AsyncEstimateService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,110 @@
+"""Multi-process plan execution: shard non-identical plans across workers.
+
+One estimate request is single-threaded (the schedulers and the RPU
+simulator are pure Python), so a busy service's only road to more
+throughput on cold plans is more processes.  :class:`ShardPool` keeps a
+small pool of worker processes and round-robins distinct plans across
+them; plans travel as canonical JSON (:meth:`Plan.to_json`) and reports
+come back as JSON payloads, so the transport is the same wire format the
+disk cache uses — no pickling of library internals.
+
+Workers share the machine-wide kernel disk cache (``repro.cache``): the
+first process to need an NTT twiddle or BConv hat table persists it, and
+every other worker — and every *future* worker — starts warm.  Cold-start
+cost is paid once per machine, not once per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:
+    from repro.api.backends import RunReport
+    from repro.api.plan import Plan
+
+
+def _run_payload(payload: str) -> dict:
+    """Worker entry: JSON plan in, JSON report out (module-level for mp)."""
+    from repro.api.plan import Plan, report_to_dict
+
+    return report_to_dict(Plan.from_json(payload).run())
+
+
+def _default_workers() -> int:
+    cpus = os.cpu_count() or 2
+    return max(2, min(4, cpus))
+
+
+class ShardPool:
+    """A pool of worker processes that execute plans in parallel.
+
+    The pool is created lazily on first use (forking before it is needed
+    would copy nothing useful) and prefers the ``fork`` start method
+    where available so workers inherit the parent's warm in-process
+    caches on top of the shared disk cache.
+    """
+
+    def __init__(self, workers: Optional[int] = None, *,
+                 start_method: Optional[str] = None):
+        self.workers = _default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ParameterError("a shard pool needs at least one worker")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._pool = None
+
+    @property
+    def start_method(self) -> str:
+        return self._ctx.get_start_method()
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._ctx.Pool(processes=self.workers)
+        return self._pool
+
+    def run_plans(self, plans: Sequence["Plan"]) -> List["RunReport"]:
+        """Execute ``plans`` across the workers, preserving order.
+
+        Plans should already be deduplicated (the
+        :class:`~repro.serve.service.EstimateService` does this) — the
+        pool itself runs exactly what it is given.
+        """
+        from repro.api.plan import report_from_dict
+
+        plans = list(plans)
+        if not plans:
+            return []
+        if len(plans) == 1 or self.workers == 1:
+            # Not worth a round-trip through the pool.
+            return [plan.run() for plan in plans]
+        pool = self._ensure_pool()
+        payloads = [plan.to_json() for plan in plans]
+        chunksize = max(1, len(payloads) // self.workers)
+        results = pool.map(_run_payload, payloads, chunksize=chunksize)
+        return [report_from_dict(data) for data in results]
+
+    def close(self) -> None:
+        """Shut the workers down (the pool can not be reused afterwards)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self._pool is not None else "lazy"
+        return (
+            f"ShardPool(workers={self.workers}, "
+            f"start_method={self.start_method!r}, {state})"
+        )

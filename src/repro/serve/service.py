@@ -1,0 +1,360 @@
+"""The batching estimate service: many sessions, one computation.
+
+``estimate()`` is a pure function of its :class:`~repro.api.plan.Plan`,
+which makes serving it a caching problem.  :class:`EstimateService`
+exploits that in three layers:
+
+1. **micro-batching + dedup** — ``submit()`` parks requests; ``gather()``
+   drains the batch, groups submissions by plan digest and computes each
+   distinct plan exactly once, fanning the one report out to every
+   waiting handle (N sessions asking for the same HELR estimate cost one
+   backend run);
+2. **report LRU + disk cache** — finished reports are kept in an
+   in-memory LRU keyed by plan digest and, by default, persisted through
+   :mod:`repro.cache` under the ``report`` namespace, so a *second
+   process* answering the same plan never recomputes it (the serving
+   analogue of PR 4's cross-process kernel-table cache);
+3. **sharding** — distinct cold plans fan out across a
+   :class:`~repro.serve.pool.ShardPool` of worker processes when one is
+   attached.
+
+The service is thread-safe (one lock around the batch and cache state);
+:mod:`repro.serve.aio` puts an ``asyncio`` front-end on top of it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Union
+
+from repro import __version__, cache
+from repro.api.plan import Plan, report_from_dict, report_to_dict
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:
+    from repro.api.backends import RunReport
+
+    from repro.serve.pool import ShardPool
+
+#: Disk-cache namespace for serialized :class:`RunReport` payloads.
+REPORT_CACHE_KIND = "report"
+
+#: Stamped into every disk-cached report.  A plan digest covers the
+#: *request* content only — the answer additionally depends on the
+#: pricing-model code, so reports written by a different library version
+#: are treated as misses rather than served stale after an upgrade.
+#: (The kernel-table cache needs no such stamp: tables are mathematically
+#: determined by their key.)
+REPORT_MODEL_VERSION = __version__
+
+
+class ServeError(ParameterError):
+    """Misuse of the serving API (e.g. reading an ungathered handle)."""
+
+
+@dataclass
+class ServiceStats:
+    """Where the service's answers came from (monotonic counters).
+
+    ``submitted``/``batch_hits`` count submissions; ``computed``,
+    ``memory_hits``, ``disk_hits`` and ``failed`` count the *batch-
+    distinct digests* each gather had to look up (same-batch duplicates
+    appear in ``batch_hits``, later-batch repeats in the hit buckets).
+    """
+
+    submitted: int = 0
+    #: Truly distinct digests seen over the service's lifetime.
+    unique: int = 0
+    #: Full backend executions (the only expensive bucket).
+    computed: int = 0
+    #: Computations that raised instead of producing a report.
+    failed: int = 0
+    #: Submissions that joined an already-pending identical plan.
+    batch_hits: int = 0
+    #: Batch-distinct digests answered from the in-memory report LRU.
+    memory_hits: int = 0
+    #: Batch-distinct digests answered from the cross-process disk cache.
+    disk_hits: int = 0
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        """Fraction of submissions that did not trigger a computation."""
+        if not self.submitted:
+            return 0.0
+        return 1.0 - (self.computed + self.failed) / self.submitted
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "unique": self.unique,
+            "computed": self.computed,
+            "failed": self.failed,
+            "batch_hits": self.batch_hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "dedup_hit_rate": round(self.dedup_hit_rate, 4),
+        }
+
+
+class EstimateHandle:
+    """A pending result: resolved by the service's next ``gather()``.
+
+    A handle always resolves — with the report, or with the exception the
+    computation raised (``result()`` re-raises it); a failed neighbour in
+    the same batch never strands cache-served waiters.
+    """
+
+    __slots__ = ("digest", "_report", "_error", "_done")
+
+    def __init__(self, digest: str):
+        self.digest = digest
+        self._report: Optional["RunReport"] = None
+        self._error: Optional[BaseException] = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+    def _resolve(self, report: "RunReport") -> None:
+        self._report = report
+        self._done = True
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done = True
+
+    def result(self) -> "RunReport":
+        if not self._done:
+            raise ServeError(
+                "handle is still pending; call service.gather() first"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._report
+
+    def __repr__(self) -> str:
+        state = ("failed" if self._error is not None else "done") \
+            if self._done else "pending"
+        return f"EstimateHandle({self.digest[:12]}..., {state})"
+
+
+class EstimateService:
+    """Batch, dedup, cache and shard estimate plans across sessions.
+
+    Parameters
+    ----------
+    cache_size:
+        Capacity of the in-memory report LRU (distinct plan digests).
+    disk_cache:
+        Persist reports through :mod:`repro.cache` so other processes
+        start warm.  Honors ``REPRO_CACHE_DIR`` (empty string disables,
+        like the kernel-table cache).
+    pool:
+        Optional :class:`~repro.serve.pool.ShardPool`; distinct cold
+        plans in one batch then execute across its worker processes.
+    workers:
+        Convenience: ``workers=K`` (K > 1) builds a lazy pool for you.
+    """
+
+    def __init__(self, *, cache_size: int = 256, disk_cache: bool = True,
+                 pool: Optional["ShardPool"] = None,
+                 workers: int = 0):
+        if cache_size < 1:
+            raise ParameterError("cache_size must be positive")
+        if pool is not None and workers:
+            raise ParameterError("pass pool= or workers=, not both")
+        if workers > 1:
+            from repro.serve.pool import ShardPool
+
+            pool = ShardPool(workers)
+        self._pool = pool
+        self._cache_size = cache_size
+        self._disk_cache = disk_cache
+        self._lru: "OrderedDict[str, RunReport]" = OrderedDict()
+        #: digest -> (plan, handles waiting on it), insertion-ordered.
+        self._pending: "OrderedDict[str, List[EstimateHandle]]" = OrderedDict()
+        self._pending_plans: Dict[str, Plan] = {}
+        self._seen_digests: Set[str] = set()
+        self._lock = threading.Lock()
+        self.stats = ServiceStats()
+
+    # -- submit / gather --------------------------------------------------------
+
+    def submit(self, plan: Plan) -> EstimateHandle:
+        """Queue one plan; the handle resolves on the next :meth:`gather`."""
+        if not isinstance(plan, Plan):
+            raise ParameterError(
+                f"submit() takes a Plan (see FHESession.plan), "
+                f"got {type(plan).__name__}"
+            )
+        digest = plan.digest
+        handle = EstimateHandle(digest)
+        with self._lock:
+            self.stats.submitted += 1
+            waiters = self._pending.get(digest)
+            if waiters is None:
+                self._pending[digest] = [handle]
+                self._pending_plans[digest] = plan
+            else:
+                self.stats.batch_hits += 1
+                waiters.append(handle)
+        return handle
+
+    def gather(self) -> int:
+        """Drain the batch: answer every pending handle, computing each
+        distinct plan at most once.  Returns the number of submissions
+        resolved.  A plan whose computation raises resolves its own
+        waiters with that exception (re-raised by ``result()``) — it
+        never strands the rest of the batch."""
+        with self._lock:
+            batch = self._pending
+            plans = self._pending_plans
+            self._pending = OrderedDict()
+            self._pending_plans = {}
+            self.stats.unique += sum(
+                1 for d in plans if d not in self._seen_digests
+            )
+            self._seen_digests.update(plans)
+        if not batch:
+            return 0
+
+        to_compute: List[Plan] = []
+        outcome: Dict[str, Union["RunReport", BaseException]] = {}
+        for digest, plan in plans.items():
+            report = self._lookup(digest)
+            if report is None:
+                to_compute.append(plan)
+            else:
+                outcome[digest] = report
+
+        if to_compute:
+            computed = failed = 0
+            for plan, result in zip(to_compute, self._compute(to_compute)):
+                outcome[plan.digest] = result
+                if isinstance(result, BaseException):
+                    failed += 1
+                else:
+                    computed += 1
+                    self._remember(plan.digest, result)
+            with self._lock:
+                self.stats.computed += computed
+                self.stats.failed += failed
+
+        answered = 0
+        for digest, handles in batch.items():
+            result = outcome[digest]
+            for handle in handles:
+                if isinstance(result, BaseException):
+                    handle._fail(result)
+                else:
+                    handle._resolve(result)
+                answered += 1
+        return answered
+
+    # -- synchronous facade -----------------------------------------------------
+
+    def estimate(self, plan: Plan) -> "RunReport":
+        """Submit one plan and resolve it immediately (one-call facade)."""
+        handle = self.submit(plan)
+        self.gather()
+        return handle.result()
+
+    def estimate_many(self, plans: Sequence[Plan]) -> List["RunReport"]:
+        """Submit a batch of plans and resolve them all in one gather."""
+        handles = [self.submit(plan) for plan in plans]
+        self.gather()
+        return [handle.result() for handle in handles]
+
+    # -- cache layers -----------------------------------------------------------
+
+    def _lookup(self, digest: str) -> Optional["RunReport"]:
+        with self._lock:
+            report = self._lru.get(digest)
+            if report is not None:
+                self._lru.move_to_end(digest)
+                self.stats.memory_hits += 1
+                return report
+        if self._disk_cache:
+            payload = cache.load_json(REPORT_CACHE_KIND, digest)
+            if payload is not None:
+                if not isinstance(payload, dict) or \
+                        payload.get("model_version") != REPORT_MODEL_VERSION:
+                    return None  # priced by other model code: recompute
+                try:
+                    report = report_from_dict(payload["report"])
+                except (ParameterError, KeyError, TypeError, ValueError):
+                    return None  # foreign/corrupt payload: recompute
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._lru_put(digest, report)
+                return report
+        return None
+
+    def _remember(self, digest: str, report: "RunReport") -> None:
+        with self._lock:
+            self._lru_put(digest, report)
+        if self._disk_cache:
+            cache.store_json(REPORT_CACHE_KIND, digest, {
+                "model_version": REPORT_MODEL_VERSION,
+                "report": report_to_dict(report),
+            })
+
+    def _lru_put(self, digest: str, report: "RunReport") -> None:
+        """Insert under ``self._lock`` and evict the oldest past capacity."""
+        self._lru[digest] = report
+        self._lru.move_to_end(digest)
+        while len(self._lru) > self._cache_size:
+            self._lru.popitem(last=False)
+
+    def _compute(
+        self, plans: List[Plan]
+    ) -> List[Union["RunReport", BaseException]]:
+        """Run the cold plans, isolating failures per plan.
+
+        A raising plan yields its exception in place of a report.  If the
+        whole shard pool fails (dead worker, transport error), fall back
+        to in-process execution so one sick worker cannot take the batch
+        down with it."""
+        if self._pool is not None and len(plans) > 1:
+            try:
+                return list(self._pool.run_plans(plans))
+            except Exception:
+                pass  # fall through to the isolated in-process path
+        results: List[Union["RunReport", BaseException]] = []
+        for plan in plans:
+            try:
+                results.append(plan.run())
+            except Exception as exc:
+                results.append(exc)
+        return results
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return sum(len(h) for h in self._pending.values())
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "EstimateService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"EstimateService(lru={len(self._lru)}/{self._cache_size}, "
+            f"pending={self.pending}, pool={self._pool!r}, "
+            f"stats={self.stats.as_row()})"
+        )

@@ -29,7 +29,9 @@ from repro.workloads.builders import (
     resnet_boot_program,
 )
 from repro.workloads.ir import (
+    BOOTSTRAP_KINDS,
     CompositeWorkload,
+    PHASE_KINDS,
     Phase,
     WorkloadProgram,
     as_program,
@@ -39,8 +41,10 @@ from repro.workloads.mix import HEOpMix, build_pointwise_graph, hks_time_share
 from repro.workloads.registry import WORKLOADS, get_workload, list_workloads
 
 __all__ = [
+    "BOOTSTRAP_KINDS",
     "CompositeWorkload",
     "HEOpMix",
+    "PHASE_KINDS",
     "Phase",
     "WORKLOADS",
     "WorkloadProgram",

@@ -84,15 +84,15 @@ def bootstrap_phases(spec: BenchmarkSpec, plan,
     for i, diagonals in enumerate(plan.cts_diagonals):
         counts = transform_counts(plan.num_slots, diagonals)
         phases.append(Phase(f"cts{i}", level_spec(spec, towers),
-                            _phase_mix(counts)))
+                            _phase_mix(counts), kind="cts"))
         towers -= 1
     phases.append(Phase("evalmod", level_spec(spec, towers),
-                        _phase_mix(plan.evalmod_counts())))
+                        _phase_mix(plan.evalmod_counts()), kind="evalmod"))
     towers -= evalmod_levels
     for i, diagonals in enumerate(plan.stc_diagonals):
         counts = transform_counts(plan.num_slots, diagonals)
         phases.append(Phase(f"stc{i}", level_spec(spec, towers),
-                            _phase_mix(counts)))
+                            _phase_mix(counts), kind="stc"))
         towers -= 1
     return phases, towers
 

@@ -27,6 +27,14 @@ from repro.errors import ParameterError
 from repro.params import BenchmarkSpec
 from repro.workloads.mix import HEOpMix
 
+#: Structural phase kinds: ``"app"`` for application slices, the rest for
+#: the three bootstrap stages.  Consumers classify phases by this tag —
+#: never by parsing the (free-form, prefix-decorated) label string.
+PHASE_KINDS = ("app", "cts", "evalmod", "stc")
+
+#: The subset of :data:`PHASE_KINDS` that belongs to a bootstrap circuit.
+BOOTSTRAP_KINDS = ("cts", "evalmod", "stc")
+
 
 def level_spec(base: BenchmarkSpec, towers: int,
                name: Optional[str] = None) -> BenchmarkSpec:
@@ -63,22 +71,39 @@ def level_spec(base: BenchmarkSpec, towers: int,
 
 @dataclass(frozen=True)
 class Phase:
-    """One contiguous run of a circuit priced at a single chain point."""
+    """One contiguous run of a circuit priced at a single chain point.
+
+    ``kind`` is the phase's structural role (one of :data:`PHASE_KINDS`):
+    an application slice or one of the three bootstrap stages.  Labels
+    stay free-form display strings (deep programs prefix them with
+    ``bootN/`` etc.); any consumer that needs to know *what* a phase is
+    reads ``kind``, which also feeds every plan digest.
+    """
 
     label: str
     spec: BenchmarkSpec
     mix: HEOpMix
+    kind: str = "app"
 
     def __post_init__(self) -> None:
         if not self.label:
             raise ParameterError("a phase needs a non-empty label")
+        if self.kind not in PHASE_KINDS:
+            raise ParameterError(
+                f"unknown phase kind {self.kind!r}; choose from {PHASE_KINDS}"
+            )
 
     @property
     def hks_calls(self) -> int:
         return self.mix.hks_calls
 
+    @property
+    def is_bootstrap(self) -> bool:
+        """Whether this phase is a bootstrap stage (vs application work)."""
+        return self.kind in BOOTSTRAP_KINDS
+
     def relabeled(self, label: str) -> "Phase":
-        return Phase(label, self.spec, self.mix)
+        return Phase(label, self.spec, self.mix, self.kind)
 
 
 @dataclass(frozen=True)
@@ -142,6 +167,11 @@ class WorkloadProgram:
     def phase_hks_calls(self) -> Dict[str, int]:
         """HKS calls by phase label (insertion-ordered)."""
         return {p.label: p.hks_calls for p in self.phases}
+
+    @property
+    def num_bootstrap_phases(self) -> int:
+        """How many phases are bootstrap stages (by structural kind)."""
+        return sum(1 for p in self.phases if p.is_bootstrap)
 
     def __iter__(self) -> Iterator[Phase]:
         return iter(self.phases)

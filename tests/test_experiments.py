@@ -157,7 +157,7 @@ class TestRegistry:
             "table2", "table3", "table4", "table5",
             "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "keycompress", "motivation", "hoisting", "ablation", "crossover",
-            "backends", "bootstrap", "deep",
+            "backends", "bootstrap", "deep", "serving",
         }
 
     def test_unknown_experiment(self):

@@ -428,6 +428,71 @@ class TestDiskCache:
         assert np.array_equal(first._hat_mod, second._hat_mod)
 
 
+class TestConcurrentWriters:
+    """Racing serve workers must never surface a torn cache entry.
+
+    Several processes hammer ``store``/``load`` (and the JSON layer the
+    serving cache uses) on the *same* keys with deterministic payloads:
+    every load must return either a miss or a complete, exactly-correct
+    entry — any torn/partial read crashes the worker.
+    """
+
+    STRESS_SCRIPT = """
+import sys
+import numpy as np
+from repro import cache
+
+seed = int(sys.argv[1])
+rounds = int(sys.argv[2])
+expected = {
+    "table": (np.arange(4096, dtype=np.int64) * 7 + 3) % 997,
+    "aux": np.full(513, 11, dtype=np.int64),
+}
+doc = {"digest": "d" * 64, "latency_ms": 1.25, "phases": list(range(40))}
+rng = np.random.default_rng(seed)
+for i in range(rounds):
+    if rng.random() < 0.5:
+        assert cache.store("stress", "shared", expected)
+        assert cache.store_json("stress-json", "shared", doc)
+    loaded = cache.load("stress", "shared")
+    if loaded is not None:
+        assert set(loaded) == set(expected), f"torn keys: {sorted(loaded)}"
+        for name in expected:
+            assert np.array_equal(loaded[name], expected[name]), name
+    got = cache.load_json("stress-json", "shared")
+    if got is not None:
+        assert got == doc, f"torn JSON document: {got!r}"
+print("ok")
+"""
+
+    def test_parallel_store_load_never_tears(self, tmp_path, monkeypatch):
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(tmp_path)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", self.STRESS_SCRIPT, str(seed), "40"],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True, env=env,
+            )
+            for seed in range(4)
+        ]
+        for proc in workers:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, f"stress worker failed:\n{err}"
+            assert out.strip().endswith("ok")
+        # After the storm: complete winning entries, and no leftover temp
+        # files from the atomic-rename dance.
+        assert sorted(p.name for p in tmp_path.glob("*.tmp")) == []
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        loaded = cache.load("stress", "shared")
+        assert loaded is not None and "table" in loaded
+        doc = cache.load_json("stress-json", "shared")
+        assert doc is not None and doc["digest"] == "d" * 64
+
+
 class TestWarmStart:
     WARM_SCRIPT = """
 import sys
