@@ -1,7 +1,6 @@
 """Extension benches: key compression, motivation, hoisting, VM kernels."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.extras import (
     run_budget_ablation,

@@ -6,6 +6,7 @@ Usage::
     python -m repro backends                  # registered estimation backends
     python -m repro analyze BTS3              # Table-II-style analysis
     python -m repro estimate ARK --backend rpu --schedule all
+    python -m repro verify --graphs --kernels  # static analysis gate
     python -m repro simulate ARK --dataflow OC --bandwidth 12.8
     python -m repro trace ARK --dataflow MP --bandwidth 8
     python -m repro serve-bench HELR --requests 64 --workers 2
@@ -106,6 +107,78 @@ def cmd_serve_bench(args) -> int:
     print(f"\nservice stats: {stats}")
     print(f"warm speedup over naive loop: {naive_s / warm_s:.1f}x")
     return 0
+
+
+def _kernel_images():
+    """One representative of each codegen builder, at a quick size."""
+    from repro.ntt.modmath import inv_mod
+    from repro.ntt.primes import generate_primes
+    from repro.rpu import codegen
+
+    n = 64
+    qs = generate_primes(3, n, 26)
+    q, p = qs[0], qs[1]
+    yield "ntt", codegen.build_ntt_kernel(n, q)
+    yield "intt", codegen.build_ntt_kernel(n, q, inverse=True)
+    yield "bconv", codegen.build_bconv_kernel(qs[:2], qs[2], n)
+    yield "mulkey", codegen.build_mulkey_kernel(n, q, accumulate=False)
+    yield "mulkey-acc", codegen.build_mulkey_kernel(n, q, accumulate=True)
+    yield "mdfinish", codegen.build_moddown_finish_kernel(
+        n, q, inv_mod(p % q, q))
+
+
+def cmd_verify(args) -> int:
+    """Static analysis over plans (and optionally graphs and kernels).
+
+    Exit status 1 if any subject reports an error — the CI gate.
+    """
+    from repro.analysis import analyze
+    from repro.api import build_plan
+    from repro.workloads import list_workloads
+
+    names = args.targets or sorted(BENCHMARKS) + list_workloads()
+    subjects = []
+    for name in names:
+        for backend in list_backends():
+            for schedule in ("MP", "DC", "OC"):
+                plan = build_plan(name, backend=backend, schedule=schedule)
+                subjects.append(
+                    (f"plan {name}/{backend}/{schedule}", analyze(plan))
+                )
+
+    if args.graphs:
+        from repro.core import DATAFLOWS, DataflowConfig
+
+        config = DataflowConfig()
+        for name in names:
+            if name not in BENCHMARKS:
+                continue
+            spec = get_benchmark(name)
+            for dataflow in DATAFLOWS.values():
+                graph = dataflow.build(spec, config)
+                subjects.append(
+                    (f"graph {spec.name}/{dataflow.name}", analyze(graph))
+                )
+
+    if args.kernels:
+        for label, image in _kernel_images():
+            subjects.append((f"kernel {label}", analyze(image.program)))
+
+    rows = [
+        {"subject": label, "errors": len(report.errors),
+         "warnings": len(report.warnings), "infos": len(report.infos)}
+        for label, report in subjects
+    ]
+    print(format_table(rows, title="static analysis:"))
+    failed = False
+    for label, report in subjects:
+        for diag in report.errors + report.warnings:
+            print(f"{label}: {diag.render()}")
+        failed = failed or bool(report.errors)
+    clean = sum(1 for _, report in subjects if report.ok)
+    print(f"\n{clean}/{len(subjects)} subjects clean; "
+          f"{'FAIL' if failed else 'OK'}")
+    return 1 if failed else 0
 
 
 def _options(args) -> dict:
@@ -236,6 +309,17 @@ def main(argv=None) -> int:
     p_serve.add_argument("--no-disk-cache", action="store_true",
                          help="skip the cross-process report cache")
     p_serve.set_defaults(func=cmd_serve_bench)
+    p_verify = sub.add_parser(
+        "verify",
+        help="static analysis of plans, task graphs and generated kernels",
+    )
+    p_verify.add_argument("targets", nargs="*",
+                          help="benchmark/workload names (default: all)")
+    p_verify.add_argument("--graphs", action="store_true",
+                          help="also verify the MP/DC/OC task graphs")
+    p_verify.add_argument("--kernels", action="store_true",
+                          help="also verify the generated B1K kernels")
+    p_verify.set_defaults(func=cmd_verify)
     p_analyze = sub.add_parser("analyze", help="traffic/AI analysis")
     p_analyze.add_argument("benchmark")
     p_analyze.add_argument("--sram-mb", type=int, default=32)

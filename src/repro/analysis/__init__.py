@@ -1,0 +1,62 @@
+"""repro.analysis — static verification of plans, IR and RPU programs.
+
+The legality kernel of the estimation stack: ``analyze(obj)`` runs a
+registry of read-only passes over a :class:`~repro.api.plan.Plan`, a
+:class:`~repro.workloads.ir.WorkloadProgram`, a B1K
+:class:`~repro.rpu.program.Program` or a
+:class:`~repro.core.taskgraph.TaskGraph` and returns an
+:class:`AnalysisReport` of located, severity-tagged
+:class:`Diagnostic` findings; ``verify(obj)`` additionally raises
+:class:`~repro.errors.AnalysisError` on any error.
+
+Three pass families ship here:
+
+* **plan/IR** (``plan.*``, ``ir.*``) — level monotonicity, tower
+  budgets, bootstrap-group structure, HKS-count cross-checks against
+  the :class:`~repro.ckks.bootstrap.plan.BootstrapPlan` arithmetic, and
+  required-evk derivation (:func:`required_evks`);
+* **RPU programs** (``rpu.*``) — a linear abstract interpreter catching
+  def-before-use, missing ``setmod``, ``setvl``/shuffle illegalities,
+  capacity overflows and cross-pipe hazards before the VM ever runs;
+* **task graphs** (``graph.*``) — structural/deadlock checks, buffer
+  write-write races and SRAM resource overflow for the MP/DC/OC
+  schedules.
+
+Integration points: ``EstimateService`` verifies plans at admission,
+``repro.rpu.codegen`` verifies emitted kernels when
+``REPRO_VERIFY_CODEGEN`` is set, and ``python -m repro verify`` runs
+the whole registry from the command line.
+"""
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from repro.analysis.registry import (
+    AnalysisContext,
+    AnalysisPass,
+    analysis_pass,
+    analyze,
+    registered_passes,
+    verify,
+)
+
+# Importing the pass modules registers their passes.
+from repro.analysis import graph_passes, plan_passes, rpu_passes  # noqa: F401,E402
+from repro.analysis.plan_passes import required_evks
+from repro.errors import AnalysisError
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisError",
+    "AnalysisPass",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "analysis_pass",
+    "analyze",
+    "registered_passes",
+    "required_evks",
+    "verify",
+]

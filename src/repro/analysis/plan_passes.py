@@ -1,0 +1,273 @@
+"""Plan and workload-IR verification passes.
+
+These passes encode the level/structure invariants the estimation
+backends *assume* but never check: a :class:`~repro.workloads.ir.Phase`
+sequence must descend the modulus chain except at ModRaise boundaries,
+bootstrap groups must be shaped ``cts+ evalmod stc+`` with per-stage
+level burns, and the per-stage HKS counts of a registry-shaped bootstrap
+must match what the :class:`~repro.ckks.bootstrap.plan.BootstrapPlan`
+arithmetic derives.  A plan that passes these checks prices the circuit
+it claims to price; one that fails them would produce a silently wrong
+estimate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, error, info, warning
+from repro.analysis.registry import AnalysisContext, analysis_pass
+from repro.workloads.ir import WorkloadProgram, Phase
+
+if TYPE_CHECKING:
+    from repro.api.plan import Plan
+
+#: Evaluation-key kinds a workload can require from a session's cache.
+EVK_KINDS = ("relin", "galois")
+
+
+def required_evks(workload: object) -> Dict[str, int]:
+    """Which evaluation keys a workload implies, and at how many towers.
+
+    Returns ``{kind: max_towers}`` where *kind* is ``"relin"`` (needed by
+    any ciphertext multiply) or ``"galois"`` (needed by any rotation —
+    conjugations fold into rotations in :class:`HEOpMix`), and
+    *max_towers* is the widest chain point the key must cover.  Programs
+    only; a bare benchmark spec models one generic HKS whose key kind is
+    unspecified, so it maps to ``{}``.
+    """
+    if not isinstance(workload, WorkloadProgram):
+        return {}
+    needs: Dict[str, int] = {}
+    for phase in workload.phases:
+        if phase.mix.ct_multiplies > 0:
+            needs["relin"] = max(needs.get("relin", 0), phase.spec.kl)
+        if phase.mix.rotations > 0:
+            needs["galois"] = max(needs.get("galois", 0), phase.spec.kl)
+    return needs
+
+
+def _phase_loc(index: int, phase: Phase) -> str:
+    return f"phase[{index}] {phase.label!r}"
+
+
+# -- plan-level passes ------------------------------------------------------------
+
+
+@analysis_pass("plan.backend", "plan",
+               "backend and schedule name a registered engine/dataflow")
+def check_plan_backend(plan: "Plan",
+                       ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    from repro.api.backends import SCHEDULES, list_backends
+
+    if plan.backend not in list_backends():
+        yield error("plan.backend", f"backend {plan.backend!r}",
+                    "plan names an unregistered backend",
+                    hint=f"registered backends: {list_backends()}")
+    if plan.schedule not in SCHEDULES:
+        yield error("plan.backend", f"schedule {plan.schedule!r}",
+                    "plan names an unknown dataflow schedule",
+                    hint=f"choose from {SCHEDULES}")
+
+
+@analysis_pass("plan.options", "plan",
+               "estimate options are internally consistent")
+def check_plan_options(plan: "Plan",
+                       ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    opts = plan.options
+    if opts.key_compression and opts.evk_on_chip:
+        yield warning(
+            "plan.options", "options",
+            "key_compression=True has no effect with evk_on_chip=True "
+            "(compression applies to streamed keys only)",
+            hint="set evk_on_chip=False to model compressed key streaming",
+        )
+
+
+@analysis_pass("plan.required-evks", "plan",
+               "derive the evaluation keys the plan implies")
+def check_required_evks(plan: "Plan",
+                        ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    needs = required_evks(plan.workload)
+    for kind in sorted(needs):
+        yield info(
+            "plan.required-evks", "workload",
+            f"requires a {kind} evaluation key covering {needs[kind]} towers",
+        )
+
+
+# -- workload-IR passes -----------------------------------------------------------
+
+
+@analysis_pass("ir.level-monotonic", "workload",
+               "tower counts only increase at ModRaise boundaries")
+def check_level_monotonic(program: WorkloadProgram,
+                          ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    phases = program.phases
+    for i in range(1, len(phases)):
+        prev, cur = phases[i - 1], phases[i]
+        if cur.spec.kl > prev.spec.kl and cur.kind != "cts":
+            yield error(
+                "ir.level-monotonic", _phase_loc(i, cur),
+                f"tower count rises {prev.spec.kl} -> {cur.spec.kl} outside "
+                f"a ModRaise boundary (phase kind {cur.kind!r})",
+                hint="only the first CoeffToSlot stage of a bootstrap "
+                     "(kind='cts') may re-enter the chain higher",
+            )
+
+
+@analysis_pass("ir.tower-budget", "workload",
+               "per-phase parameters stay inside the top-of-chain budget")
+def check_tower_budget(program: WorkloadProgram,
+                       ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    top = program.spec  # widest phase
+    for i, phase in enumerate(program.phases):
+        spec = phase.spec
+        if spec.log_n != top.log_n:
+            yield error(
+                "ir.tower-budget", _phase_loc(i, phase),
+                f"ring dimension changes mid-program "
+                f"(log_n {spec.log_n} != {top.log_n})",
+                hint="all phases of one circuit share one ring",
+            )
+        if spec.kp != top.kp:
+            yield error(
+                "ir.tower-budget", _phase_loc(i, phase),
+                f"auxiliary basis changes mid-program "
+                f"(kp {spec.kp} != {top.kp})",
+                hint="P is fixed at key-generation time and never shrinks",
+            )
+        expected_dnum = max(1, min(top.dnum, -(-spec.kl // top.alpha)))
+        if spec.dnum != expected_dnum:
+            yield warning(
+                "ir.tower-budget", _phase_loc(i, phase),
+                f"digit count {spec.dnum} diverges from the fixed-alpha "
+                f"derivation ceil({spec.kl}/{top.alpha}) = {expected_dnum}",
+                hint="derive lowered specs with workloads.ir.level_spec",
+            )
+
+
+def _bootstrap_runs(program: WorkloadProgram) -> List[List[Tuple[int, Phase]]]:
+    """Maximal consecutive runs of bootstrap-kind phases, with indices."""
+    runs: List[List[Tuple[int, Phase]]] = []
+    current: List[Tuple[int, Phase]] = []
+    for i, phase in enumerate(program.phases):
+        if phase.is_bootstrap:
+            current.append((i, phase))
+        elif current:
+            runs.append(current)
+            current = []
+    if current:
+        runs.append(current)
+    return runs
+
+
+@analysis_pass("ir.bootstrap-structure", "workload",
+               "bootstrap groups are shaped cts+ evalmod stc+ with "
+               "one-level burns")
+def check_bootstrap_structure(program: WorkloadProgram,
+                              ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    pid = "ir.bootstrap-structure"
+    for run in _bootstrap_runs(program):
+        kinds = [p.kind for _, p in run]
+        cts = [(i, p) for i, p in run if p.kind == "cts"]
+        evalmod = [(i, p) for i, p in run if p.kind == "evalmod"]
+        stc = [(i, p) for i, p in run if p.kind == "stc"]
+        first_i, first_p = run[0]
+        expected = (["cts"] * len(cts) + ["evalmod"] * len(evalmod)
+                    + ["stc"] * len(stc))
+        if kinds != expected or not cts or len(evalmod) != 1 or not stc:
+            yield error(
+                pid, _phase_loc(first_i, first_p),
+                f"bootstrap group has stage kinds {kinds}; expected "
+                f"one or more 'cts', exactly one 'evalmod', then one or "
+                f"more 'stc'",
+                hint="lower bootstraps with workloads.builders"
+                     ".bootstrap_phases",
+            )
+            continue
+        for stage in (cts, stc):
+            for (i1, p1), (i2, p2) in zip(stage, stage[1:]):
+                if p2.spec.kl != p1.spec.kl - 1:
+                    yield error(
+                        pid, _phase_loc(i2, p2),
+                        f"{p2.kind} stage towers {p1.spec.kl} -> "
+                        f"{p2.spec.kl}; each DFT factor burns exactly "
+                        f"one level",
+                    )
+        em_i, em_p = evalmod[0]
+        last_cts = cts[-1][1]
+        if em_p.spec.kl != last_cts.spec.kl - 1:
+            yield error(
+                pid, _phase_loc(em_i, em_p),
+                f"evalmod enters at {em_p.spec.kl} towers but the last "
+                f"CoeffToSlot stage ran at {last_cts.spec.kl} (must burn "
+                f"exactly one level)",
+            )
+        first_stc = stc[0][1]
+        if first_stc.spec.kl >= em_p.spec.kl:
+            yield error(
+                pid, _phase_loc(stc[0][0], first_stc),
+                f"SlotToCoeff enters at {first_stc.spec.kl} towers, not "
+                f"below evalmod's {em_p.spec.kl}; the sine ladder must "
+                f"burn at least one level",
+            )
+        last_i, last_p = stc[-1]
+        if last_p.spec.kl < 2:
+            yield error(
+                pid, _phase_loc(last_i, last_p),
+                f"last SlotToCoeff stage runs at {last_p.spec.kl} "
+                f"tower(s); burning its level would leave no usable "
+                f"budget",
+            )
+
+
+@analysis_pass("ir.hks-consistency", "workload",
+               "bootstrap-stage HKS counts match the BootstrapPlan "
+               "derivation")
+def check_hks_consistency(program: WorkloadProgram,
+                          ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    pid = "ir.hks-consistency"
+    from repro.ckks.bootstrap.plan import transform_counts
+    from repro.workloads.builders import bootstrap_plan
+
+    plan = bootstrap_plan()
+    for run in _bootstrap_runs(program):
+        cts = [(i, p) for i, p in run if p.kind == "cts"]
+        evalmod = [(i, p) for i, p in run if p.kind == "evalmod"]
+        stc = [(i, p) for i, p in run if p.kind == "stc"]
+        shape_matches = (
+            len(cts) == len(plan.cts_diagonals)
+            and len(evalmod) == 1
+            and len(stc) == len(plan.stc_diagonals)
+            and run[0][1].spec.n == 2 * plan.num_slots
+        )
+        if not shape_matches:
+            first_i, first_p = run[0]
+            yield info(
+                pid, _phase_loc(first_i, first_p),
+                f"bootstrap group shape ({len(cts)} cts, {len(stc)} stc, "
+                f"N=2^{run[0][1].spec.log_n}) is not the registry's "
+                f"{len(plan.cts_diagonals)}+{len(plan.stc_diagonals)} "
+                f"split at N={2 * plan.num_slots}; HKS cross-check "
+                f"skipped",
+            )
+            continue
+        stages = (
+            [(i, p, transform_counts(plan.num_slots, diag).hks_calls)
+             for (i, p), diag in zip(cts, plan.cts_diagonals)]
+            + [(evalmod[0][0], evalmod[0][1],
+                plan.evalmod_counts().hks_calls)]
+            + [(i, p, transform_counts(plan.num_slots, diag).hks_calls)
+               for (i, p), diag in zip(stc, plan.stc_diagonals)]
+        )
+        for i, phase, derived in stages:
+            if phase.mix.hks_calls != derived:
+                yield error(
+                    pid, _phase_loc(i, phase),
+                    f"phase prices {phase.mix.hks_calls} HKS calls but "
+                    f"the bootstrap plan derives {derived} for this "
+                    f"stage",
+                    hint="rebuild the phases from bootstrap_phases() "
+                         "instead of editing op counts by hand",
+                )

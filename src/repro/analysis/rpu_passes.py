@@ -1,0 +1,449 @@
+"""Static analysis of B1K programs: a linear abstract interpreter.
+
+Walks a :class:`~repro.rpu.program.Program` once, in instruction order,
+tracking what is statically knowable — which registers have been
+written, constant values propagated through ``li``/``sadd``/``smul``/
+``vbcast``, the active vector length, whether ``setmod`` has executed,
+and every memory access window whose address is a known constant.  The
+checks mirror the :class:`~repro.rpu.vm.B1KVM`'s dynamic
+``SimulationError`` classes, so a program the VM would kill at ``pc=k``
+is diagnosed here at the same instruction *without* running it:
+
+* ``rpu.def-before-use`` — reading a never-written vector register
+  (error; the VM raises) or scalar register (warning; hosts may
+  pre-seed scalars via ``write_scalar``);
+* ``rpu.modulus`` — a modular-arithmetic instruction before ``setmod``;
+* ``rpu.vl`` — ``setvl`` constants outside ``[1, vl_max]`` and
+  ``vswap``/``vbfly``/``vsplit``/``vmerge`` width incompatibilities;
+* ``rpu.shuffle-bounds`` — ``vshuf`` with a broadcast-constant index
+  vector outside ``[0, vl)``;
+* ``rpu.capacity`` — constant-address accesses beyond data memory, plus
+  an INFO footprint metric (registers used, words touched);
+* ``rpu.hazards`` — cross-pipe memory aliasing without an ordering
+  ``fence``, and dead vector-register writes (straight-line programs
+  only; loops are skipped to avoid back-edge false positives).
+
+The interpreter is linear: it follows fall-through order and does not
+join states across branches, which is exact for the straight-line
+kernels :mod:`repro.rpu.codegen` emits and a sound first-iteration
+approximation for its counted loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.analysis.diagnostics import Diagnostic, error, info, warning
+from repro.analysis.registry import AnalysisContext, PassFn, analysis_pass
+from repro.rpu.isa import B1K_ISA, Pipe
+from repro.rpu.program import (
+    NUM_SREGS,
+    NUM_VREGS,
+    AsmInstr,
+    Program,
+    is_mreg,
+    is_sreg,
+    is_vreg,
+    reg_index,
+)
+
+#: An instruction operand: a register name or an immediate.
+Operand = Union[str, int]
+
+#: Mnemonics that require an active modulus (mirrors the VM's gate).
+MODULAR_OPS = frozenset(
+    {"vmadd", "vmsub", "vmmul", "vmmac", "vmneg", "vmscale", "vbfly"}
+)
+
+#: Mnemonics whose legality depends on an even vector length.
+_EVEN_VL_OPS = frozenset({"vbfly", "vsplit", "vmerge"})
+
+
+@dataclass
+class _MemAccess:
+    """One memory window touched at a known or unknown address."""
+
+    pc: int
+    instr: AsmInstr
+    pipe: Pipe
+    is_write: bool
+    address: Optional[int]
+    length: Optional[int]
+    #: fences seen before this access (ordering epoch).
+    epoch: int
+
+    def overlaps(self, other: "_MemAccess") -> bool:
+        if None in (self.address, self.length, other.address, other.length):
+            return False
+        return (self.address < other.address + other.length
+                and other.address < self.address + self.length)
+
+
+@dataclass
+class _State:
+    """Abstract machine state threaded through the linear walk."""
+
+    vl: Optional[int]
+    vl_max: int
+    mod_active: bool = False
+    sdef: List[bool] = field(default_factory=lambda: [False] * NUM_SREGS)
+    sconst: Dict[int, int] = field(default_factory=dict)
+    vdef: List[bool] = field(default_factory=lambda: [False] * NUM_VREGS)
+    #: vreg -> broadcast constant (every lane equal), when known.
+    vconst: Dict[int, int] = field(default_factory=dict)
+    accesses: List[_MemAccess] = field(default_factory=list)
+    epoch: int = 0
+    sregs_used: Set[int] = field(default_factory=set)
+    vregs_used: Set[int] = field(default_factory=set)
+    #: vreg -> pc of the last write not yet read (for dead-write WAW).
+    last_vwrite: Dict[int, Tuple[int, AsmInstr]] = field(default_factory=dict)
+
+
+def _loc(pc: int, instr: AsmInstr) -> str:
+    return f"pc={pc} `{instr.render()}`"
+
+
+class _Interpreter:
+    """One linear walk; collects ``(category, Diagnostic)`` findings."""
+
+    def __init__(self, program: Program, ctx: AnalysisContext):
+        self.program = program
+        self.ctx = ctx
+        self.state = _State(vl=ctx.vl_max, vl_max=ctx.vl_max)
+        self.findings: List[Tuple[str, Diagnostic]] = []
+        self.has_branch = any(
+            i.mnemonic in ("bnez", "jal") for i in program.instructions
+        )
+
+    # -- reporting helpers -------------------------------------------------------
+
+    def _emit(self, category: str, diag: Diagnostic) -> None:
+        self.findings.append((category, diag))
+
+    # -- register helpers --------------------------------------------------------
+
+    def _sread(self, op: Operand, pc: int,
+               instr: AsmInstr) -> Optional[int]:
+        """Read a scalar operand; returns its constant value if known."""
+        if isinstance(op, int):
+            return op
+        if not is_sreg(op):
+            return None
+        idx = reg_index(op)
+        self.state.sregs_used.add(idx)
+        if not self.state.sdef[idx]:
+            self._emit("rpu.def-before-use", warning(
+                "rpu.def-before-use", _loc(pc, instr),
+                f"scalar register {op} read before any in-program write",
+                hint="initialize with li, or document the host-side "
+                     "write_scalar contract",
+            ))
+            # A host may have seeded it; treat as defined-unknown from
+            # here so one missing init is reported once.
+            self.state.sdef[idx] = True
+        return self.state.sconst.get(idx)
+
+    def _swrite(self, op: Operand, const: Optional[int]) -> None:
+        idx = reg_index(op)
+        self.state.sregs_used.add(idx)
+        self.state.sdef[idx] = True
+        if const is None:
+            self.state.sconst.pop(idx, None)
+        else:
+            self.state.sconst[idx] = const
+
+    def _vread(self, op: Operand, pc: int,
+               instr: AsmInstr) -> Optional[int]:
+        """Read a vector operand; returns its broadcast constant if known."""
+        if not is_vreg(op):
+            return None
+        idx = reg_index(op)
+        self.state.vregs_used.add(idx)
+        if not self.state.vdef[idx]:
+            self._emit("rpu.def-before-use", error(
+                "rpu.def-before-use", _loc(pc, instr),
+                f"vector register {op} read before any write "
+                f"(the VM raises SimulationError here)",
+                hint="load or broadcast into the register first",
+            ))
+            self.state.vdef[idx] = True  # report each missing init once
+        self.state.last_vwrite.pop(idx, None)
+        return self.state.vconst.get(idx)
+
+    def _vwrite(self, op: Operand, pc: int, instr: AsmInstr,
+                const: Optional[int] = None) -> None:
+        idx = reg_index(op)
+        self.state.vregs_used.add(idx)
+        if not self.has_branch and idx in self.state.last_vwrite:
+            prev_pc, prev_instr = self.state.last_vwrite[idx]
+            self._emit("rpu.hazards", warning(
+                "rpu.hazards", _loc(pc, instr),
+                f"dead write: {op} written at pc={prev_pc} "
+                f"(`{prev_instr.render()}`) is overwritten without "
+                f"being read",
+            ))
+        self.state.vdef[idx] = True
+        self.state.last_vwrite[idx] = (pc, instr)
+        if const is None:
+            self.state.vconst.pop(idx, None)
+        else:
+            self.state.vconst[idx] = const
+
+    def _mem(self, pc: int, instr: AsmInstr, *, write: bool,
+             address: Optional[int], length: Optional[int]) -> None:
+        pipe = B1K_ISA[instr.mnemonic].pipe
+        self.state.accesses.append(_MemAccess(
+            pc=pc, instr=instr, pipe=pipe, is_write=write,
+            address=address, length=length, epoch=self.state.epoch,
+        ))
+        if address is not None and length is not None:
+            if address < 0 or address + length > self.ctx.memory_words:
+                self._emit("rpu.capacity", error(
+                    "rpu.capacity", _loc(pc, instr),
+                    f"access window [{address}, {address + length}) is "
+                    f"outside data memory of {self.ctx.memory_words} "
+                    f"words",
+                    hint="shrink the layout or raise "
+                         "AnalysisContext.memory_words to match the VM",
+                ))
+
+    # -- per-instruction semantics -----------------------------------------------
+
+    def _step(self, pc: int, instr: AsmInstr) -> None:
+        m = instr.mnemonic
+        ops = instr.operands
+        st = self.state
+
+        if m in MODULAR_OPS and not st.mod_active:
+            self._emit("rpu.modulus", error(
+                "rpu.modulus", _loc(pc, instr),
+                f"modular instruction {m} before any setmod "
+                f"(the VM raises 'no active modulus')",
+                hint="execute setmod <mreg> before modular arithmetic",
+            ))
+            st.mod_active = True  # report the first offender only
+
+        if m in ("halt", "label"):
+            return
+        if m == "fence":
+            st.epoch += 1
+            return
+        if m == "setvl":
+            vl = self._sread(ops[0], pc, instr)
+            if vl is not None and not 1 <= vl <= st.vl_max:
+                self._emit("rpu.vl", error(
+                    "rpu.vl", _loc(pc, instr),
+                    f"setvl {vl} out of range 1..{st.vl_max}",
+                ))
+                return  # VM halts here; keep the previous vl
+            st.vl = vl
+            return
+        if m == "setmod":
+            if not is_mreg(ops[0]):
+                self._emit("rpu.modulus", error(
+                    "rpu.modulus", _loc(pc, instr),
+                    f"setmod expects a modulus register, got {ops[0]!r}",
+                ))
+                return
+            st.mod_active = True
+            return
+        if m == "li":
+            val = ops[1] if isinstance(ops[1], int) else \
+                self._sread(ops[1], pc, instr)
+            self._swrite(ops[0], val)
+            return
+        if m in ("sadd", "smul"):
+            a = self._sread(ops[1], pc, instr)
+            b = self._sread(ops[2], pc, instr)
+            folded = None
+            if a is not None and b is not None:
+                folded = a + b if m == "sadd" else a * b
+            self._swrite(ops[0], folded)
+            return
+        if m == "sld":
+            addr = self._sread(ops[1], pc, instr)
+            self._mem(pc, instr, write=False, address=addr, length=1)
+            self._swrite(ops[0], None)
+            return
+        if m == "sst":
+            self._sread(ops[0], pc, instr)
+            addr = self._sread(ops[1], pc, instr)
+            self._mem(pc, instr, write=True, address=addr, length=1)
+            return
+        if m == "bnez":
+            self._sread(ops[0], pc, instr)
+            return
+        if m == "jal":
+            self._swrite(ops[0], None)
+            return
+
+        if m in ("vld", "vldk", "ldtw"):
+            addr = self._sread(ops[1], pc, instr)
+            self._mem(pc, instr, write=False, address=addr, length=st.vl)
+            self._vwrite(ops[0], pc, instr)
+            return
+        if m == "vst":
+            self._vread(ops[0], pc, instr)
+            addr = self._sread(ops[1], pc, instr)
+            self._mem(pc, instr, write=True, address=addr, length=st.vl)
+            return
+        if m == "vbcast":
+            const = self._sread(ops[1], pc, instr)
+            self._vwrite(ops[0], pc, instr, const=const)
+            return
+
+        if m in ("vmadd", "vmsub", "vmmul"):
+            self._vread(ops[1], pc, instr)
+            self._vread(ops[2], pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            return
+        if m == "vmmac":
+            self._vread(ops[0], pc, instr)  # accumulator is read-modify-write
+            self._vread(ops[1], pc, instr)
+            self._vread(ops[2], pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            return
+        if m == "vmneg":
+            self._vread(ops[1], pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            return
+        if m == "vmscale":
+            self._vread(ops[1], pc, instr)
+            self._sread(ops[2], pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            return
+        if m == "vmsel":
+            for src in ops[1:4]:
+                self._vread(src, pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            return
+        if m == "vbfly":
+            self._check_even_vl(pc, instr)
+            self._vread(ops[1], pc, instr)
+            self._vread(ops[2], pc, instr)
+            if len(ops) > 3:
+                self._sread(ops[3], pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            return
+
+        if m == "vshuf":
+            idx_const = self._vread(ops[2], pc, instr)
+            if idx_const is not None and st.vl is not None and \
+                    not 0 <= idx_const < st.vl:
+                self._emit("rpu.shuffle-bounds", error(
+                    "rpu.shuffle-bounds", _loc(pc, instr),
+                    f"vshuf index {idx_const} out of range [0, {st.vl}) "
+                    f"(the VM raises 'vshuf index out of range')",
+                ))
+            self._vread(ops[1], pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            return
+        if m == "vswap":
+            t = self._sread(ops[2], pc, instr)
+            if t is not None and st.vl is not None and \
+                    (t <= 0 or st.vl % (2 * t) != 0):
+                self._emit("rpu.vl", error(
+                    "rpu.vl", _loc(pc, instr),
+                    f"vswap width {t} incompatible with vl {st.vl}",
+                ))
+            self._vread(ops[1], pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            return
+        if m in ("vrev", "vrotl"):
+            if m == "vrotl":
+                self._sread(ops[2], pc, instr)
+            self._vread(ops[1], pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            return
+        if m == "vsplit":
+            self._check_even_vl(pc, instr)
+            self._vread(ops[2], pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            self._vwrite(ops[1], pc, instr)
+            return
+        if m == "vmerge":
+            self._check_even_vl(pc, instr)
+            self._vread(ops[1], pc, instr)
+            self._vread(ops[2], pc, instr)
+            self._vwrite(ops[0], pc, instr)
+            return
+
+    def _check_even_vl(self, pc: int, instr: AsmInstr) -> None:
+        vl = self.state.vl
+        if vl is not None and vl % 2 != 0:
+            self._emit("rpu.vl", error(
+                "rpu.vl", _loc(pc, instr),
+                f"{instr.mnemonic} needs an even vector length, vl={vl}",
+            ))
+
+    # -- whole-program checks ----------------------------------------------------
+
+    def _check_aliasing(self) -> None:
+        """Cross-pipe memory accesses overlapping without a fence."""
+        accesses = self.state.accesses
+        for i, a in enumerate(accesses):
+            for b in accesses[i + 1:]:
+                if a.pipe is b.pipe or a.epoch != b.epoch:
+                    continue
+                if not (a.is_write or b.is_write):
+                    continue
+                if a.overlaps(b):
+                    kind = ("write-write" if a.is_write and b.is_write
+                            else "read-write")
+                    self._emit("rpu.hazards", warning(
+                        "rpu.hazards", _loc(b.pc, b.instr),
+                        f"{kind} memory aliasing with pc={a.pc} "
+                        f"(`{a.instr.render()}`) across {a.pipe.value}/"
+                        f"{b.pipe.value} pipes with no fence between",
+                        hint="insert a fence to order the queues",
+                    ))
+
+    def _footprint(self) -> None:
+        known = [a for a in self.state.accesses
+                 if a.address is not None and a.length is not None]
+        high = max((a.address + a.length for a in known), default=0)
+        self._emit("rpu.capacity", info(
+            "rpu.capacity", "program",
+            f"uses {len(self.state.vregs_used)}/{NUM_VREGS} vregs, "
+            f"{len(self.state.sregs_used)}/{NUM_SREGS} sregs; static "
+            f"memory high-water mark {high} of {self.ctx.memory_words} "
+            f"words",
+        ))
+
+    def run(self) -> List[Tuple[str, Diagnostic]]:
+        for pc, instr in enumerate(self.program.instructions):
+            self._step(pc, instr)
+        self._check_aliasing()
+        self._footprint()
+        return self.findings
+
+
+def _interpret(program: Program,
+               ctx: AnalysisContext) -> List[Tuple[str, Diagnostic]]:
+    return _Interpreter(program, ctx).run()
+
+
+def _category_pass(category: str, title: str) -> PassFn:
+    @analysis_pass(category, "rpu", title)
+    def run(program: Program, ctx: AnalysisContext,
+            _category: str = category) -> Iterator[Diagnostic]:
+        for found_category, diag in _interpret(program, ctx):
+            if found_category == _category:
+                yield diag
+
+    return run
+
+
+_category_pass("rpu.def-before-use",
+               "registers are written before they are read")
+_category_pass("rpu.modulus",
+               "modular arithmetic only runs under an active setmod")
+_category_pass("rpu.vl",
+               "setvl ranges and width-sensitive shuffles are legal")
+_category_pass("rpu.shuffle-bounds",
+               "constant vshuf index vectors stay inside the vector")
+_category_pass("rpu.capacity",
+               "constant-address accesses fit the data memory")
+_category_pass("rpu.hazards",
+               "no unfenced cross-pipe aliasing or dead vector writes")

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import (
     TYPE_CHECKING,
+    Any,
     Dict,
     List,
     Optional,
@@ -36,7 +37,9 @@ from typing import (
 
 if TYPE_CHECKING:
     from repro.api.plan import Plan
-    from repro.workloads import CompositeWorkload, WorkloadProgram
+    from repro.core import DataflowReport, ScheduleStats, TaskGraph
+    from repro.rpu import RPUConfig
+    from repro.workloads import CompositeWorkload, HEOpMix, Phase, WorkloadProgram
 
 from repro.errors import ParameterError
 from repro.params import BENCHMARKS, MB, BenchmarkSpec, get_benchmark
@@ -147,7 +150,8 @@ class RunReport:
 
 @lru_cache(maxsize=None)
 def _cached_schedule(spec: BenchmarkSpec, schedule: str, sram_mb: int,
-                     evk_on_chip: bool, key_compression: bool):
+                     evk_on_chip: bool,
+                     key_compression: bool) -> Tuple[TaskGraph, ScheduleStats]:
     """One (graph, stats) build per schedule configuration.
 
     Schedules depend only on the memory configuration, not on bandwidth
@@ -167,7 +171,8 @@ def _cached_schedule(spec: BenchmarkSpec, schedule: str, sram_mb: int,
 
 @lru_cache(maxsize=None)
 def _cached_analysis(spec: BenchmarkSpec, schedule: str, sram_mb: int,
-                     evk_on_chip: bool, key_compression: bool):
+                     evk_on_chip: bool,
+                     key_compression: bool) -> DataflowReport:
     """Memoized :func:`repro.core.analyze_dataflow` (reports are frozen)."""
     from repro.core import DataflowConfig, analyze_dataflow, get_dataflow
 
@@ -189,7 +194,7 @@ _POINTWISE_KINDS = (
 
 
 @lru_cache(maxsize=None)
-def _pointwise_graph(spec: BenchmarkSpec, kind: str):
+def _pointwise_graph(spec: BenchmarkSpec, kind: str) -> TaskGraph:
     """Task graph of one non-HKS homomorphic op (shared by both backends)."""
     from repro.workloads import build_pointwise_graph
 
@@ -271,7 +276,8 @@ class PlanBackendBase:
         return self.run_plan(Plan(workload=spec, backend=self.name,
                                   schedule=schedule, options=options))
 
-    def run_composite(self, workload, schedule: str,
+    def run_composite(self, workload: Union[WorkloadProgram, CompositeWorkload],
+                      schedule: str,
                       options: EstimateOptions) -> RunReport:
         """Thin adapter: wrap a workload program (or the deprecated flat
         ``CompositeWorkload``, which warns while lifting) into a plan."""
@@ -282,8 +288,8 @@ class PlanBackendBase:
 
 
 @lru_cache(maxsize=None)
-def _cached_rpu_mix_report(backend: "RPUBackend", spec: BenchmarkSpec, mix,
-                           schedule: str,
+def _cached_rpu_mix_report(backend: "RPUBackend", spec: BenchmarkSpec,
+                           mix: HEOpMix, schedule: str,
                            options: EstimateOptions) -> RunReport:
     """Label-free RPU phase numbers, memoized across repeated phases.
 
@@ -341,7 +347,7 @@ class AnalyticBackend(PlanBackendBase):
             options=options,
         )
 
-    def _phase_report(self, phase, schedule: str,
+    def _phase_report(self, phase: Phase, schedule: str,
                       options: EstimateOptions) -> RunReport:
         """Traffic/ops of one phase: HKS calls + point-wise ops at its level."""
         base = self._spec_report(phase.spec, schedule, options)
@@ -412,7 +418,7 @@ class RPUBackend(PlanBackendBase):
             options=options,
         )
 
-    def _machine(self, options: EstimateOptions):
+    def _machine(self, options: EstimateOptions) -> RPUConfig:
         from repro.rpu import RPUConfig
 
         return RPUConfig(
@@ -422,7 +428,7 @@ class RPUBackend(PlanBackendBase):
             modops_scale=options.modops_scale,
         )
 
-    def _phase_report(self, phase, schedule: str,
+    def _phase_report(self, phase: Phase, schedule: str,
                       options: EstimateOptions) -> RunReport:
         """Latency of one phase: one simulation per distinct kernel at the
         phase's level, scaled by the phase op mix (the simulator replays
@@ -440,7 +446,7 @@ class RPUBackend(PlanBackendBase):
         )
         return replace(numbers, benchmark=phase.label)
 
-    def _mix_report(self, spec: BenchmarkSpec, mix, schedule: str,
+    def _mix_report(self, spec: BenchmarkSpec, mix: HEOpMix, schedule: str,
                     options: EstimateOptions) -> RunReport:
         from repro.rpu import RPUSimulator
 
@@ -547,7 +553,7 @@ register_backend(RPUBackend())
 Workload = Union[str, BenchmarkSpec, "WorkloadProgram", "CompositeWorkload"]
 
 
-def _resolve_workload(workload: Workload):
+def _resolve_workload(workload: Workload) -> Workload:
     """Resolve a name/spec to a :class:`BenchmarkSpec` or workload program.
 
     Names check Table III benchmarks first (``"ARK"``), then the named
@@ -624,7 +630,7 @@ def estimate(
     *,
     backend: str = "rpu",
     schedule: Union[str, Sequence[str]] = "OC",
-    **options,
+    **options: Any,
 ) -> Union[RunReport, List[RunReport]]:
     """Estimate ``workload`` on one backend across one or more schedules.
 

@@ -34,6 +34,9 @@ from repro.errors import ParameterError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.session import FHESession
+    from repro.ckks.context import CKKSContext
+    from repro.ckks.evaluator import Evaluator
+    from repro.rns.poly import RNSPoly
 
 #: Things accepted as plaintext operands: scalars and slot vectors.
 PlainOperand = Union[int, float, complex, np.ndarray, list, tuple]
@@ -84,7 +87,7 @@ class CipherVector:
 
     # -- arithmetic --------------------------------------------------------------
 
-    def __add__(self, other) -> "CipherVector":
+    def __add__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         if isinstance(other, CipherVector):
             a, b = self._aligned_with(other)
             return self._wrap(self._ev.add(a, b))
@@ -92,22 +95,22 @@ class CipherVector:
         return self._wrap(self._ev.add_plain(self.ciphertext, pt,
                                              plain_scale=self.scale))
 
-    def __radd__(self, other) -> "CipherVector":
+    def __radd__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         return self.__add__(other)
 
-    def __sub__(self, other) -> "CipherVector":
+    def __sub__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         if isinstance(other, CipherVector):
             a, b = self._aligned_with(other)
             return self._wrap(self._ev.sub(a, b))
         return self.__add__(_negated(other))
 
-    def __rsub__(self, other) -> "CipherVector":
+    def __rsub__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         return (-self).__add__(other)
 
     def __neg__(self) -> "CipherVector":
         return self._wrap(self._ev.negate(self.ciphertext))
 
-    def __mul__(self, other) -> "CipherVector":
+    def __mul__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         if isinstance(other, CipherVector):
             a, b = self._aligned_with(other, for_multiply=True)
             product = self._ev.multiply(a, b, self.session.relin_key)
@@ -122,7 +125,7 @@ class CipherVector:
                                           plain_scale=plain_scale)
         return self._wrap(self._ev.rescale(product))
 
-    def __rmul__(self, other) -> "CipherVector":
+    def __rmul__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         return self.__mul__(other)
 
     def square(self) -> "CipherVector":
@@ -177,17 +180,18 @@ class CipherVector:
     # -- helpers ------------------------------------------------------------------
 
     @property
-    def _ev(self):
+    def _ev(self) -> "Evaluator":
         return self.session.evaluator
 
     @property
-    def _ctx(self):
+    def _ctx(self) -> "CKKSContext":
         return self.session.context
 
     def _wrap(self, ct: Ciphertext) -> "CipherVector":
         return CipherVector(self.session, ct)
 
-    def _encode_at(self, values: PlainOperand, level: int, scale: float):
+    def _encode_at(self, values: PlainOperand, level: int,
+                   scale: float) -> "RNSPoly":
         if isinstance(values, CipherVector):  # defensive: callers filter first
             raise ParameterError("expected a plaintext operand")
         arr = np.atleast_1d(np.asarray(values, dtype=np.complex128))

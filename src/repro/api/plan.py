@@ -36,7 +36,8 @@ from functools import lru_cache
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
 if TYPE_CHECKING:
-    from repro.api.backends import EstimateOptions, RunReport
+    from repro.analysis import AnalysisReport
+    from repro.api.backends import EstimateOptions, RunReport, Workload
 
 from repro.errors import ParameterError
 from repro.params import BenchmarkSpec
@@ -147,7 +148,7 @@ def _workload_from_dict(data: Dict[str, object]) -> PlanWorkload:
     )
 
 
-def _options_to_dict(options) -> Dict[str, object]:
+def _options_to_dict(options: "EstimateOptions") -> Dict[str, object]:
     return {
         "bandwidth_gbs": options.bandwidth_gbs,
         "sram_mb": options.sram_mb,
@@ -157,7 +158,7 @@ def _options_to_dict(options) -> Dict[str, object]:
     }
 
 
-def _options_from_dict(data: Dict[str, object]):
+def _options_from_dict(data: Dict[str, object]) -> "EstimateOptions":
     from repro.api.backends import EstimateOptions
 
     valid = set(EstimateOptions.__dataclass_fields__)
@@ -171,7 +172,7 @@ def _options_from_dict(data: Dict[str, object]):
 
 @lru_cache(maxsize=4096)
 def _digest_for(workload: PlanWorkload, backend: str, schedule: str,
-                options) -> str:
+                options: "EstimateOptions") -> str:
     """Content digest, memoized by the (hashable) plan fields.
 
     Serving workloads submit thousands of plans over the *same* resolved
@@ -297,10 +298,24 @@ class Plan:
 
         return execute_plan(self)
 
+    def verify(self) -> "AnalysisReport":
+        """Run the static analyzers over this plan (and its workload IR).
 
-def build_plan(workload, *, backend: str = "rpu", schedule: str = "OC",
+        Returns the :class:`~repro.analysis.AnalysisReport`; raises
+        :class:`~repro.errors.AnalysisError` if any pass reports an
+        error.  Read-only: the plan (and its digest) are unchanged.
+        """
+        from repro.analysis import analyze
+
+        report = analyze(self)
+        report.raise_if_errors()
+        return report
+
+
+def build_plan(workload: "Workload", *, backend: str = "rpu",
+               schedule: str = "OC",
                options: Optional["EstimateOptions"] = None,
-               **option_fields) -> Plan:
+               **option_fields: object) -> Plan:
     """Resolve an estimate request into a :class:`Plan`.
 
     ``workload`` accepts everything ``estimate()`` accepts — a Table III

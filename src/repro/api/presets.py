@@ -48,7 +48,7 @@ PRESETS: Dict[str, CKKSParams] = {
 DEFAULT_PRESET = "n10_fast"
 
 
-def get_preset(name: str, **overrides) -> CKKSParams:
+def get_preset(name: str, **overrides: object) -> CKKSParams:
     """Look up a preset by name, optionally overriding individual fields."""
     key = name.lower()
     if key not in PRESETS:

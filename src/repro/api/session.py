@@ -20,11 +20,16 @@ hand.  ``FHESession`` owns that whole constellation:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.api.backends import EstimateOptions, RunReport, estimate as _estimate
+from repro.api.backends import (
+    EstimateOptions,
+    RunReport,
+    Workload,
+    estimate as _estimate,
+)
 from repro.api.cipher import CipherVector
 from repro.api.plan import Plan, build_plan
 from repro.api.presets import DEFAULT_PRESET, get_preset
@@ -62,7 +67,7 @@ class FHESession:
 
     @classmethod
     def create(cls, preset: Union[str, CKKSParams] = DEFAULT_PRESET, *,
-               seed: Optional[int] = 0, **overrides) -> "FHESession":
+               seed: Optional[int] = 0, **overrides: Any) -> "FHESession":
         """Build a session from a preset name (or explicit params).
 
         Keyword overrides patch individual preset fields, e.g.
@@ -134,6 +139,28 @@ class FHESession:
             "galois": len(self._galois_keys),
         }
 
+    def missing_evks(self, workload: Workload) -> Dict[str, int]:
+        """Evk kinds a workload needs that this session has not generated.
+
+        The static-analysis prevalidation hook: the analyzer's
+        :func:`~repro.analysis.required_evks` derives the evk demand of a
+        workload program (relin keys from multiplies, Galois keys from
+        rotations), and this method subtracts what :meth:`key_cache_info`
+        says is already cached.  Returns ``{kind: max_level}`` for each
+        kind still missing — empty means every first-use generation cost
+        has already been paid.
+        """
+        from repro.analysis import required_evks
+        from repro.api.backends import _resolve_workload
+
+        resolved = _resolve_workload(workload)
+        needed = required_evks(resolved)
+        have = self.key_cache_info()
+        return {
+            kind: level for kind, level in needed.items()
+            if not have.get(kind, 0)
+        }
+
     # -- bootstrapping ------------------------------------------------------------
 
     def bootstrapper(self, config: Optional[BootstrapConfig] = None) -> Bootstrapper:
@@ -182,21 +209,22 @@ class FHESession:
 
     # -- encode / encrypt / decrypt ----------------------------------------------
 
-    def encode(self, values, *, level: Optional[int] = None,
+    def encode(self, values: Any, *, level: Optional[int] = None,
                scale: Optional[float] = None) -> RNSPoly:
         return self.encoder.encode(values, level=level, scale=scale)
 
     def decode(self, poly: RNSPoly, *, scale: Optional[float] = None) -> np.ndarray:
         return self.encoder.decode(poly, scale=scale)
 
-    def encrypt(self, values, *, level: Optional[int] = None,
+    def encrypt(self, values: Any, *, level: Optional[int] = None,
                 scale: Optional[float] = None) -> CipherVector:
         """Encode + encrypt a slot vector (or scalar broadcast)."""
         pt = self.encoder.encode(values, level=level, scale=scale)
         ct = self.encryptor.encrypt(pt, level=level, scale=scale)
         return CipherVector(self, ct)
 
-    def encrypt_many(self, vectors: Iterable, *, level: Optional[int] = None,
+    def encrypt_many(self, vectors: Iterable[Any], *,
+                     level: Optional[int] = None,
                      scale: Optional[float] = None) -> List[CipherVector]:
         """Encrypt a batch of slot vectors in one call."""
         return [self.encrypt(v, level=level, scale=scale) for v in vectors]
@@ -234,8 +262,10 @@ class FHESession:
 
     # -- performance estimation ----------------------------------------------------
 
-    def plan(self, workload, *, backend: str = "rpu", schedule: str = "OC",
-             options: Optional[EstimateOptions] = None, **option_fields) -> Plan:
+    def plan(self, workload: Workload, *, backend: str = "rpu",
+             schedule: str = "OC",
+             options: Optional[EstimateOptions] = None,
+             **option_fields: Any) -> Plan:
         """Resolve an estimate request into a typed, executable :class:`Plan`.
 
         The plan/execute split of :meth:`estimate`: the workload name,
@@ -249,8 +279,9 @@ class FHESession:
         return build_plan(workload, backend=backend, schedule=schedule,
                           options=options, **option_fields)
 
-    def estimate(self, workload, *, backend: str = "rpu",
-                 schedule="OC", **options) -> Union[RunReport, List[RunReport]]:
+    def estimate(self, workload: Workload, *, backend: str = "rpu",
+                 schedule: Union[str, Sequence[str]] = "OC",
+                 **options: Any) -> Union[RunReport, List[RunReport]]:
         """Estimate an accelerator-scale workload via the backend registry.
 
         ``workload`` is a paper Table III benchmark name or spec, or a

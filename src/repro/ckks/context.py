@@ -8,8 +8,8 @@ the paper), and the precomputed scalars HKS and rescaling need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.errors import ParameterError
 from repro.ntt.modmath import inv_mod

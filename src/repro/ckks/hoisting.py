@@ -21,13 +21,13 @@ residency argument applies to an even more memory-bound remainder).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.ckks.context import CKKSContext
 from repro.ckks.encrypt import Ciphertext
 from repro.ckks.keys import KeySwitchKey, rotation_galois_element
 from repro.ckks.keyswitch import apply_evk, mod_down_pair, mod_up_all
-from repro.core.stages import OpCount, bconv_tower_ops, ntt_tower_ops
+from repro.core.stages import bconv_tower_ops, ntt_tower_ops
 from repro.errors import KeySwitchError
 from repro.params import BenchmarkSpec
 from repro.rns.poly import RNSPoly, automorphism_stacked

@@ -14,7 +14,7 @@ which ModDown divides back by ``P``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -160,7 +160,6 @@ class KeyGenerator:
 
     def galois_key(self, galois_element: int) -> KeySwitchKey:
         """evk for ``kappa_g(s) -> s`` (used after slot rotation by ``g``)."""
-        n = self.context.params.n
         s = RNSPoly.from_integers(
             self.context.q_basis, list(self.secret_key.coeffs), domain=Domain.COEFF
         )

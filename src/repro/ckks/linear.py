@@ -18,7 +18,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.ckks.context import CKKSContext
 from repro.ckks.encoding import Encoder
 from repro.ckks.encrypt import Ciphertext
 from repro.ckks.evaluator import Evaluator

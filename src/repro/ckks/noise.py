@@ -17,7 +17,7 @@ which is why Table III pairs ``kp`` with ``alpha``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 

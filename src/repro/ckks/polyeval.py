@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 from weakref import WeakKeyDictionary
 
-import numpy as np
 
 from repro.ckks.encoding import Encoder
 from repro.ckks.encrypt import Ciphertext

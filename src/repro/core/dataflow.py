@@ -19,12 +19,12 @@ model, which is the paper's central methodological point.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.stages import OpCount
-from repro.core.taskgraph import DATA_TAG, EVK_TAG, Kind, TaskGraph
-from repro.errors import MemoryModelError, ScheduleError
+from repro.core.taskgraph import DATA_TAG, Kind, TaskGraph
+from repro.errors import MemoryModelError
 from repro.params import MB, BenchmarkSpec
 
 

@@ -20,7 +20,7 @@ Conventions (documented here once, used everywhere):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.params import BenchmarkSpec
 

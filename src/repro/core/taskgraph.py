@@ -14,8 +14,8 @@ counts.  The RPU simulator in :mod:`repro.rpu` turns these into time.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ScheduleError
 

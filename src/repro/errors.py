@@ -36,4 +36,25 @@ class MemoryModelError(ReproError):
 
 
 class SimulationError(ReproError):
-    """The RPU simulator detected an inconsistent task graph."""
+    """The RPU simulator detected an inconsistent task graph.
+
+    When raised by the B1K VM the error is located: ``pc`` holds the
+    failing program counter and ``instruction`` the offending
+    :class:`~repro.rpu.program.AsmInstr` (both ``None`` for errors that
+    have no single instruction, e.g. graph-level inconsistencies).
+    """
+
+    pc = None
+    instruction = None
+
+
+class AnalysisError(ReproError):
+    """Static analysis found error-severity diagnostics.
+
+    ``report`` carries the full :class:`~repro.analysis.AnalysisReport`
+    so callers can render or filter the individual diagnostics.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

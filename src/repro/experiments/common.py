@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.core import DATAFLOWS, TaskGraph
-from repro.params import MB, BenchmarkSpec, get_benchmark
+from repro.params import MB, get_benchmark
 from repro.rpu import RPUConfig, RPUSimulator, SimResult
 
 #: The paper's reference operating point: MP at DDR5 peak with keys on-chip.

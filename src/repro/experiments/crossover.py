@@ -12,10 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.experiments.common import build_schedule, simulate
+from repro.experiments.common import simulate
 from repro.experiments.report import ExperimentResult
-from repro.params import get_benchmark
-from repro.rpu import RPUConfig, RPUSimulator
 
 
 def compute_floor_ms(benchmark: str, dataflow: str,

@@ -14,7 +14,6 @@ from typing import Dict, List, Tuple
 from repro.core import DATAFLOWS
 from repro.experiments.common import build_schedule
 from repro.experiments.report import ExperimentResult
-from repro.params import MB
 from repro.rpu import RPUConfig, RPUSimulator
 
 STAGES = ("ModUp.P1", "ModUp.P2", "ModUp.P3", "ModUp.P4")

@@ -8,7 +8,7 @@ benchmark harness prints the same rows/series the paper charts).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 def format_value(value) -> str:

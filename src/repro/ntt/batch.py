@@ -30,7 +30,7 @@ The twiddle stacks are assembled from the per-``(N, q)``
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

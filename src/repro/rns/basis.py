@@ -216,11 +216,14 @@ class RNSBasis:
             zip(self.hats, self.hat_invs, self.moduli)
         ):
             scaled = (residues[row].astype(object) * hat_inv) % q
-            for j in range(n):
+            # Exact bigint reference path (the fast path is the limb
+            # engine in repro.rns.crt); arbitrary-precision sums cannot
+            # vectorize.
+            for j in range(n):  # lint: allow-coeff-loop
                 acc[j] += int(scaled[j]) * hat
         out = np.empty(n, dtype=object)
         half = q_total // 2
-        for j in range(n):
+        for j in range(n):  # lint: allow-coeff-loop
             v = acc[j] % q_total
             if centered and v > half:
                 v -= q_total

@@ -151,7 +151,7 @@ class CRTEngine:
         n = limbs.shape[1]
         out = np.empty(n, dtype=object)
         product = self.basis.product
-        for j in range(n):
+        for j in range(n):  # lint: allow-coeff-loop (one O(1) from_bytes each)
             v = int.from_bytes(raw[j * width : (j + 1) * width], "little")
             if centered and negative[j]:
                 v -= product

@@ -15,6 +15,7 @@ decorative.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -23,7 +24,6 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.ntt.modmath import inv_mod
 from repro.ntt.transform import NTTContext, is_power_of_two
-from repro.rns.bconv import BasisConverter
 from repro.rpu.program import Program
 from repro.rpu.vm import B1KVM
 
@@ -79,7 +79,22 @@ class _Layout:
         return addr
 
 
-def _stage_tables(ctx: NTTContext, inverse: bool) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+def _finalize(program: Program) -> Program:
+    """Validate an emitted kernel, and statically verify it when
+    ``REPRO_VERIFY_CODEGEN`` is set (enabled in CI): every builder then
+    proves def-before-use, modulus discipline and capacity before the
+    kernel image is returned."""
+    program.validate()
+    if os.environ.get("REPRO_VERIFY_CODEGEN"):
+        from repro.analysis import verify
+
+        verify(program)
+    return program
+
+
+def _stage_tables(
+    ctx: NTTContext, inverse: bool
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
     """(gather, twiddle, scatter) per stage, in execution order.
 
     Gather moves the stage's butterfly uppers into lanes ``[0, n/2)`` and
@@ -154,7 +169,7 @@ def build_ntt_kernel(n: int, q: int, inverse: bool = False) -> KernelImage:
         program.emit("vmscale", "v1", "v1", "s2")
     program.emit("vst", "v1", "s0")
     program.emit("halt")
-    program.validate()
+    _finalize(program)
     return KernelImage(
         program=program,
         input_address=input_addr,
@@ -205,7 +220,7 @@ def build_bconv_kernel(source_moduli: List[int], target_modulus: int,
     program.emit("li", "s0", output_addr)
     program.emit("vst", "v2", "s0")
     program.emit("halt")
-    program.validate()
+    _finalize(program)
     moduli = {i: q for i, q in enumerate(source_moduli)}
     moduli[t_index] = target_modulus
     return KernelImage(
@@ -252,7 +267,7 @@ def build_mulkey_kernel(n: int, q: int, accumulate: bool) -> KernelImage:
     program.emit("sadd", "s3", "s3", -1)
     program.emit("bnez", "s3", "loop")
     program.emit("halt")
-    program.validate()
+    _finalize(program)
     return KernelImage(
         program=program,
         input_address=src_addr,
@@ -291,7 +306,7 @@ def build_moddown_finish_kernel(n: int, q: int, p_inv: int) -> KernelImage:
     program.emit("sadd", "s3", "s3", -1)
     program.emit("bnez", "s3", "loop")
     program.emit("halt")
-    program.validate()
+    _finalize(program)
     return KernelImage(
         program=program,
         input_address=acc_addr,

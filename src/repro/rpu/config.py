@@ -15,7 +15,7 @@ results are produced with this single calibration constant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional
 
 from repro.errors import ParameterError

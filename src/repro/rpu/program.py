@@ -23,8 +23,8 @@ bit-for-bit against the numpy reference implementations.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
 
 from repro.errors import ParameterError
 from repro.rpu.isa import B1K_ISA

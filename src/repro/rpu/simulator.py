@@ -18,10 +18,10 @@ The cost model:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.taskgraph import DATA_TAG, EVK_TAG, Kind, Queue, Task, TaskGraph
+from repro.core.taskgraph import DATA_TAG, EVK_TAG, Queue, Task, TaskGraph
 from repro.errors import SimulationError
 from repro.rpu.config import RPUConfig
 

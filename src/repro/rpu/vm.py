@@ -69,6 +69,10 @@ class B1KVM:
         self.memory = np.zeros(memory_words, dtype=_INT64)
         self.active_modulus = 0
         self.stats = VMStats()
+        # Vector registers have no host-side write path, so a read
+        # before any in-program write can only observe garbage; the VM
+        # rejects it (and repro.analysis diagnoses it statically).
+        self._vdef = [False] * NUM_VREGS
 
     # -- host-side setup -----------------------------------------------------------
 
@@ -93,13 +97,21 @@ class B1KVM:
         steps = 0
         n = len(program.instructions)
         while pc < n:
-            if steps >= max_steps:
-                raise SimulationError(f"VM exceeded {max_steps} steps (runaway loop?)")
             instr = program.instructions[pc]
+            if steps >= max_steps:
+                raise self._located(
+                    SimulationError(
+                        f"VM exceeded {max_steps} steps (runaway loop?)"
+                    ),
+                    pc, instr,
+                )
             steps += 1
             self.stats.count(instr.mnemonic)
             next_pc = pc + 1
-            jump = self._execute(instr, program, pc)
+            try:
+                jump = self._execute(instr, program, pc)
+            except SimulationError as exc:
+                raise self._located(exc, pc, instr) from None
             if jump is not None:
                 next_pc = jump
             if instr.mnemonic == "halt":
@@ -107,12 +119,37 @@ class B1KVM:
             pc = next_pc
         return self.stats
 
+    @staticmethod
+    def _located(exc: SimulationError, pc: int, instr: AsmInstr) -> SimulationError:
+        """Attach the failing program counter and instruction to ``exc``."""
+        if exc.pc is not None:  # already located (nested run)
+            return exc
+        located = SimulationError(f"pc={pc} `{instr.render()}`: {exc}")
+        located.pc = pc
+        located.instruction = instr
+        return located
+
     # -- operand helpers --------------------------------------------------------------
 
     def _v(self, op) -> np.ndarray:
         if not is_vreg(op):
             raise SimulationError(f"expected vector register, got {op!r}")
         return self.vregs[reg_index(op)]
+
+    def _vr(self, op) -> np.ndarray:
+        """Read access: the register must have been written first."""
+        arr = self._v(op)
+        if not self._vdef[reg_index(op)]:
+            raise SimulationError(
+                f"read of uninitialized vector register {op}"
+            )
+        return arr
+
+    def _vw(self, op) -> np.ndarray:
+        """Write access: marks the register defined."""
+        arr = self._v(op)
+        self._vdef[reg_index(op)] = True
+        return arr
 
     def _s(self, op) -> int:
         if isinstance(op, int):
@@ -173,16 +210,19 @@ class B1KVM:
             return program.labels[ops[1]]
 
         # -- vector memory --------------------------------------------------------
+        # Sources are read (and checked) before the destination is
+        # marked written, so e.g. `vmadd v1, v1, v2` with v1 undefined
+        # still faults on the read.
         if m in ("vld", "vldk", "ldtw"):
             addr = self._s(ops[1])
-            self._v(ops[0])[lanes] = self.memory[addr : addr + self.vl]
+            self._vw(ops[0])[lanes] = self.memory[addr : addr + self.vl]
             return None
         if m == "vst":
             addr = self._s(ops[1])
-            self.memory[addr : addr + self.vl] = self._v(ops[0])[lanes]
+            self.memory[addr : addr + self.vl] = self._vr(ops[0])[lanes]
             return None
         if m == "vbcast":
-            self._v(ops[0])[lanes] = self._s(ops[1])
+            self._vw(ops[0])[lanes] = self._s(ops[1])
             return None
 
         # -- vector modular arithmetic ----------------------------------------------
@@ -190,31 +230,38 @@ class B1KVM:
         if m in ("vmadd", "vmsub", "vmmul", "vmmac", "vmneg", "vmscale", "vbfly"):
             q = self._q()
         if m == "vmadd":
-            self._v(ops[0])[lanes] = (self._v(ops[1])[lanes] + self._v(ops[2])[lanes]) % q
+            result = (self._vr(ops[1])[lanes] + self._vr(ops[2])[lanes]) % q
+            self._vw(ops[0])[lanes] = result
             return None
         if m == "vmsub":
-            self._v(ops[0])[lanes] = (self._v(ops[1])[lanes] - self._v(ops[2])[lanes]) % q
+            result = (self._vr(ops[1])[lanes] - self._vr(ops[2])[lanes]) % q
+            self._vw(ops[0])[lanes] = result
             return None
         if m == "vmmul":
-            self._v(ops[0])[lanes] = self._v(ops[1])[lanes] * self._v(ops[2])[lanes] % q
+            result = self._vr(ops[1])[lanes] * self._vr(ops[2])[lanes] % q
+            self._vw(ops[0])[lanes] = result
             return None
         if m == "vmmac":
-            acc = self._v(ops[0])[lanes]
-            self._v(ops[0])[lanes] = (acc + self._v(ops[1])[lanes] * self._v(ops[2])[lanes] % q) % q
+            acc = self._vr(ops[0])[lanes]
+            self._vw(ops[0])[lanes] = (
+                acc + self._vr(ops[1])[lanes] * self._vr(ops[2])[lanes] % q
+            ) % q
             return None
         if m == "vmneg":
-            src = self._v(ops[1])[lanes]
-            self._v(ops[0])[lanes] = np.where(src == 0, src, q - src)
+            src = self._vr(ops[1])[lanes]
+            self._vw(ops[0])[lanes] = np.where(src == 0, src, q - src)
             return None
         if m == "vmscale":
             scalar = self._s(ops[2]) % q
-            self._v(ops[0])[lanes] = self._v(ops[1])[lanes] * scalar % q
+            result = self._vr(ops[1])[lanes] * scalar % q
+            self._vw(ops[0])[lanes] = result
             return None
         if m == "vmsel":
-            mask = self._v(ops[3])[lanes]
-            self._v(ops[0])[lanes] = np.where(
-                mask != 0, self._v(ops[1])[lanes], self._v(ops[2])[lanes]
+            mask = self._vr(ops[3])[lanes]
+            result = np.where(
+                mask != 0, self._vr(ops[1])[lanes], self._vr(ops[2])[lanes]
             )
+            self._vw(ops[0])[lanes] = result
             return None
         if m == "vbfly":
             # Bit-split layout: lanes [0, vl/2) are the butterfly uppers,
@@ -222,12 +269,12 @@ class B1KVM:
             # vl/2 lanes of the twiddle register.  mode 0 = Cooley-Tukey
             # (forward), mode 1 = Gentleman-Sande (inverse).
             half = self.vl // 2
-            src = self._v(ops[1])
-            tw = self._v(ops[2])[:half]
+            src = self._vr(ops[1])
+            tw = self._vr(ops[2])[:half]
             mode = self._s(ops[3]) if len(ops) > 3 else 0
             upper = src[:half].copy()
             lower = src[half : 2 * half].copy()
-            dst = self._v(ops[0])
+            dst = self._vw(ops[0])
             if mode == 0:
                 scaled = lower * tw % q
                 dst[:half] = (upper + scaled) % q
@@ -239,40 +286,43 @@ class B1KVM:
 
         # -- shuffles ----------------------------------------------------------------
         if m == "vshuf":
-            idx = self._v(ops[2])[lanes]
+            idx = self._vr(ops[2])[lanes]
             if idx.min() < 0 or idx.max() >= self.vl:
                 raise SimulationError("vshuf index out of range")
-            self._v(ops[0])[lanes] = self._v(ops[1])[lanes][idx]
+            result = self._vr(ops[1])[lanes][idx]
+            self._vw(ops[0])[lanes] = result
             return None
         if m == "vswap":
             t = self._s(ops[2])
             if t <= 0 or self.vl % (2 * t) != 0:
                 raise SimulationError(f"vswap width {t} incompatible with vl {self.vl}")
-            src = self._v(ops[1])[lanes].reshape(-1, 2, t)
-            self._v(ops[0])[lanes] = src[:, ::-1, :].reshape(-1)
+            src = self._vr(ops[1])[lanes].reshape(-1, 2, t)
+            self._vw(ops[0])[lanes] = src[:, ::-1, :].reshape(-1)
             return None
         if m == "vrev":
             from repro.ntt.transform import bit_reverse_indices
 
             rev = bit_reverse_indices(self.vl)
-            self._v(ops[0])[lanes] = self._v(ops[1])[lanes][rev]
+            result = self._vr(ops[1])[lanes][rev]
+            self._vw(ops[0])[lanes] = result
             return None
         if m == "vrotl":
             k = self._s(ops[2]) % self.vl
-            self._v(ops[0])[lanes] = np.roll(self._v(ops[1])[lanes], -k)
+            result = np.roll(self._vr(ops[1])[lanes], -k)
+            self._vw(ops[0])[lanes] = result
             return None
         if m == "vsplit":
-            src = self._v(ops[2])[lanes]
+            src = self._vr(ops[2])[lanes]
             half = self.vl // 2
-            self._v(ops[0])[:half] = src[0::2]
-            self._v(ops[1])[:half] = src[1::2]
+            self._vw(ops[0])[:half] = src[0::2]
+            self._vw(ops[1])[:half] = src[1::2]
             return None
         if m == "vmerge":
             half = self.vl // 2
             merged = np.empty(self.vl, dtype=_INT64)
-            merged[0::2] = self._v(ops[1])[:half]
-            merged[1::2] = self._v(ops[2])[:half]
-            self._v(ops[0])[lanes] = merged
+            merged[0::2] = self._vr(ops[1])[:half]
+            merged[1::2] = self._vr(ops[2])[:half]
+            self._vw(ops[0])[lanes] = merged
             return None
 
         raise SimulationError(f"VM has no semantics for {m!r}")

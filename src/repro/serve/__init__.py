@@ -6,8 +6,10 @@ accelerator-scale questions, so the serving layer turns repeated
 remaining distinct work across processes.
 
 * :class:`EstimateService` — ``submit(plan) -> handle`` / ``gather()``
-  micro-batching with digest-level dedup, an in-memory report LRU and a
-  cross-process disk cache (``repro.cache``, namespace ``report``);
+  micro-batching with digest-level dedup, static admission verification
+  through :mod:`repro.analysis` (``admission="strict"|"warn"|"off"``),
+  an in-memory report LRU and a cross-process disk cache
+  (``repro.cache``, namespace ``report``);
 * :class:`ShardPool` — worker processes for distinct cold plans, all
   sharing the machine-wide kernel-table disk cache;
 * :class:`AsyncEstimateService` — the same service behind ``await``.
@@ -18,6 +20,8 @@ Try it: ``python -m repro serve-bench`` or ``examples/serving.py``.
 from repro.serve.aio import AsyncEstimateService
 from repro.serve.pool import ShardPool
 from repro.serve.service import (
+    ADMISSION_MODES,
+    AdmissionError,
     EstimateHandle,
     EstimateService,
     REPORT_CACHE_KIND,
@@ -26,6 +30,8 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "ADMISSION_MODES",
+    "AdmissionError",
     "AsyncEstimateService",
     "EstimateHandle",
     "EstimateService",

@@ -54,6 +54,22 @@ class ServeError(ParameterError):
     """Misuse of the serving API (e.g. reading an ungathered handle)."""
 
 
+class AdmissionError(ServeError):
+    """A plan failed static verification at ``submit()`` time.
+
+    Carries the full :class:`~repro.analysis.AnalysisReport` as
+    ``.report`` so callers can inspect every diagnostic, not just the
+    first."""
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+#: Accepted values for ``EstimateService(admission=...)``.
+ADMISSION_MODES = ("strict", "warn", "off")
+
+
 @dataclass
 class ServiceStats:
     """Where the service's answers came from (monotonic counters).
@@ -161,15 +177,28 @@ class EstimateService:
         plans in one batch then execute across its worker processes.
     workers:
         Convenience: ``workers=K`` (K > 1) builds a lazy pool for you.
+    admission:
+        Static verification of each submitted plan through
+        :func:`repro.analysis.analyze`: ``"strict"`` (default) rejects
+        plans whose report carries errors with :class:`AdmissionError`
+        before they enter the batch, ``"warn"`` admits them but emits a
+        :class:`UserWarning`, ``"off"`` skips analysis entirely.  A
+        digest is analyzed at most once per service lifetime — repeat
+        submissions of an admitted plan pay only a set lookup.
     """
 
     def __init__(self, *, cache_size: int = 256, disk_cache: bool = True,
                  pool: Optional["ShardPool"] = None,
-                 workers: int = 0):
+                 workers: int = 0, admission: str = "strict"):
         if cache_size < 1:
             raise ParameterError("cache_size must be positive")
         if pool is not None and workers:
             raise ParameterError("pass pool= or workers=, not both")
+        if admission not in ADMISSION_MODES:
+            raise ParameterError(
+                f"admission must be one of {ADMISSION_MODES}, "
+                f"got {admission!r}"
+            )
         if workers > 1:
             from repro.serve.pool import ShardPool
 
@@ -177,6 +206,8 @@ class EstimateService:
         self._pool = pool
         self._cache_size = cache_size
         self._disk_cache = disk_cache
+        self._admission = admission
+        self._admitted: Set[str] = set()
         self._lru: "OrderedDict[str, RunReport]" = OrderedDict()
         #: digest -> (plan, handles waiting on it), insertion-ordered.
         self._pending: "OrderedDict[str, List[EstimateHandle]]" = OrderedDict()
@@ -195,6 +226,7 @@ class EstimateService:
                 f"got {type(plan).__name__}"
             )
         digest = plan.digest
+        self._admit(plan, digest)
         handle = EstimateHandle(digest)
         with self._lock:
             self.stats.submitted += 1
@@ -206,6 +238,33 @@ class EstimateService:
                 self.stats.batch_hits += 1
                 waiters.append(handle)
         return handle
+
+    def _admit(self, plan: Plan, digest: str) -> None:
+        """Statically verify ``plan`` once per digest, per the admission
+        mode.  Analysis runs outside the service lock (it is read-only
+        and pure); at worst two racing submitters analyze the same
+        digest twice."""
+        if self._admission == "off":
+            return
+        with self._lock:
+            if digest in self._admitted:
+                return
+        from repro.analysis import analyze
+
+        report = analyze(plan)
+        if report.errors:
+            lines = "; ".join(d.render() for d in report.errors[:3])
+            message = (
+                f"plan {digest[:12]}... rejected by static analysis "
+                f"({len(report.errors)} error(s)): {lines}"
+            )
+            if self._admission == "strict":
+                raise AdmissionError(message, report=report)
+            import warnings
+
+            warnings.warn(message, stacklevel=3)
+        with self._lock:
+            self._admitted.add(digest)
 
     def gather(self) -> int:
         """Drain the batch: answer every pending handle, computing each

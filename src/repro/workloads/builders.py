@@ -13,12 +13,15 @@ bootstrap each.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import ParameterError
 from repro.params import BenchmarkSpec
 from repro.workloads.ir import CompositeWorkload, Phase, WorkloadProgram, level_spec
 from repro.workloads.mix import HEOpMix
+
+if TYPE_CHECKING:
+    from repro.ckks.bootstrap.plan import BootstrapPlan, OpCounts
 
 #: The BOOT workload's top-of-chain parameterization: ARK's Table III point.
 _BOOT_SPEC = BenchmarkSpec("BOOT", log_n=16, kl=24, kp=6, dnum=4)
@@ -28,7 +31,7 @@ _BOOT_SECRET_WEIGHT = 24
 
 
 @lru_cache(maxsize=None)
-def bootstrap_plan():
+def bootstrap_plan() -> "BootstrapPlan":
     """The accelerator-scale bootstrap circuit shape (32k slots).
 
     The same :class:`~repro.ckks.bootstrap.plan.BootstrapPlan` arithmetic
@@ -49,7 +52,7 @@ def bootstrap_plan():
     )
 
 
-def _phase_mix(counts) -> HEOpMix:
+def _phase_mix(counts: "OpCounts") -> HEOpMix:
     """OpCounts -> HEOpMix (conjugations fold into rotations: one HKS each)."""
     return HEOpMix(
         rotations=counts.rotations + counts.conjugations,
@@ -59,7 +62,7 @@ def _phase_mix(counts) -> HEOpMix:
     )
 
 
-def bootstrap_phases(spec: BenchmarkSpec, plan,
+def bootstrap_phases(spec: BenchmarkSpec, plan: "BootstrapPlan",
                      top_towers: Optional[int] = None) -> Tuple[List[Phase], int]:
     """Lower a bootstrap plan to phases at their true descending levels.
 

@@ -197,7 +197,6 @@ class TestRunReport:
 
 class TestDeprecationShims:
     def test_legacy_names_warn_once_and_work(self):
-        import importlib
         import warnings
 
         import repro

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ckks.context import CKKSContext, CKKSParams
+from repro.ckks.context import CKKSParams
 from repro.errors import ParameterError
 
 

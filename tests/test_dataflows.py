@@ -10,7 +10,7 @@ from repro.core import (
     get_dataflow,
     minimum_mp_working_set_bytes,
 )
-from repro.core.taskgraph import DATA_TAG, EVK_TAG, Kind, Queue
+from repro.core.taskgraph import Kind, Queue
 from repro.params import BENCHMARKS, MB, get_benchmark
 
 SMALL = DataflowConfig(data_sram_bytes=32 * MB, evk_on_chip=False)

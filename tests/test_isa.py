@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import DataflowConfig, get_dataflow
-from repro.core.taskgraph import Kind, Queue
+from repro.core.taskgraph import Kind
 from repro.errors import ParameterError
 from repro.params import MB, get_benchmark
 from repro.rpu.isa import B1K_ISA, InstructionMix, Pipe

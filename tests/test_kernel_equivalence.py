@@ -35,7 +35,7 @@ from repro.rns.basis import RNSBasis
 from repro.rns.bconv import BasisConverter
 from repro.rns.crt import get_engine, int_to_limbs, limbs_to_int
 from repro.rns.dispatch import use_kernel_mode
-from repro.rns.poly import Domain, RNSPoly
+from repro.rns.poly import RNSPoly
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 

@@ -1,7 +1,6 @@
 """Tests for key generation: secret/public keys and switching keys."""
 
 import numpy as np
-import pytest
 
 from repro.ckks.keys import (
     KeyGenerator,
@@ -9,8 +8,6 @@ from repro.ckks.keys import (
     sample_error,
     sample_ternary,
 )
-from repro.errors import KeySwitchError
-from repro.ntt.modmath import centered
 from repro.rns.poly import Domain, RNSPoly
 
 

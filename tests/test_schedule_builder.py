@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.dataflow import ScheduleBuilder
 from repro.core.stages import OpCount
-from repro.core.taskgraph import Kind, Queue
+from repro.core.taskgraph import Kind
 from repro.errors import MemoryModelError
 
 OPS = OpCount(muls=10, adds=10)

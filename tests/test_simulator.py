@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import DataflowConfig, get_dataflow
 from repro.core.taskgraph import Kind, TaskGraph
-from repro.errors import SimulationError
 from repro.params import MB, get_benchmark
 from repro.rpu import RPUConfig, RPUSimulator, lower_bounds
 

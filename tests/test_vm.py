@@ -6,7 +6,7 @@ import pytest
 from repro.errors import ParameterError, SimulationError
 from repro.ntt.primes import generate_primes
 from repro.rpu.isa import Pipe
-from repro.rpu.program import AsmInstr, Program, assemble
+from repro.rpu.program import Program, assemble
 from repro.rpu.vm import B1KVM
 
 Q = generate_primes(1, 64, 26)[0]
@@ -116,7 +116,7 @@ class TestVMBasics:
 
     def test_no_modulus_rejected(self):
         vm = B1KVM(vector_length=64)
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError, match="no active modulus"):
             vm.run(assemble("setvl 64\n vmadd v1, v1, v1\n halt"))
 
     def test_runaway_loop_detected(self):
@@ -127,7 +127,10 @@ class TestVMBasics:
 
     def test_stats_per_pipe(self):
         vm = vm_with_modulus()
-        vm.run(assemble("setvl 64\n setmod m0\n vmadd v1, v1, v1\n halt"))
+        vm.run(assemble(
+            "setvl 64\n setmod m0\n li s1, 1\n vbcast v1, s1\n"
+            " vmadd v1, v1, v1\n halt"
+        ))
         pipes = vm.stats.per_pipe()
         assert pipes[Pipe.COMPUTE] == 1
         assert pipes[Pipe.SCALAR] >= 2
@@ -183,5 +186,74 @@ class TestShuffles:
         vm = vm_with_modulus(vl=8)
         vm.write_memory(0, np.full(8, 99))  # out-of-range indices
         vm.write_scalar(0, 0)
+        vm.run(assemble("setvl 8\n li s1, 0\n vbcast v1, s1\n halt"))
         with pytest.raises(SimulationError):
             vm.run(assemble("setvl 8\n vld v2, s0\n vshuf v3, v1, v2\n halt"))
+
+
+class TestErrorLocation:
+    """Every VM fault names the program counter and the instruction."""
+
+    def _fail(self, source, vm=None, **kwargs):
+        vm = vm or vm_with_modulus()
+        with pytest.raises(SimulationError) as excinfo:
+            vm.run(assemble(source), **kwargs)
+        return excinfo.value
+
+    def test_no_modulus_location(self):
+        exc = self._fail("setvl 64\n li s0, 1\n vbcast v1, s0\n"
+                         " vmadd v1, v1, v1\n halt",
+                         vm=B1KVM(vector_length=64))
+        assert exc.pc == 3
+        assert exc.instruction is not None
+        assert exc.instruction.mnemonic == "vmadd"
+        assert "pc=3" in str(exc) and "vmadd" in str(exc)
+
+    def test_setvl_out_of_range_location(self):
+        exc = self._fail("setvl 100\n halt", vm=B1KVM(vector_length=64))
+        assert exc.pc == 0
+        assert exc.instruction.mnemonic == "setvl"
+
+    def test_vshuf_bad_index_location(self):
+        vm = vm_with_modulus(vl=8)
+        vm.write_memory(0, np.full(8, 99))
+        exc = self._fail(
+            "setvl 8\n vld v2, s0\n li s1, 0\n vbcast v1, s1\n"
+            " vshuf v3, v1, v2\n halt",
+            vm=vm,
+        )
+        assert exc.pc == 4
+        assert exc.instruction.mnemonic == "vshuf"
+
+    def test_runaway_location_names_loop_body(self):
+        vm = vm_with_modulus()
+        vm.write_scalar(0, 1)
+        exc = self._fail("loop:\n bnez s0, loop\n halt", vm=vm,
+                         max_steps=10)
+        assert exc.pc == 0
+        assert exc.instruction.mnemonic == "bnez"
+
+    def test_vector_read_before_write_rejected(self):
+        exc = self._fail("setvl 64\n setmod m0\n vmadd v3, v1, v2\n halt")
+        assert "uninitialized vector register v1" in str(exc)
+        assert exc.pc == 2
+        assert exc.instruction.mnemonic == "vmadd"
+
+    def test_self_referential_undefined_read_rejected(self):
+        # `vmadd v1, v1, v1` must fault on the *read* of v1, not be
+        # legitimized by v1 also being the destination.
+        exc = self._fail("setvl 64\n setmod m0\n vmadd v1, v1, v1\n halt")
+        assert "uninitialized vector register v1" in str(exc)
+
+    def test_store_of_undefined_register_rejected(self):
+        exc = self._fail("setvl 64\n li s0, 0\n vst v5, s0\n halt")
+        assert "uninitialized vector register v5" in str(exc)
+        assert exc.pc == 2
+
+    def test_defined_register_reads_cleanly(self):
+        vm = vm_with_modulus()
+        vm.write_scalar(0, 0)
+        vm.run(assemble(
+            "setvl 64\n setmod m0\n vld v1, s0\n vmadd v2, v1, v1\n halt"
+        ))
+        assert vm.stats.executed == 5

@@ -1,0 +1,1 @@
+"""Repository tooling (linters, maintenance scripts) — not shipped."""

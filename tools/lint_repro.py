@@ -1,0 +1,211 @@
+"""Project-specific AST lint rules for the repro codebase.
+
+Run as ``python -m tools.lint_repro`` from the repository root (CI does).
+Three rules that generic linters don't know about:
+
+* **REPRO001 mutable-default** — a function parameter defaulting to a
+  mutable literal (``[]``, ``{}``, ``set()``) is shared across calls;
+  every such default in this codebase has historically been a latent
+  aliasing bug.
+* **REPRO002 backend-run** — backends execute only through the plan
+  path (``Plan.run`` / ``execute_plan``); calling ``<backend>.run(...)``
+  directly skips plan validation, admission analysis and the serving
+  caches.  Allowed only inside ``repro/api/backends.py`` itself.
+* **REPRO003 coeff-loop** — a ``for _ in range(...)`` loop that
+  subscripts arrays per iteration inside the :mod:`repro.rns` hot paths
+  is a per-coefficient Python-int loop; those stages must be vectorized
+  (the whole point of PR 4's batched kernel engine).
+
+A finding is silenced by a same-line pragma naming its rule, e.g.::
+
+    for j in range(n):  # lint: allow-coeff-loop
+
+Exit status is 1 if any unsuppressed finding remains.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: rule id -> (pragma slug, one-line description)
+RULES = {
+    "REPRO001": ("mutable-default",
+                 "mutable default argument is shared across calls"),
+    "REPRO002": ("backend-run",
+                 "direct backend .run() bypasses the plan/admission path"),
+    "REPRO003": ("coeff-loop",
+                 "per-coefficient Python loop in an rns/ hot path"),
+}
+
+#: Only this module may talk to backend objects directly.
+BACKEND_RUN_ALLOWED = ("api/backends.py",)
+
+#: REPRO003 applies to the RNS hot-path modules only.
+COEFF_LOOP_PATHS = ("rns/",)
+
+
+class Finding(NamedTuple):
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT)
+        return f"{rel}:{self.line}: {self.rule} {self.message}"
+
+
+def _pragmas(source: str) -> dict:
+    """Map line number -> set of rule slugs allowed on that line."""
+    allowed: dict = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "# lint: allow-" not in text:
+            continue
+        slugs = {
+            chunk.split()[0]
+            for chunk in text.split("# lint: allow-")[1:]
+        }
+        allowed[lineno] = slugs
+    return allowed
+
+
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _check_mutable_defaults(tree: ast.AST) -> Iterator[Tuple[int, str, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield (default.lineno, "REPRO001",
+                       f"in {node.name}(): use None and create inside")
+
+
+def _receiver_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _receiver_name(node.func)
+    return ""
+
+
+def _check_backend_run(tree: ast.AST) -> Iterator[Tuple[int, str, str]]:
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "run"):
+            continue
+        receiver = _receiver_name(node.func.value)
+        if "backend" in receiver.lower():
+            yield (node.lineno, "REPRO002",
+                   f"call {receiver}.run(...) through Plan.run()/"
+                   f"execute_plan() instead")
+
+
+def _subscripts_in_body(loop: ast.For) -> bool:
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Subscript):
+            return True
+    return False
+
+
+def _bounds_coefficient_axis(call: ast.Call) -> bool:
+    """Whether a ``range(...)`` bound spans the coefficient axis.
+
+    By repo convention the coefficient count is the local ``n`` (or a
+    direct ``X.shape[1]`` read — residue matrices are ``(towers, n)``).
+    Tower/limb loops (``range(len(moduli))``, ``range(limbs.shape[0])``)
+    are O(L) over whole vectors and stay legal.
+    """
+    for arg in call.args:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Name) and node.id == "n":
+                return True
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Attribute)
+                    and node.value.attr == "shape"
+                    and isinstance(node.slice, ast.Constant)
+                    and node.slice.value == 1):
+                return True
+    return False
+
+
+def _check_coeff_loops(tree: ast.AST) -> Iterator[Tuple[int, str, str]]:
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.For)
+                and isinstance(node.iter, ast.Call)
+                and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "range"):
+            continue
+        if not _bounds_coefficient_axis(node.iter):
+            continue
+        if _subscripts_in_body(node):
+            yield (node.lineno, "REPRO003",
+                   "vectorize with numpy (or pragma if the per-element "
+                   "python work is provably O(1) and unavoidable)")
+
+
+def lint_file(path: Path) -> List[Finding]:
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    allowed = _pragmas(source)
+    rel = path.relative_to(SRC_ROOT).as_posix()
+
+    checks = [_check_mutable_defaults(tree)]
+    if rel not in BACKEND_RUN_ALLOWED:
+        checks.append(_check_backend_run(tree))
+    if any(rel.startswith(prefix) for prefix in COEFF_LOOP_PATHS):
+        checks.append(_check_coeff_loops(tree))
+
+    findings = []
+    for check in checks:
+        for lineno, rule, message in check:
+            slug = RULES[rule][0]
+            if slug in allowed.get(lineno, ()):
+                continue
+            findings.append(Finding(path, lineno, rule, message))
+    return findings
+
+
+def main(argv: List[str] = None) -> int:
+    paths = [Path(p) for p in (argv or [])] or sorted(SRC_ROOT.rglob("*.py"))
+    findings: List[Finding] = []
+    for path in paths:
+        findings.extend(lint_file(path))
+    for finding in sorted(findings):
+        print(finding.render())
+    checked = len(paths)
+    if findings:
+        print(f"\n{len(findings)} finding(s) in {checked} file(s)")
+        return 1
+    print(f"{checked} files clean "
+          f"({', '.join(sorted(RULES))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
