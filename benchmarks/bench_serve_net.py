@@ -1,0 +1,199 @@
+"""Network serving load test: warm qps over TCP, p99, zero-loss kill.
+
+Drives a real :class:`~repro.net.server.EstimateServer` over localhost
+TCP with the shared load harness and emits ``BENCH_serve_net.json``:
+
+* warm single-request latency over the socket (median of a quiet run);
+* a steady-state load phase on a warm deduped HELR-class mix — qps,
+  p50, p99, dropped/deferred counts (the latency/throughput guards);
+* a failure phase: load continues while cold bursts run through the
+  shard pool and one worker is SIGKILLed mid-burst — the pool requeues
+  its in-flight plans, so every submitted request must still resolve
+  (this phase is zero-loss-guarded, not latency-guarded: on a small
+  box the cold recomputation dominates the machine).
+
+Guards (the PR's acceptance bar):
+
+* zero dropped requests — load shedding defers, the kill loses nothing;
+* p99 under load < 50x the warm single-request latency;
+* a qps floor — >=200 warm deduped qps with 4 workers in full mode
+  (``REPRO_BENCH_NET_FULL=1``, the CI ``serve-net`` job), a small sanity
+  floor in the default smoke mode.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serve_net.py -q -s
+Full: REPRO_BENCH_NET_FULL=1 PYTHONPATH=src python -m pytest ... -q -s
+"""
+
+import asyncio
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import build_plan
+from repro.net import (
+    EstimateClient,
+    EstimateServer,
+    ServerConfig,
+    run_load,
+)
+from repro.net.loadgen import percentile
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serve_net.json"
+
+FULL = os.environ.get("REPRO_BENCH_NET_FULL") == "1"
+WORKLOAD = "HELR"
+
+#: Smoke keeps CI's default bench job fast; full is the serve-net job.
+PRESET = {
+    "mode": "full" if FULL else "smoke",
+    "workers": 4 if FULL else 2,
+    "duration_s": 8.0 if FULL else 1.5,
+    "concurrency": 16 if FULL else 8,
+    "connections": 4 if FULL else 2,
+    "qps_floor": 200.0 if FULL else 20.0,
+    "p99_vs_warm_factor": 50.0,
+}
+
+
+def _mix(n=4):
+    """The warm deduped HELR-class request mix the load phase replays."""
+    return [build_plan(WORKLOAD, bandwidth_gbs=64.0 + 8 * i)
+            for i in range(n)]
+
+
+def _cold_burst(tag, n=4):
+    """Distinct never-seen plans: forced through the shard pool."""
+    return [build_plan(WORKLOAD, bandwidth_gbs=1000.0 + 64.0 * tag + i)
+            for i in range(n)]
+
+
+async def _scenario(cache_dir):
+    config = ServerConfig(workers=PRESET["workers"],
+                          supervisor_interval=0.25)
+    results = {}
+    async with EstimateServer(config) as server:
+        port = server.port
+        pool = server.service.service.pool
+        async with EstimateClient("127.0.0.1", port) as cli:
+            # Warm the mix so the load phase measures the deduped path.
+            mix = _mix()
+            for plan in mix:
+                await cli.estimate(plan)
+
+            warm_samples = []
+            for _ in range(20):
+                t0 = time.perf_counter()
+                await cli.estimate(mix[0])
+                warm_samples.append((time.perf_counter() - t0) * 1e3)
+            warm_ms = percentile(warm_samples, 50.0)
+            results["warm_single_request_ms"] = round(warm_ms, 3)
+
+            # Phase A: steady-state warm load, nothing else running —
+            # this is the window the latency/throughput guards read.
+            load = await run_load(
+                "127.0.0.1", port, plans=_mix(),
+                duration_s=PRESET["duration_s"],
+                concurrency=PRESET["concurrency"],
+                connections=PRESET["connections"],
+            )
+
+            # Phase B: load continues while cold bursts shard across
+            # the pool and a worker is killed mid-burst.
+            async def disruptions():
+                outcomes = {"burst_plans": 0, "burst_resolved": 0,
+                            "killed_pid": None}
+                async with EstimateClient("127.0.0.1", port) as churn:
+                    await asyncio.sleep(0.3)
+                    burst = _cold_burst(1)
+                    outcomes["burst_plans"] += len(burst)
+                    reports = await churn.estimate_many(burst)
+                    outcomes["burst_resolved"] += len(reports)
+
+                    burst = _cold_burst(2)
+                    outcomes["burst_plans"] += len(burst)
+                    gather = asyncio.ensure_future(
+                        churn.estimate_many(burst)
+                    )
+                    await asyncio.sleep(0.1)  # burst is in flight
+                    victim = pool.worker_pids()[0]
+                    outcomes["killed_pid"] = victim
+                    os.kill(victim, signal.SIGKILL)
+                    reports = await gather
+                    outcomes["burst_resolved"] += len(reports)
+                return outcomes
+
+            kill_load_task = asyncio.ensure_future(run_load(
+                "127.0.0.1", port, plans=_mix(),
+                duration_s=max(2.0, PRESET["duration_s"] / 2),
+                concurrency=PRESET["concurrency"],
+                connections=PRESET["connections"],
+            ))
+            kill_outcomes = await disruptions()
+            kill_load = await kill_load_task
+
+            status = await cli.status()
+            results["load"] = load.as_dict()
+            results["kill"] = kill_outcomes
+            results["kill_phase_load"] = kill_load.as_dict()
+            results["workers"] = status["workers"]
+            results["server"] = status["server"]
+            results["service"] = status["service"]
+    return results
+
+
+def test_emit_serve_net_artifact_and_guards(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "net-cache"))
+    results = asyncio.run(asyncio.wait_for(
+        _scenario(tmp_path), PRESET["duration_s"] * 20 + 120
+    ))
+
+    load = results["load"]
+    kill = results["kill"]
+    kill_load = results["kill_phase_load"]
+    warm_ms = results["warm_single_request_ms"]
+    p99_bound_ms = PRESET["p99_vs_warm_factor"] * warm_ms
+    payload = {
+        "preset": PRESET,
+        "workload": WORKLOAD,
+        **results,
+        "guards": {
+            "qps_floor": PRESET["qps_floor"],
+            "p99_bound_ms": round(p99_bound_ms, 3),
+            "zero_dropped": True,
+        },
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"wrote {ARTIFACT.name} [{PRESET['mode']}]: "
+          f"{load['qps']:.0f} qps warm over TCP "
+          f"(p50 {load['p50_ms']:.1f} ms, p99 {load['p99_ms']:.1f} ms), "
+          f"{load['dropped']} dropped, worker {kill['killed_pid']} killed "
+          f"mid-burst with {kill['burst_resolved']}/"
+          f"{kill['burst_plans']} burst plans resolved")
+
+    # Zero loss: load shedding defers, the worker kill requeues.
+    assert load["dropped"] == 0, f"dropped requests: {load['errors']}"
+    assert kill_load["dropped"] == 0, (
+        f"kill phase dropped requests: {kill_load['errors']}"
+    )
+    assert kill["burst_resolved"] == kill["burst_plans"]
+    assert results["workers"]["deaths"] >= 1, "the kill went unnoticed"
+    assert results["server"]["failed"] == 0
+    # Tail latency: p99 under load stays within 50x a quiet warm request.
+    assert load["p99_ms"] < p99_bound_ms, (
+        f"p99 {load['p99_ms']:.1f} ms exceeds {p99_bound_ms:.1f} ms "
+        f"(50x warm single-request {warm_ms:.2f} ms)"
+    )
+    # Throughput floor (the acceptance bar in full mode).
+    assert load["qps"] >= PRESET["qps_floor"], (
+        f"{load['qps']:.0f} qps below the {PRESET['qps_floor']:.0f} "
+        f"floor ({PRESET['mode']} mode, {PRESET['workers']} workers)"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

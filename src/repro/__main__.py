@@ -109,6 +109,116 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the network estimate server until shutdown or SIGINT/SIGTERM."""
+    import asyncio
+    import signal as _signal
+
+    from repro.net import ServerConfig, load_mix, load_tenant_specs, serve
+
+    tenants = load_tenant_specs(args.tenants) if args.tenants else ()
+    warm_mix = load_mix(args.warm_mix) if args.warm_mix else ()
+
+    async def _run() -> int:
+        config = ServerConfig(
+            host=args.host, port=args.port, http_port=args.http_port,
+            workers=args.workers, admission=args.admission,
+            disk_cache=not args.no_disk_cache,
+            max_queue_depth=args.max_queue_depth,
+            idle_warm_after=args.idle_warm_after,
+            warm_top_k=args.warm_top_k,
+            tenants=tenants, warm_mix=warm_mix,
+        )
+        server = await serve(config)
+        loop = asyncio.get_running_loop()
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: loop.create_task(server.stop())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        extras = [f"workers={config.workers}",
+                  f"admission={config.admission}",
+                  f"tenants={'open' if not tenants else len(tenants)}"]
+        if server.http_port is not None:
+            extras.append(f"http={config.host}:{server.http_port}")
+        print(f"serving on {config.host}:{server.port} "
+              f"({', '.join(extras)}); SIGHUP recycles workers, "
+              f"Ctrl-C drains and stops")
+        await server.wait_closed()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+
+
+def cmd_serve_load(args) -> int:
+    """Drive a server with closed-loop load; optionally self-hosted."""
+    import asyncio
+    import json
+
+    from repro.api import build_plan
+    from repro.net import (
+        EstimateClient,
+        ServerConfig,
+        load_mix,
+        run_load,
+        serve,
+    )
+    from repro.net.loadgen import weighted_plans
+
+    if args.mix:
+        plans = weighted_plans(load_mix(args.mix))
+    else:
+        # A small sweep of distinct machine points around the default
+        # HELR request: realistic dedup (repeats) + real pool sharding.
+        plans = [
+            build_plan(args.workload, bandwidth_gbs=64.0 + 8 * i)
+            for i in range(max(1, args.distinct))
+        ]
+
+    async def _run() -> int:
+        server = None
+        if args.connect:
+            host, _, port_s = args.connect.rpartition(":")
+            host, port = host or "127.0.0.1", int(port_s)
+        else:
+            server = await serve(ServerConfig(
+                workers=args.workers, admission=args.admission,
+                disk_cache=not args.no_disk_cache,
+            ))
+            host, port = server.config.host, server.port
+        try:
+            result = await run_load(
+                host, port, plans=plans, duration_s=args.duration,
+                concurrency=args.concurrency,
+                connections=args.connections, token=args.token,
+            )
+            row = result.as_dict()
+            print(format_table([row], title=(
+                f"{args.duration:g}s x {args.concurrency} workers over "
+                f"{args.connections} connections ({len(plans)} plan mix):"
+            )))
+            if args.save_mix:
+                async with EstimateClient(host, port,
+                                          token=args.token) as cli:
+                    status = await cli.status(mix=True)
+                with open(args.save_mix, "w", encoding="utf-8") as handle:
+                    json.dump(status["mix"], handle, indent=2)
+                    handle.write("\n")
+                print(f"observed request mix saved to {args.save_mix} "
+                      f"({len(status['mix']['mix'])} distinct plans)")
+            return 0 if result.dropped == 0 else 1
+        finally:
+            if server is not None:
+                await server.stop()
+
+    return asyncio.run(_run())
+
+
 def _kernel_images():
     """One representative of each codegen builder, at a quick size."""
     from repro.ntt.modmath import inv_mod
@@ -138,13 +248,28 @@ def cmd_verify(args) -> int:
 
     names = args.targets or sorted(BENCHMARKS) + list_workloads()
     subjects = []
-    for name in names:
-        for backend in list_backends():
-            for schedule in ("MP", "DC", "OC"):
-                plan = build_plan(name, backend=backend, schedule=schedule)
-                subjects.append(
-                    (f"plan {name}/{backend}/{schedule}", analyze(plan))
-                )
+    if getattr(args, "serve", None):
+        # Vet a saved request-mix file (the serving/warming input
+        # format) offline: every plan a server would be asked to warm
+        # or replay goes through the same static analysis admission
+        # would apply.
+        from repro.net import load_mix
+
+        for i, (plan, count) in enumerate(load_mix(args.serve)):
+            subjects.append((
+                f"mix[{i}] {plan.digest[:12]} x{count} "
+                f"({plan.backend}/{plan.schedule})",
+                analyze(plan),
+            ))
+    else:
+        for name in names:
+            for backend in list_backends():
+                for schedule in ("MP", "DC", "OC"):
+                    plan = build_plan(name, backend=backend,
+                                      schedule=schedule)
+                    subjects.append(
+                        (f"plan {name}/{backend}/{schedule}", analyze(plan))
+                    )
 
     if args.graphs:
         from repro.core import DATAFLOWS, DataflowConfig
@@ -319,7 +444,58 @@ def main(argv=None) -> int:
                           help="also verify the MP/DC/OC task graphs")
     p_verify.add_argument("--kernels", action="store_true",
                           help="also verify the generated B1K kernels")
+    p_verify.add_argument("--serve", metavar="MIX_FILE",
+                          help="verify every plan in a saved request-mix "
+                               "file instead (the serve --warm-mix format)")
     p_verify.set_defaults(func=cmd_verify)
+    p_srv = sub.add_parser(
+        "serve", help="network estimate server (TCP frames + HTTP)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = pick a free one)")
+    p_srv.add_argument("--http-port", type=int, default=None,
+                       help="also serve HTTP/1.1 on this port")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="shard pool size (0/1 = in-process)")
+    p_srv.add_argument("--admission", default="strict",
+                       choices=("strict", "warn", "off"))
+    p_srv.add_argument("--max-queue-depth", type=int, default=256,
+                       help="global backpressure bound")
+    p_srv.add_argument("--tenants", metavar="FILE",
+                       help="JSON tenant list (omit = open single-tenant)")
+    p_srv.add_argument("--warm-mix", metavar="FILE",
+                       help="request-mix file to pre-warm at startup")
+    p_srv.add_argument("--idle-warm-after", type=float, default=2.0,
+                       help="idle seconds before speculative warming")
+    p_srv.add_argument("--warm-top-k", type=int, default=4,
+                       help="hottest digests pre-submitted on idle")
+    p_srv.add_argument("--no-disk-cache", action="store_true")
+    p_srv.set_defaults(func=cmd_serve)
+    p_load = sub.add_parser(
+        "serve-load", help="closed-loop load against an estimate server"
+    )
+    p_load.add_argument("--connect", metavar="HOST:PORT",
+                        help="target server (omit = self-host one)")
+    p_load.add_argument("--workload", default="HELR",
+                        help="plan workload when no --mix (default HELR)")
+    p_load.add_argument("--distinct", type=int, default=4,
+                        help="distinct machine points in the default mix")
+    p_load.add_argument("--mix", metavar="FILE",
+                        help="request-mix file to replay")
+    p_load.add_argument("--duration", type=float, default=5.0)
+    p_load.add_argument("--concurrency", type=int, default=16)
+    p_load.add_argument("--connections", type=int, default=4)
+    p_load.add_argument("--token", default=None,
+                        help="tenant token for authenticated servers")
+    p_load.add_argument("--workers", type=int, default=2,
+                        help="self-hosted server's pool size")
+    p_load.add_argument("--admission", default="strict",
+                        choices=("strict", "warn", "off"))
+    p_load.add_argument("--save-mix", metavar="FILE",
+                        help="save the server's observed mix afterwards")
+    p_load.add_argument("--no-disk-cache", action="store_true")
+    p_load.set_defaults(func=cmd_serve_load)
     p_analyze = sub.add_parser("analyze", help="traffic/AI analysis")
     p_analyze.add_argument("benchmark")
     p_analyze.add_argument("--sram-mb", type=int, default=32)

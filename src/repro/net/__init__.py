@@ -1,0 +1,93 @@
+"""Network front-end for the serving stack (PR 7).
+
+``repro.net`` puts the :mod:`repro.serve` estimate service on the wire:
+a versioned length-prefixed frame protocol (:mod:`repro.net.protocol`)
+served by an asyncio TCP server (:mod:`repro.net.server`) with
+token-authenticated multi-tenant sessions (:mod:`repro.net.tenants`),
+load-based admission control, shard-pool worker supervision
+(:mod:`repro.net.supervisor`) and speculative cache warming
+(:mod:`repro.net.warming`); plus a pipelined client
+(:mod:`repro.net.client`), a thin HTTP/1.1 adapter
+(:mod:`repro.net.http`) and a load harness (:mod:`repro.net.loadgen`).
+
+Entry points: ``python -m repro serve`` starts a server,
+``python -m repro serve-load`` drives one, and
+:class:`EstimateClient` talks to one from code.
+"""
+
+from repro.net.client import (
+    Backpressure,
+    EstimateClient,
+    QuotaExceeded,
+    RateLimited,
+    RemoteAdmissionError,
+    RemoteError,
+)
+from repro.net.loadgen import LoadResult, run_load
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    ERROR_KINDS,
+    PROTOCOL_VERSION,
+    FrameError,
+    decode_frames,
+    encode_frame,
+)
+from repro.net.server import (
+    EstimateServer,
+    Rejection,
+    ServerConfig,
+    ServerStats,
+    serve,
+)
+from repro.net.supervisor import WorkerSupervisor
+from repro.net.tenants import (
+    AuthError,
+    FairQueue,
+    TenantRegistry,
+    TenantSpec,
+    TokenBucket,
+    load_tenant_specs,
+)
+from repro.net.warming import (
+    MIX_FORMAT_VERSION,
+    DigestStream,
+    build_mix_payload,
+    load_mix,
+    parse_mix_payload,
+    save_mix,
+)
+
+__all__ = [
+    "Backpressure",
+    "EstimateClient",
+    "QuotaExceeded",
+    "RateLimited",
+    "RemoteAdmissionError",
+    "RemoteError",
+    "LoadResult",
+    "run_load",
+    "DEFAULT_MAX_FRAME",
+    "ERROR_KINDS",
+    "PROTOCOL_VERSION",
+    "FrameError",
+    "decode_frames",
+    "encode_frame",
+    "EstimateServer",
+    "Rejection",
+    "ServerConfig",
+    "ServerStats",
+    "serve",
+    "WorkerSupervisor",
+    "AuthError",
+    "FairQueue",
+    "TenantRegistry",
+    "TenantSpec",
+    "TokenBucket",
+    "load_tenant_specs",
+    "MIX_FORMAT_VERSION",
+    "DigestStream",
+    "build_mix_payload",
+    "load_mix",
+    "parse_mix_payload",
+    "save_mix",
+]

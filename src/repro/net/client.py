@@ -1,0 +1,258 @@
+"""Asyncio client for the network estimate service.
+
+:class:`EstimateClient` speaks the frame protocol end-to-end: it
+pipelines requests (a background reader matches responses to requests by
+id, so many submits/gathers are in flight on one connection), rebuilds
+typed results (``RunReport`` via the wire codec, ``AnalysisReport`` on
+admission rejections), and turns the server's structured error frames
+into typed exceptions — the retryable ones (:class:`RateLimited`,
+:class:`QuotaExceeded`, :class:`Backpressure`) carry the server's
+``retry_after`` hint, which :meth:`EstimateClient.estimate` honors when
+asked to retry.
+
+Typical use::
+
+    async with EstimateClient("127.0.0.1", 7420, token="s3cret") as cli:
+        report = await cli.estimate(plan)           # submit + gather
+        reports = await cli.estimate_many(plans)    # pipelined batch
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.plan import Plan, report_from_dict
+from repro.errors import ReproError
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    FrameError,
+    analysis_report_from_dict,
+    read_frame,
+    write_frame,
+)
+from repro.net.warming import build_mix_payload
+
+if TYPE_CHECKING:
+    from repro.api.backends import RunReport
+
+
+class RemoteError(ReproError):
+    """An error frame from the server, rebuilt as a typed exception."""
+
+    def __init__(self, kind: str, message: str, *,
+                 retry_after: Optional[float] = None, report=None):
+        super().__init__(message)
+        self.kind = kind
+        self.retry_after = retry_after
+        #: The server-side :class:`~repro.analysis.AnalysisReport` for
+        #: admission rejections; ``None`` otherwise.
+        self.report = report
+
+
+class RemoteAdmissionError(RemoteError):
+    """The server's static analysis rejected the plan (see ``.report``)."""
+
+
+class RateLimited(RemoteError):
+    """Tenant token bucket empty; retry after ``.retry_after`` seconds."""
+
+
+class QuotaExceeded(RemoteError):
+    """Tenant in-flight quota exhausted; gather results or back off."""
+
+
+class Backpressure(RemoteError):
+    """Server queue full; retry after ``.retry_after`` seconds."""
+
+
+_ERROR_CLASSES = {
+    "admission": RemoteAdmissionError,
+    "rate": RateLimited,
+    "quota": QuotaExceeded,
+    "backpressure": Backpressure,
+}
+
+#: Error kinds :meth:`EstimateClient.estimate` may transparently retry.
+RETRYABLE_KINDS = ("rate", "quota", "backpressure")
+
+
+def _raise_error(error: Dict[str, object]) -> None:
+    kind = str(error.get("kind", "internal"))
+    report = error.get("report")
+    if report is not None:
+        report = analysis_report_from_dict(report)
+    cls = _ERROR_CLASSES.get(kind, RemoteError)
+    raise cls(kind, str(error.get("message", "remote error")),
+              retry_after=error.get("retry_after"), report=report)
+
+
+class EstimateClient:
+    """One authenticated, pipelined connection to an estimate server."""
+
+    def __init__(self, host: str, port: int, *,
+                 token: Optional[str] = None,
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.token = token
+        self.max_frame = max_frame
+        #: Client-side ceiling on one request/response round trip.
+        self.timeout = timeout
+        #: Set by ``hello``: tenant name, limits, server admission mode.
+        self.session: Dict[str, object] = {}
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._waiting: Dict[int, asyncio.Future] = {}
+        self._seq = 0
+        self._write_lock = asyncio.Lock()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def connect(self) -> "EstimateClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        self.session = await self._request("hello", token=self.token)
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._fail_waiters(ConnectionError("client closed"))
+
+    async def __aenter__(self) -> "EstimateClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- plumbing ---------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader,
+                                         max_frame=self.max_frame)
+                if frame is None:
+                    self._fail_waiters(
+                        ConnectionError("server closed the connection")
+                    )
+                    return
+                future = self._waiting.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except asyncio.CancelledError:
+            raise
+        except (FrameError, ConnectionError, OSError) as exc:
+            self._fail_waiters(exc)
+
+    def _fail_waiters(self, exc: BaseException) -> None:
+        waiting, self._waiting = self._waiting, {}
+        for future in waiting.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _request(self, op: str, **fields: object) -> Dict[str, object]:
+        """Send one frame and await its (id-matched) response payload."""
+        if self._writer is None:
+            raise ConnectionError("client is not connected")
+        self._seq += 1
+        req_id = self._seq
+        frame: Dict[str, object] = {"v": PROTOCOL_VERSION, "id": req_id,
+                                    "op": op}
+        frame.update({k: v for k, v in fields.items() if v is not None})
+        future = asyncio.get_running_loop().create_future()
+        self._waiting[req_id] = future
+        try:
+            async with self._write_lock:
+                await write_frame(self._writer, frame,
+                                  max_frame=self.max_frame)
+            response = await asyncio.wait_for(future, self.timeout)
+        finally:
+            self._waiting.pop(req_id, None)
+        if not response.get("ok"):
+            _raise_error(response.get("error") or {})
+        return response
+
+    # -- operations -------------------------------------------------------------
+
+    async def submit(self, plan: Plan) -> str:
+        """Submit one plan; returns its ticket id (gather it later)."""
+        response = await self._request("submit", plan=plan.to_dict())
+        return str(response["ticket"])
+
+    async def gather(self, tickets: Sequence[str], *,
+                     timeout: Optional[float] = None
+                     ) -> List["RunReport"]:
+        """Resolve tickets into reports (order preserved); raises on the
+        first failed ticket."""
+        response = await self._request("gather", tickets=list(tickets),
+                                       timeout=timeout)
+        reports = []
+        for entry in response["results"]:
+            if not entry.get("ok"):
+                _raise_error(entry.get("error") or {})
+            reports.append(report_from_dict(entry["report"]))
+        return reports
+
+    async def estimate(self, plan: Plan, *, retries: int = 0
+                       ) -> "RunReport":
+        """Submit one plan and await its report.
+
+        ``retries`` > 0 transparently re-submits after retryable
+        refusals (rate, quota, backpressure), sleeping the server's
+        ``retry_after`` hint between attempts — load shed by the server
+        becomes deferral, not failure, up to the retry budget.
+        """
+        attempt = 0
+        while True:
+            try:
+                ticket = await self.submit(plan)
+                return (await self.gather([ticket]))[0]
+            except RemoteError as exc:
+                if exc.kind not in RETRYABLE_KINDS or attempt >= retries:
+                    raise
+                attempt += 1
+                await asyncio.sleep(exc.retry_after or 0.05)
+
+    async def estimate_many(self, plans: Sequence[Plan], *,
+                            retries: int = 0) -> List["RunReport"]:
+        """Pipelined batch estimate over this one connection."""
+        return list(await asyncio.gather(
+            *(self.estimate(plan, retries=retries) for plan in plans)
+        ))
+
+    async def status(self, *, mix: bool = False) -> Dict[str, object]:
+        response = await self._request("status", mix=mix or None)
+        return {k: v for k, v in response.items()
+                if k not in ("v", "id", "ok")}
+
+    async def warm(self, entries: Sequence[Tuple[Plan, int]]) -> int:
+        """Pre-submit a request mix server-side; returns plans warmed."""
+        response = await self._request(
+            "warm", mix=build_mix_payload(list(entries))
+        )
+        return int(response["warmed"])
+
+    async def shutdown(self) -> Dict[str, object]:
+        """Ask the server to drain and stop (admin tenants only)."""
+        return await self._request("shutdown")

@@ -1,0 +1,224 @@
+"""Versioned wire protocol for the network estimate service.
+
+One frame = a 4-byte big-endian length prefix + a UTF-8 JSON object.
+Length-prefixing keeps the codec trivial and misframing detectable: a
+frame that claims more than ``max_frame`` bytes is rejected before a
+single body byte is read, and a connection that ends mid-frame raises
+:class:`FrameError` instead of silently truncating a request.
+
+Every payload carries the protocol version (``"v"``) and a client-chosen
+request id (``"id"``); responses echo the id, so a client may pipeline
+requests and match responses out of order.
+
+Request frames (client -> server)::
+
+    {"v": 1, "id": 7, "op": "hello",  "token": "..."}
+    {"v": 1, "id": 8, "op": "submit", "plan": {...Plan.to_dict()...}}
+    {"v": 1, "id": 9, "op": "gather", "tickets": ["t3"], "timeout": 30.0}
+    {"v": 1, "id": 10, "op": "status", "mix": false}
+    {"v": 1, "id": 11, "op": "warm",   "mix": {...mix payload...}}
+    {"v": 1, "id": 12, "op": "shutdown"}
+
+Response frames (server -> client)::
+
+    {"v": 1, "id": 8, "ok": true, ...op-specific fields...}
+    {"v": 1, "id": 8, "ok": false, "error": {
+        "kind": "backpressure",        # see ERROR_KINDS
+        "message": "...",
+        "retry_after": 0.25,           # seconds; optional
+        "report": {...},               # AnalysisReport; admission only
+    }}
+
+The ``report`` field serializes the static-analysis diagnostics of a
+plan rejected at admission (PR 6's :class:`AdmissionError`), so a remote
+client sees exactly what an in-process caller would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import AnalysisReport, Diagnostic, Severity
+from repro.errors import ReproError
+
+#: Bump on incompatible frame-layout changes; both ends check it.
+PROTOCOL_VERSION = 1
+
+#: Default ceiling on one frame's JSON body (requests and responses).
+#: A HELR-class plan payload is ~11 KB; a warm-mix frame carries dozens
+#: of plans — 4 MiB leaves two orders of magnitude of headroom while
+#: still bounding what one client can make the server buffer.
+DEFAULT_MAX_FRAME = 4 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Machine-readable failure classes an error frame may carry.
+ERROR_KINDS = (
+    "protocol",      # malformed frame / unknown op / bad version
+    "auth",          # missing, unknown or unauthorized token
+    "plan",          # plan payload failed to parse/validate
+    "admission",     # static verification rejected the plan (has report)
+    "rate",          # tenant token-bucket empty (has retry_after)
+    "quota",         # tenant in-flight quota exhausted (has retry_after)
+    "backpressure",  # server queue full (has retry_after)
+    "worker",        # execution failed in a worker process
+    "timeout",       # gather wait expired (the ticket stays valid)
+    "shutdown",      # server is draining and not accepting work
+    "internal",      # anything else
+)
+
+
+class FrameError(ReproError):
+    """A frame violated the wire protocol (length, encoding, or JSON)."""
+
+
+# -- codec ----------------------------------------------------------------------
+
+def encode_frame(payload: Dict[str, object], *,
+                 max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Serialize one payload to its length-prefixed wire form."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{max_frame}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frames(buffer: bytes, *, max_frame: int = DEFAULT_MAX_FRAME
+                  ) -> Tuple[List[Dict[str, object]], bytes]:
+    """Split a byte buffer into complete payloads plus the unconsumed tail.
+
+    The synchronous mirror of :func:`read_frame` (tests and non-asyncio
+    callers).  Raises :class:`FrameError` on an oversized declared length
+    or a body that is not a JSON object.
+    """
+    frames: List[Dict[str, object]] = []
+    offset = 0
+    while len(buffer) - offset >= _HEADER.size:
+        (length,) = _HEADER.unpack_from(buffer, offset)
+        if length > max_frame:
+            raise FrameError(
+                f"declared frame length {length} exceeds the "
+                f"{max_frame}-byte limit"
+            )
+        if len(buffer) - offset - _HEADER.size < length:
+            break
+        start = offset + _HEADER.size
+        frames.append(_parse_body(buffer[start:start + length]))
+        offset = start + length
+    return frames, buffer[offset:]
+
+
+def _parse_body(body: bytes) -> Dict[str, object]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader, *,
+                     max_frame: int = DEFAULT_MAX_FRAME
+                     ) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames).
+
+    EOF *inside* a frame — header or body — is a protocol violation and
+    raises :class:`FrameError`, as does an oversized declared length
+    (detected before the body is buffered).
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError(
+            f"connection closed mid-header ({len(exc.partial)}/"
+            f"{_HEADER.size} bytes)"
+        ) from exc
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameError(
+            f"declared frame length {length} exceeds the "
+            f"{max_frame}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} "
+            f"body bytes)"
+        ) from exc
+    return _parse_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter,
+                      payload: Dict[str, object], *,
+                      max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    writer.write(encode_frame(payload, max_frame=max_frame))
+    await writer.drain()
+
+
+# -- payload builders -----------------------------------------------------------
+
+def ok_payload(req_id: object, **fields: object) -> Dict[str, object]:
+    payload: Dict[str, object] = {"v": PROTOCOL_VERSION, "id": req_id,
+                                  "ok": True}
+    payload.update(fields)
+    return payload
+
+
+def error_payload(req_id: object, kind: str, message: str, *,
+                  retry_after: Optional[float] = None,
+                  report: Optional[AnalysisReport] = None
+                  ) -> Dict[str, object]:
+    if kind not in ERROR_KINDS:
+        raise ValueError(f"unknown error kind {kind!r}")
+    error: Dict[str, object] = {"kind": kind, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = round(max(0.0, float(retry_after)), 4)
+    if report is not None:
+        error["report"] = analysis_report_to_dict(report)
+    return {"v": PROTOCOL_VERSION, "id": req_id, "ok": False, "error": error}
+
+
+# -- AnalysisReport wire codec ---------------------------------------------------
+
+def analysis_report_to_dict(report: AnalysisReport) -> Dict[str, object]:
+    """Serialize PR 6's admission diagnostics for the error frame."""
+    return {
+        "subject": report.subject,
+        "diagnostics": [
+            {
+                "severity": str(diag.severity),
+                "pass_id": diag.pass_id,
+                "location": diag.location,
+                "message": diag.message,
+                "hint": diag.hint,
+            }
+            for diag in report.diagnostics
+        ],
+    }
+
+
+def analysis_report_from_dict(data: Dict[str, object]) -> AnalysisReport:
+    """Rebuild a typed :class:`AnalysisReport` client-side."""
+    diagnostics = tuple(
+        Diagnostic(
+            severity=Severity[str(entry["severity"]).upper()],
+            pass_id=str(entry["pass_id"]),
+            location=str(entry["location"]),
+            message=str(entry["message"]),
+            hint=str(entry.get("hint", "")),
+        )
+        for entry in data.get("diagnostics", ())
+    )
+    return AnalysisReport(str(data.get("subject", "?")), diagnostics)

@@ -1,0 +1,96 @@
+"""Worker supervision for the network server's shard pool.
+
+The :class:`~repro.serve.pool.ShardPool` already detects deaths *inside*
+a batch (requeueing in-flight plans); the supervisor adds the
+between-batches half: a periodic liveness sweep that reaps and respawns
+workers that died while idle, and a graceful ``SIGHUP`` rolling restart
+(spawn replacement, retire predecessor, one worker at a time) for
+operators who want to recycle processes without dropping requests.
+
+The supervisor is deliberately dumb about *why* a worker died — it only
+promises that the pool converges back to its configured size and that
+the server's status endpoint can report deaths/restarts truthfully.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from repro.serve.pool import ShardPool
+
+
+class WorkerSupervisor:
+    """Periodically heal a :class:`ShardPool`; restart it on demand.
+
+    Run :meth:`run` as an asyncio task next to the server.  Pool calls
+    (liveness checks, joins) are thread-safe but potentially blocking,
+    so anything slower than an ``is_alive()`` sweep runs in the event
+    loop's executor.
+    """
+
+    def __init__(self, pool: Optional[ShardPool], *, interval: float = 1.0):
+        self.pool = pool
+        self.interval = interval
+        self.sweeps = 0
+        self.rolling_restarts = 0
+        self._task: Optional[asyncio.Task] = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.pool is not None and self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self.run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval)
+            self.sweep()
+
+    # -- supervision ------------------------------------------------------------
+
+    def sweep(self) -> int:
+        """One liveness pass: reap dead idle workers, spawn replacements."""
+        self.sweeps += 1
+        if self.pool is None or not self.pool.started:
+            return 0
+        return self.pool.reap(restart=True)
+
+    async def rolling_restart(self) -> int:
+        """Gracefully recycle every worker (the ``SIGHUP`` handler).
+
+        Runs in the executor: the rolling restart joins retiring
+        processes, which must not block the event loop mid-request.
+        """
+        if self.pool is None:
+            return 0
+        loop = asyncio.get_running_loop()
+        recycled = await loop.run_in_executor(None, self.pool.rolling_restart)
+        self.rolling_restarts += 1
+        return recycled
+
+    # -- reporting --------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        if self.pool is None:
+            return {"workers": 0, "alive": 0, "pids": [], "deaths": 0,
+                    "restarts": 0, "sweeps": self.sweeps,
+                    "rolling_restarts": self.rolling_restarts}
+        return {
+            "workers": self.pool.workers,
+            "alive": self.pool.alive_workers(),
+            "pids": self.pool.worker_pids() if self.pool.started else [],
+            "deaths": self.pool.deaths,
+            "restarts": self.pool.restarts,
+            "sweeps": self.sweeps,
+            "rolling_restarts": self.rolling_restarts,
+        }

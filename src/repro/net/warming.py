@@ -1,0 +1,140 @@
+"""Speculative cache warming driven by the observed digest stream.
+
+Every accepted submission contributes its plan digest to a sliding
+window; the top-K digests of that window are the server's prediction of
+what the next requests will ask.  When the server goes idle it
+pre-submits that mix, so the report LRU and the cross-process disk cache
+stay hot across evictions and worker restarts — the request that would
+have been the first cold one after a lull is answered warm instead.
+
+The same ``{"version": 1, "mix": [{"count": N, "plan": {...}}, ...]}``
+payload doubles as the *request-mix file* format: operators snapshot a
+live server's observed mix (``repro serve-load --save-mix``), vet it
+offline (``repro verify --serve mix.json``), and pre-warm the next
+deployment with it (``repro serve --warm-mix mix.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, OrderedDict, deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.api.plan import Plan
+from repro.errors import ParameterError
+
+#: Version stamp of the request-mix payload/file format.
+MIX_FORMAT_VERSION = 1
+
+
+class DigestStream:
+    """Sliding window over observed plan digests, with top-K extraction.
+
+    The window (default 4096 observations) keeps the mix *current*: a
+    digest that dominated yesterday's traffic but vanished from today's
+    ages out instead of being warmed forever.  One representative
+    :class:`Plan` per digest is retained (bounded, LRU) so the top-K can
+    be resubmitted without keeping every request alive.
+    """
+
+    def __init__(self, window: int = 4096, max_plans: int = 512):
+        if window < 1 or max_plans < 1:
+            raise ParameterError("window and max_plans must be positive")
+        self.window = window
+        self.max_plans = max_plans
+        self._recent: Deque[str] = deque()
+        self._counts: Counter = Counter()
+        self._plans: "OrderedDict[str, Plan]" = OrderedDict()
+        #: Lifetime observation count (monotonic, unlike the window).
+        self.observed = 0
+
+    def observe(self, plan: Plan) -> None:
+        digest = plan.digest
+        self.observed += 1
+        self._recent.append(digest)
+        self._counts[digest] += 1
+        if len(self._recent) > self.window:
+            old = self._recent.popleft()
+            self._counts[old] -= 1
+            if not self._counts[old]:
+                del self._counts[old]
+                self._plans.pop(old, None)
+        self._plans[digest] = plan
+        self._plans.move_to_end(digest)
+        while len(self._plans) > self.max_plans:
+            self._plans.popitem(last=False)
+
+    @property
+    def distinct(self) -> int:
+        return len(self._counts)
+
+    def top(self, k: int) -> List[Plan]:
+        """The K most-frequent windowed digests' plans, hottest first."""
+        plans = []
+        for digest, _count in self._counts.most_common():
+            plan = self._plans.get(digest)
+            if plan is not None:
+                plans.append(plan)
+            if len(plans) >= k:
+                break
+        return plans
+
+    def entries(self) -> List[Tuple[Plan, int]]:
+        """Every windowed (plan, count), hottest first (the full mix)."""
+        out = []
+        for digest, count in self._counts.most_common():
+            plan = self._plans.get(digest)
+            if plan is not None:
+                out.append((plan, count))
+        return out
+
+    def mix_payload(self) -> Dict[str, object]:
+        return build_mix_payload(self.entries())
+
+
+# -- request-mix payload / file format -------------------------------------------
+
+def build_mix_payload(entries: List[Tuple[Plan, int]]) -> Dict[str, object]:
+    return {
+        "version": MIX_FORMAT_VERSION,
+        "mix": [
+            {"count": int(count), "plan": plan.to_dict()}
+            for plan, count in entries
+        ],
+    }
+
+
+def parse_mix_payload(data: Dict[str, object]) -> List[Tuple[Plan, int]]:
+    """Validate and resolve a mix payload into ``(Plan, count)`` entries."""
+    if not isinstance(data, dict):
+        raise ParameterError(
+            f"request mix must be a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("version", MIX_FORMAT_VERSION)
+    if version != MIX_FORMAT_VERSION:
+        raise ParameterError(
+            f"request-mix version {version} != {MIX_FORMAT_VERSION}"
+        )
+    raw = data.get("mix")
+    if not isinstance(raw, list):
+        raise ParameterError("request mix needs a 'mix' list")
+    entries: List[Tuple[Plan, int]] = []
+    for i, entry in enumerate(raw):
+        if not isinstance(entry, dict) or "plan" not in entry:
+            raise ParameterError(f"mix entry [{i}] needs a 'plan' payload")
+        count = int(entry.get("count", 1))
+        if count < 1:
+            raise ParameterError(f"mix entry [{i}]: count must be positive")
+        entries.append((Plan.from_dict(entry["plan"]), count))
+    return entries
+
+
+def save_mix(path: str, entries: List[Tuple[Plan, int]]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(build_mix_payload(entries), handle, indent=2)
+        handle.write("\n")
+
+
+def load_mix(path: str) -> List[Tuple[Plan, int]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_mix_payload(json.load(handle))

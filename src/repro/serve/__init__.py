@@ -18,7 +18,7 @@ Try it: ``python -m repro serve-bench`` or ``examples/serving.py``.
 """
 
 from repro.serve.aio import AsyncEstimateService
-from repro.serve.pool import ShardPool
+from repro.serve.pool import RemotePlanError, ShardPool, WorkerDied
 from repro.serve.service import (
     ADMISSION_MODES,
     AdmissionError,
@@ -36,7 +36,9 @@ __all__ = [
     "EstimateHandle",
     "EstimateService",
     "REPORT_CACHE_KIND",
+    "RemotePlanError",
     "ServeError",
     "ServiceStats",
     "ShardPool",
+    "WorkerDied",
 ]

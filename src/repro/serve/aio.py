@@ -62,11 +62,36 @@ class AsyncEstimateService:
     def stats(self):
         return self.service.stats
 
+    async def aclose(self) -> None:
+        """Drain outstanding gathers, then shut the service down.
+
+        A server tearing down must not abandon awaiters that already
+        submitted: every in-flight flush is awaited and any submissions
+        still parked in the batch get one final gather, so each pending
+        handle resolves before the underlying service (and its shard
+        pool) closes.  Idempotent.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            flush = self._flush
+            if flush is not None and not flush.done():
+                await asyncio.shield(flush)
+                continue
+            if self.service.pending:
+                self._flush = loop.create_task(self._drain(loop))
+                continue
+            break
+        self.close()
+
     def close(self) -> None:
+        """Close immediately (pending handles stay unresolved).
+
+        Prefer :meth:`aclose` from async code — it drains first.
+        """
         self.service.close()
 
     async def __aenter__(self) -> "AsyncEstimateService":
         return self
 
     async def __aexit__(self, *exc) -> None:
-        self.close()
+        await self.aclose()

@@ -239,6 +239,17 @@ class EstimateService:
                 waiters.append(handle)
         return handle
 
+    def admit(self, plan: Plan) -> None:
+        """Run the admission check for ``plan`` without queueing it.
+
+        The network front-end calls this at the protocol boundary so a
+        rejected plan is answered with an error frame *before* it
+        occupies a queue slot; the later ``submit()`` of an admitted
+        digest is then a memoized set lookup.  Raises
+        :class:`AdmissionError` exactly like ``submit()`` would.
+        """
+        self._admit(plan, plan.digest)
+
     def _admit(self, plan: Plan, digest: str) -> None:
         """Statically verify ``plan`` once per digest, per the admission
         mode.  Analysis runs outside the service lock (it is read-only
@@ -377,13 +388,17 @@ class EstimateService:
     ) -> List[Union["RunReport", BaseException]]:
         """Run the cold plans, isolating failures per plan.
 
-        A raising plan yields its exception in place of a report.  If the
-        whole shard pool fails (dead worker, transport error), fall back
-        to in-process execution so one sick worker cannot take the batch
-        down with it."""
+        A raising plan yields its exception in place of a report.  The
+        shard pool requeues the in-flight plans of a dead worker onto
+        the survivors (plans are pure, so re-execution is safe) — a
+        worker kill never loses a submitted request.  If the pool fails
+        wholesale anyway, fall back to in-process execution so one sick
+        pool cannot take the batch down with it."""
         if self._pool is not None and len(plans) > 1:
             try:
-                return list(self._pool.run_plans(plans))
+                return list(self._pool.run_plans(
+                    plans, requeue=True, return_exceptions=True
+                ))
             except Exception:
                 pass  # fall through to the isolated in-process path
         results: List[Union["RunReport", BaseException]] = []
@@ -400,6 +415,11 @@ class EstimateService:
     def pending(self) -> int:
         with self._lock:
             return sum(len(h) for h in self._pending.values())
+
+    @property
+    def pool(self) -> Optional["ShardPool"]:
+        """The attached shard pool, if any (for supervisors and stats)."""
+        return self._pool
 
     def close(self) -> None:
         if self._pool is not None:

@@ -7,15 +7,18 @@ the shard pool returns exactly what sequential execution returns.
 """
 
 import asyncio
+import multiprocessing
 import os
+import signal
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 
 import pytest
 
-from repro.api import build_plan, estimate, list_backends, register_backend
+from repro.api import build_plan, list_backends, register_backend
 from repro.api.backends import _REGISTRY, PlanBackendBase, RunReport
 from repro.errors import ParameterError
 from repro.serve import (
@@ -298,7 +301,7 @@ class TestShardPool:
             assert counting_backend.calls == 1, "no worker round-trip"
             assert reports[0].backend == "counting-serve"
             assert pool.run_plans([]) == []
-            assert pool._pool is None, "pool must stay lazy"
+            assert not pool.started, "pool must stay lazy"
         finally:
             pool.close()
 
@@ -317,6 +320,114 @@ class TestShardPool:
             ShardPool(0)
         with pytest.raises(ParameterError):
             EstimateService(pool=ShardPool(2), workers=2)
+
+
+@pytest.fixture()
+def sleeper_backend():
+    """A registered backend slow enough to kill a worker mid-request."""
+
+    class SleeperBackend(PlanBackendBase):
+        name = "sleeper-serve"
+
+        def run_plan(self, plan):
+            time.sleep(0.3)
+            return RunReport(
+                benchmark=plan.name, backend=self.name,
+                schedule=plan.schedule, total_bytes=64, data_bytes=64,
+                evk_bytes=0, mod_ops=640, num_tasks=1,
+                peak_on_chip_bytes=0, latency_ms=1.0, options=plan.options,
+            )
+
+    backend = SleeperBackend()
+    register_backend(backend)
+    try:
+        yield backend
+    finally:
+        del _REGISTRY["sleeper-serve"]
+
+
+def _sleepy_plans(n):
+    return [build_plan("BTS1", backend="sleeper-serve", schedule="OC",
+                       bandwidth_gbs=64.0 + i) for i in range(n)]
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+class TestPoolSupervision:
+    """A dead worker is never a silent hang: WorkerDied or a requeue."""
+
+    def _kill_one_mid_batch(self, pool, delay_s=0.1):
+        pid = pool.worker_pids()[0]
+        timer = threading.Timer(
+            delay_s, lambda: os.kill(pid, signal.SIGKILL)
+        )
+        timer.start()
+        return pid, timer
+
+    def test_worker_death_raises_workerdied(self, sleeper_backend):
+        from repro.serve import WorkerDied
+
+        with ShardPool(2) as pool:
+            _pid, timer = self._kill_one_mid_batch(pool)
+            try:
+                with pytest.raises(WorkerDied) as excinfo:
+                    pool.run_plans(_sleepy_plans(4))
+            finally:
+                timer.cancel()
+            assert excinfo.value.lost  # names the abandoned workloads
+            assert pool.deaths >= 1
+            # the pool reaped the corpse and stays usable
+            reports = pool.run_plans(_sleepy_plans(2))
+            assert [r.benchmark for r in reports] == ["BTS1", "BTS1"]
+
+    def test_requeue_completes_the_batch_after_a_kill(
+            self, sleeper_backend):
+        with ShardPool(2) as pool:
+            plans = _sleepy_plans(4)
+            _pid, timer = self._kill_one_mid_batch(pool)
+            try:
+                reports = pool.run_plans(plans, requeue=True)
+            finally:
+                timer.cancel()
+            assert len(reports) == 4
+            assert all(r.backend == "sleeper-serve" for r in reports)
+            assert pool.deaths >= 1
+
+    def test_service_batch_survives_worker_kill(self, sleeper_backend):
+        with EstimateService(workers=2, disk_cache=False) as service:
+            _pid, timer = self._kill_one_mid_batch(service.pool)
+            try:
+                reports = service.estimate_many(_sleepy_plans(4))
+            finally:
+                timer.cancel()
+            assert len(reports) == 4
+            assert service.stats.failed == 0
+
+    def test_rolling_restart_replaces_pids_and_keeps_working(self):
+        with ShardPool(2) as pool:
+            before = set(pool.worker_pids())
+            assert pool.rolling_restart() == 2
+            after = set(pool.worker_pids())
+            assert before.isdisjoint(after)
+            plans = [build_plan(n, backend="rpu", schedule="OC")
+                     for n in ("BTS1", "ARK")]
+            assert pool.run_plans(plans) == [p.run() for p in plans]
+
+    def test_reap_respawns_idle_dead_workers(self):
+        with ShardPool(2) as pool:
+            pids = pool.worker_pids()
+            os.kill(pids[0], signal.SIGKILL)
+            deadline = time.monotonic() + 10
+            # SIGKILL lands asynchronously: poll until the reaper both
+            # notices the corpse and restores capacity.
+            while pool.deaths < 1 or pool.alive_workers() < 2:
+                assert time.monotonic() < deadline
+                pool.reap(restart=True)
+                time.sleep(0.05)
+            assert pool.restarts >= 1
+            assert pids[0] not in pool.worker_pids()
 
 
 class TestAsyncService:
@@ -358,6 +469,32 @@ class TestAsyncService:
 
         a, b = asyncio.run(main())
         assert {a.benchmark, b.benchmark} == {"ARK", "BTS1"}
+
+    def test_aclose_drains_outstanding_gathers(self, counting_backend):
+        """Shutdown resolves every in-flight awaiter before closing."""
+
+        async def main():
+            service = AsyncEstimateService(disk_cache=False)
+            tasks = [asyncio.create_task(service.estimate(_plan(name)))
+                     for name in ("ARK", "BTS1")]
+            await asyncio.sleep(0)  # awaiters submit, a flush starts
+            await service.aclose()
+            return await asyncio.gather(*tasks)
+
+        reports = asyncio.run(main())
+        assert {r.benchmark for r in reports} == {"ARK", "BTS1"}
+
+    def test_aclose_gathers_parked_submissions(self, counting_backend):
+        """Submissions with no flush in flight still resolve at aclose."""
+
+        async def main():
+            service = AsyncEstimateService(disk_cache=False)
+            handle = service.service.submit(_plan())
+            await service.aclose()
+            return handle
+
+        handle = asyncio.run(main())
+        assert handle.done and handle.result().backend == "counting-serve"
 
 
 class TestBackendListing:
