@@ -4,8 +4,10 @@ These time the actual modular arithmetic — NTT, basis conversion and the
 full reference key switch — at the functional layer's ring sizes, and
 emit ``BENCH_kernels.json``: per-kernel looped-vs-batched timings at
 ``N = 2^7`` and ``N = 2^12``, cold-vs-warm twiddle-cache construction,
-and the end-to-end ``n7_boot`` bootstrap speedup of the batched engine
-over the retained looped reference path.
+the end-to-end ``n7_boot`` bootstrap speedup of the batched engine
+over the retained looped reference path, and a cross-ciphertext
+``B in {1, 2, 4, 8}`` sweep of amortized per-ciphertext bootstrap cost
+through the ``(B, L, N)`` stacked kernels.
 
 The artifact test doubles as a perf regression guard: at ``N >= 2^12``
 the batched kernels must never be slower than the looped path.
@@ -210,6 +212,58 @@ def _bootstrap_times() -> dict:
     }
 
 
+def _bootstrap_batch_sweep() -> dict:
+    """Amortized per-ciphertext bootstrap cost across batch sizes B.
+
+    ``B=1`` is the plain single-ciphertext bootstrap — what serving paid
+    per request before cross-ciphertext batching existed — so the sweep
+    reads as "cost per user at occupancy B".  Every round interleaves the
+    plain run with each batch size and the ratios come from best-of
+    minima, so machine-load drift cancels instead of flaking the guard.
+    """
+    from repro.api import FHESession
+
+    session = FHESession.create("n7_boot", seed=21)
+    rng = np.random.default_rng(22)
+    plain_ct = session.encrypt(rng.uniform(-0.2, 0.2, session.num_slots), level=0)
+    batches = {
+        b: session.encrypt_batch(
+            [rng.uniform(-0.2, 0.2, session.num_slots) for _ in range(b)],
+            level=0,
+        )
+        for b in (2, 4, 8)
+    }
+    plain_ct.bootstrap()  # materialize circuit + keys outside the timings
+    for batch in batches.values():
+        batch.bootstrap()
+
+    rounds = 3
+    plain_times = []
+    batch_times: dict = {b: [] for b in batches}
+    for _ in range(rounds):
+        start = time.perf_counter()
+        plain_ct.bootstrap()
+        plain_times.append(time.perf_counter() - start)
+        for b, batch in batches.items():
+            start = time.perf_counter()
+            batch.bootstrap()
+            batch_times[b].append(time.perf_counter() - start)
+
+    plain = min(plain_times)
+    sweep = {"preset": "n7_boot", "rounds": rounds}
+    rows = {1: {"total_s": plain, "amortized_s": plain, "speedup": 1.0}}
+    for b in batches:
+        total = min(batch_times[b])
+        rows[b] = {
+            "total_s": total,
+            "amortized_s": total / b,
+            "speedup": plain / (total / b),
+        }
+    sweep["per_batch"] = {str(b): row for b, row in rows.items()}
+    sweep["b8_amortization"] = rows[8]["speedup"]
+    return sweep
+
+
 def test_emit_kernels_artifact():
     """Write BENCH_kernels.json and hold the perf guards.
 
@@ -224,6 +278,7 @@ def test_emit_kernels_artifact():
         },
         "twiddle_cache": _twiddle_cache_times(),
         "bootstrap_e2e": _bootstrap_times(),
+        "bootstrap_batch_sweep": _bootstrap_batch_sweep(),
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -241,8 +296,21 @@ def test_emit_kernels_artifact():
     assert boot["speedup"] >= 3.0, (
         f"bootstrap speedup regressed to {boot['speedup']:.2f}x"
     )
+    sweep = payload["bootstrap_batch_sweep"]["per_batch"]
+    # Cross-ciphertext amortization guard: bootstrapping B=8 users in one
+    # stacked pass must cost each of them at most half a solo bootstrap,
+    # and amortized cost must fall monotonically with occupancy.
+    assert sweep["8"]["speedup"] >= 2.0, (
+        f"B=8 amortization regressed to {sweep['8']['speedup']:.2f}x"
+    )
+    amortized = [sweep[b]["amortized_s"] for b in ("1", "2", "4", "8")]
+    assert all(a < b for a, b in zip(amortized[1:], amortized[:-1])), (
+        f"amortized cost not monotone over B: {amortized}"
+    )
     print(
         f"\nn7_boot bootstrap: batched {boot['batched_s']:.3f}s vs "
         f"looped {boot['looped_s']:.3f}s -> {boot['speedup']:.2f}x; "
-        f"twiddle cache warm {payload['twiddle_cache']['speedup']:.1f}x faster"
+        f"twiddle cache warm {payload['twiddle_cache']['speedup']:.1f}x faster; "
+        f"B=8 amortized {sweep['8']['amortized_s']*1e3:.0f}ms/ct "
+        f"({sweep['8']['speedup']:.2f}x vs solo)"
     )

@@ -37,7 +37,7 @@ from repro.api.backends import (
     list_backends,
     register_backend,
 )
-from repro.api.cipher import CipherVector
+from repro.api.cipher import CipherBatch, CipherVector
 from repro.api.plan import Plan, build_plan, report_from_dict, report_to_dict
 from repro.api.presets import DEFAULT_PRESET, PRESETS, get_preset, list_presets
 from repro.api.session import FHESession
@@ -45,6 +45,7 @@ from repro.api.session import FHESession
 __all__ = [
     "AnalyticBackend",
     "Backend",
+    "CipherBatch",
     "CipherVector",
     "DEFAULT_PRESET",
     "EstimateOptions",

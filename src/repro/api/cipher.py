@@ -25,7 +25,7 @@ bookkeeping the seed quickstart forced on users:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -232,6 +232,114 @@ class CipherVector:
         pt = self._encode_at(1.0, ct.level, corr)
         bumped = Ciphertext(ct.c0 * pt, ct.c1 * pt, ct.level, ct.scale * corr)
         return self._ev.rescale(bumped)
+
+
+class CipherBatch(CipherVector):
+    """B encrypted slot vectors evaluated as one stacked ciphertext.
+
+    The cross-ciphertext batch axis surfaced as a fluent handle: the
+    wrapped :class:`~repro.ckks.encrypt.Ciphertext` holds ``(B, L, N)``
+    :class:`~repro.rns.poly.PolyBatch` halves, and every operation routes
+    through the session's :class:`~repro.ckks.batch.BatchEvaluator`, so B
+    users' ciphertexts pay one stacked kernel pass per operation instead
+    of B.  The expression surface is inherited from
+    :class:`CipherVector` unchanged — plaintext operands broadcast across
+    the batch, alignment/rescale bookkeeping applies to all members at
+    once — and every result is bit-identical to running the same
+    expression member by member.
+
+    Build one with :meth:`FHESession.encrypt_batch` or
+    :meth:`from_vectors`; get the per-user results back with
+    :meth:`decrypt` (a ``(B, slots)`` array) or :meth:`members`.
+    """
+
+    def __init__(self, session: "FHESession", ciphertext: Ciphertext):
+        from repro.ckks.batch import is_batched
+
+        if not is_batched(ciphertext):
+            raise ParameterError(
+                "CipherBatch wraps a batched ciphertext (PolyBatch "
+                "halves); use CipherVector for a single ciphertext"
+            )
+        super().__init__(session, ciphertext)
+
+    @classmethod
+    def from_vectors(cls, vectors: "Sequence[CipherVector]") -> "CipherBatch":
+        """Stack same-level :class:`CipherVector` handles into a batch."""
+        from repro.ckks.batch import stack_ciphertexts
+
+        vectors = list(vectors)
+        if not vectors:
+            raise ParameterError("cannot batch zero CipherVectors")
+        session = vectors[0].session
+        for i, vec in enumerate(vectors[1:], start=1):
+            if vec.session is not session:
+                raise ParameterError(
+                    f"batch[{i}]: belongs to a different session"
+                )
+        return cls(
+            session, stack_ciphertexts([v.ciphertext for v in vectors])
+        )
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def batch_size(self) -> int:
+        return self.ciphertext.c0.batch_size
+
+    def members(self) -> "List[CipherVector]":
+        """Split back into per-user :class:`CipherVector` handles."""
+        from repro.ckks.batch import unstack_ciphertexts
+
+        return [
+            CipherVector(self.session, ct)
+            for ct in unstack_ciphertexts(self.ciphertext)
+        ]
+
+    def member(self, b: int) -> "CipherVector":
+        ct = self.ciphertext
+        return CipherVector(
+            self.session,
+            Ciphertext(ct.c0.member(b), ct.c1.member(b), ct.level, ct.scale),
+        )
+
+    def copy(self) -> "CipherBatch":
+        return CipherBatch(self.session, self.ciphertext.copy())
+
+    def decrypt(self) -> np.ndarray:
+        """Decrypt all members: a ``(B, num_slots)`` complex array."""
+        raw = self.ciphertext
+        dec = self.session.decryptor.decrypt(raw)  # PolyBatch
+        return np.stack([
+            self.session.decode(poly, scale=raw.scale)
+            for poly in dec.unstack()
+        ])
+
+    def __repr__(self) -> str:
+        return (
+            f"CipherBatch(B={self.batch_size}, slots={self.num_slots}, "
+            f"level={self.level}, scale=2^{np.log2(self.scale):.2f})"
+        )
+
+    # -- batched rotations -------------------------------------------------------
+
+    def rotate_many(self, steps: "Sequence[int]") -> "Dict[int, CipherBatch]":
+        """Hoisted rotations of the whole batch: one shared ModUp for all
+        B members, one stacked automorphism/ApplyKey/ModDown per step."""
+        rotated = self.session.rotate_many(self, steps)
+        return {
+            s: CipherBatch(self.session, cv.ciphertext)
+            for s, cv in rotated.items()
+        }
+
+    # -- dispatch hooks ----------------------------------------------------------
+
+    @property
+    def _ev(self) -> "Evaluator":
+        return self.session.batch_evaluator
+
+    def _wrap(self, ct: Ciphertext) -> "CipherBatch":
+        return CipherBatch(self.session, ct)
 
 
 def _negated(value: PlainOperand) -> PlainOperand:

@@ -30,15 +30,15 @@ from repro.api.backends import (
     Workload,
     estimate as _estimate,
 )
-from repro.api.cipher import CipherVector
+from repro.api.cipher import CipherBatch, CipherVector
 from repro.api.plan import Plan, build_plan
 from repro.api.presets import DEFAULT_PRESET, get_preset
+from repro.ckks.batch import BatchEvaluator, is_batched, stack_ciphertexts
 from repro.ckks.bootstrap import BootstrapConfig, BootstrapKeys, Bootstrapper
 from repro.ckks.context import CKKSContext, CKKSParams
 from repro.ckks.encoding import Encoder
 from repro.ckks.encrypt import Ciphertext, Decryptor, Encryptor
 from repro.ckks.evaluator import Evaluator
-from repro.ckks.hoisting import hoisted_rotations
 from repro.ckks.keys import KeyGenerator, KeySwitchKey, rotation_galois_element
 from repro.errors import ParameterError
 from repro.rns.poly import RNSPoly
@@ -57,6 +57,7 @@ class FHESession:
                                    seed=enc_seed)
         self.decryptor = Decryptor(self.context, self.keygen.secret_key)
         self.evaluator = Evaluator(self.context)
+        self._batch_evaluator: Optional[BatchEvaluator] = None
         self._relin_key: Optional[KeySwitchKey] = None
         self._conj_key: Optional[KeySwitchKey] = None
         #: Galois keys cached by Galois element (steps that differ by a
@@ -103,6 +104,13 @@ class FHESession:
             f"levels={self.params.num_levels}, dnum={self.params.dnum}, "
             f"cached_keys={self.key_cache_info()})"
         )
+
+    @property
+    def batch_evaluator(self) -> BatchEvaluator:
+        """Evaluator for :class:`CipherBatch` handles (built on first use)."""
+        if self._batch_evaluator is None:
+            self._batch_evaluator = BatchEvaluator(self.context)
+        return self._batch_evaluator
 
     # -- lazy key material -------------------------------------------------------
 
@@ -201,10 +209,19 @@ class FHESession:
         return self._bootstrap_keys
 
     def bootstrap(self, ct: Union[CipherVector, Ciphertext]) -> CipherVector:
-        """Refresh a ciphertext: same message, level budget restored."""
+        """Refresh a ciphertext: same message, level budget restored.
+
+        A :class:`CipherBatch` (or raw batched ciphertext) runs the whole
+        pipeline through :attr:`batch_evaluator` — one stacked circuit
+        for all B members, amortizing every hybrid key switch — and comes
+        back as a :class:`CipherBatch`.
+        """
         raw = ct.ciphertext if isinstance(ct, CipherVector) else ct
-        out = self.bootstrapper().bootstrap(self.evaluator, raw,
+        evaluator = self.batch_evaluator if is_batched(raw) else self.evaluator
+        out = self.bootstrapper().bootstrap(evaluator, raw,
                                             self.bootstrap_keys())
+        if is_batched(out):
+            return CipherBatch(self, out)
         return CipherVector(self, out)
 
     # -- encode / encrypt / decrypt ----------------------------------------------
@@ -229,6 +246,21 @@ class FHESession:
         """Encrypt a batch of slot vectors in one call."""
         return [self.encrypt(v, level=level, scale=scale) for v in vectors]
 
+    def encrypt_batch(self, vectors: Iterable[Any], *,
+                      level: Optional[int] = None,
+                      scale: Optional[float] = None) -> CipherBatch:
+        """Encrypt B slot vectors into one stacked :class:`CipherBatch`.
+
+        Members are encrypted one at a time (the encryptor's rng draws
+        stay in the same order as :meth:`encrypt_many`, so each member is
+        bit-identical to its standalone encryption) and stacked into a
+        ``(B, L, N)`` batched ciphertext whose every subsequent operation
+        runs as one kernel pass for all B users.
+        """
+        return CipherBatch.from_vectors(
+            self.encrypt_many(vectors, level=level, scale=scale)
+        )
+
     def decrypt(self, ct: Union[CipherVector, Ciphertext],
                 *, scale: Optional[float] = None) -> np.ndarray:
         """Decrypt back to the complex slot vector (scale read from the ct)."""
@@ -249,14 +281,18 @@ class FHESession:
         come from (and populate) the session cache.  Returns a mapping
         from step to result, bit-identical to one-at-a-time rotation;
         steps that normalize to 0 need no key switch and map to a copy.
+        A batched ciphertext shares one ModUp across *all* B members as
+        well as all steps, via :attr:`batch_evaluator`.
         """
         raw = ct.ciphertext if isinstance(ct, CipherVector) else ct
+        evaluator = self.batch_evaluator if is_batched(raw) else self.evaluator
         normalized: Dict[int, int] = {s: s % self.num_slots for s in steps}
         nonzero = {n for n in normalized.values() if n != 0}
         keys = {n: self.rotation_key(n) for n in nonzero}
-        rotated = hoisted_rotations(self.context, raw, keys) if keys else {}
+        rotated = evaluator.hoisted_rotations(raw, keys) if keys else {}
+        wrap = CipherBatch if is_batched(raw) else CipherVector
         return {
-            s: CipherVector(self, rotated[n] if n else raw.copy())
+            s: wrap(self, rotated[n] if n else raw.copy())
             for s, n in normalized.items()
         }
 

@@ -47,7 +47,11 @@ from repro.ckks.encrypt import Ciphertext
 from repro.ckks.evaluator import Evaluator
 from repro.ckks.keys import KeyGenerator, KeySwitchKey
 from repro.ckks.linear import LinearTransform
-from repro.ckks.polyeval import evaluate_chebyshev
+from repro.ckks.polyeval import (
+    _stack_plaintexts,
+    evaluate_chebyshev,
+    evaluate_chebyshev_rows,
+)
 from repro.errors import ParameterError
 
 
@@ -202,11 +206,20 @@ class Bootstrapper:
         imag_part = evaluator.sub(folded, conj)     # slots: i * Im(v)
 
         norm = 2.0 / (self.sine_periods * q_tilde)
-        real_mod = self._eval_mod(evaluator, real_part, norm,
-                                  q_tilde * self.sine_coeffs, keys)
-        imag_mod = self._eval_mod(evaluator, imag_part, -1j * norm,
-                                  1j * q_tilde * self.sine_coeffs, keys)
-        cleaned = evaluator.add(real_mod, imag_mod)
+        if getattr(evaluator, "supports_batched_hks", False):
+            # Batch-capable evaluator: both branches through one stacked
+            # Chebyshev ladder (half the ladder dispatches per bootstrap).
+            # Instrumented/plain evaluators keep the two-ladder circuit,
+            # whose op counts BootstrapPlan pins.
+            cleaned = self._eval_mod_stacked(
+                evaluator, real_part, imag_part, norm, q_tilde, keys
+            )
+        else:
+            real_mod = self._eval_mod(evaluator, real_part, norm,
+                                      q_tilde * self.sine_coeffs, keys)
+            imag_mod = self._eval_mod(evaluator, imag_part, -1j * norm,
+                                      1j * q_tilde * self.sine_coeffs, keys)
+            cleaned = evaluator.add(real_mod, imag_mod)
 
         return self._apply_transforms(evaluator, cleaned,
                                       self.stc_transforms, keys)
@@ -237,6 +250,45 @@ class Bootstrapper:
             evaluator, self.encoder, prescaled, coeffs, keys.relin,
             prescaled=True,
         )
+
+    def _eval_mod_stacked(self, evaluator: Evaluator, real_part: Ciphertext,
+                          imag_part: Ciphertext, norm: float, q_tilde: float,
+                          keys: BootstrapKeys) -> Ciphertext:
+        """Both EvalMod branches through one stacked Chebyshev ladder.
+
+        The branches differ only in their normalization constant and
+        combine coefficients (by the exact factor ``-1j`` / ``1j``), so
+        they batch as a ``2B``-member ciphertext: per-row prescale and
+        combine plaintexts, one shared ladder.  Each member's arithmetic
+        is bit-identical to :meth:`_eval_mod` on that member alone, and
+        the return value is already the recombined ``real + imag`` sum.
+        """
+        from repro.ckks.batch import stack_ciphertexts, unstack_ciphertexts
+
+        members = (unstack_ciphertexts(real_part)
+                   + unstack_ciphertexts(imag_part))
+        bsz = len(members) // 2
+        both = stack_ciphertexts(members)
+        q_top = float(self.context.q_basis.moduli[both.level])
+        slots = self.encoder.num_slots
+        pts = [
+            self.encoder.encode([normalize] * slots, level=both.level,
+                                scale=q_top)
+            for normalize in (norm, -1j * norm)
+        ]
+        pt = _stack_plaintexts(pts, [bsz, bsz])
+        prescaled = evaluator.rescale(
+            evaluator.multiply_plain(both, pt, plain_scale=q_top)
+        )
+        modded = evaluate_chebyshev_rows(
+            evaluator, self.encoder, prescaled,
+            [q_tilde * self.sine_coeffs, 1j * q_tilde * self.sine_coeffs],
+            [bsz, bsz], keys.relin, prescaled=True,
+        )
+        halves = unstack_ciphertexts(modded)
+        real_mod = stack_ciphertexts(halves[:bsz])
+        imag_mod = stack_ciphertexts(halves[bsz:])
+        return evaluator.add(real_mod, imag_mod)
 
 
 def generate_bootstrap_keys(keygen: KeyGenerator,

@@ -29,7 +29,7 @@ from repro.errors import KeySwitchError
 from repro.ntt.batch import get_batch_ntt
 from repro.rns import dispatch
 from repro.rns.bconv import get_converter
-from repro.rns.poly import Domain, RNSPoly
+from repro.rns.poly import Domain, PolyBatch, RNSPoly
 
 
 def mod_up_digit(
@@ -277,3 +277,171 @@ def key_switch(
     digits = mod_up_all(context, poly, level)
     acc0, acc1 = apply_evk(context, digits, key, level)
     return mod_down_pair(context, acc0, acc1, level)
+
+
+# -- cross-ciphertext batch axis -----------------------------------------------
+#
+# The (B, L, N) analogues of the stacked HKS kernels above.  The evk, hat
+# and twiddle tables are all (L, ...)-shaped and broadcast over the batch
+# axis, so B ciphertexts pay one kernel dispatch per stage instead of B.
+# Every function is bit-identical to looping its 2-D counterpart over the
+# batch members (the looped kernel mode literally does), which is what
+# tests/test_kernel_equivalence.py asserts.
+
+
+def mod_up_all_batch(
+    context: CKKSContext, batch: PolyBatch, level: int
+) -> List[PolyBatch]:
+    """ModUp P1-P3 for every digit of every batch member in shared passes."""
+    if batch.domain is not Domain.EVAL:
+        raise KeySwitchError("ModUp expects an EVAL-domain input")
+    if not dispatch.batched_enabled():
+        per_member = [
+            mod_up_all(context, member, level) for member in batch.unstack()
+        ]
+        return [
+            PolyBatch.stack([digits[d] for digits in per_member])
+            for d in range(context.num_digits(level))
+        ]
+    n = batch.n
+    bsz = batch.batch_size
+    digit_groups = context.digit_indices(level)
+    # P1: one 3-D INTT covers every member's digit towers at once.
+    coeff = get_batch_ntt(n, batch.basis.moduli).inverse(batch.data)
+    # P2: blocked BConv per digit, batch axis leading.
+    converted = []
+    for digit, indices in enumerate(digit_groups):
+        digit_basis = batch.basis.subbasis(indices)
+        target = context.complement_basis(level, digit)
+        rows = coeff[:, np.asarray(indices, dtype=np.intp)]
+        converted.append(get_converter(digit_basis, target).convert(rows))
+    # P3: one stacked NTT across every digit's complement towers.
+    stacked_moduli = tuple(
+        m
+        for digit in range(len(digit_groups))
+        for m in context.complement_basis(level, digit).moduli
+    )
+    stacked = get_batch_ntt(n, stacked_moduli).forward(
+        np.concatenate(converted, axis=1)
+    )
+    # Reassemble each digit in extended-basis order (bypass + converted).
+    extended = context.extended_basis(level)
+    total = level + 1 + len(context.p_basis)
+    out_batches: List[PolyBatch] = []
+    row = 0
+    for digit, indices in enumerate(digit_groups):
+        complement = context.complement_indices(level, digit)
+        block = stacked[:, row : row + len(complement)]
+        row += len(complement)
+        out = np.empty((bsz, total, n), dtype=block.dtype)
+        out[:, np.asarray(complement, dtype=np.intp)] = block
+        idx = np.asarray(indices, dtype=np.intp)
+        out[:, idx] = batch.data[:, idx]
+        out_batches.append(PolyBatch(extended, out, Domain.EVAL))
+    return out_batches
+
+
+def apply_evk_batch(
+    context: CKKSContext,
+    extended_digits: Sequence[PolyBatch],
+    key: KeySwitchKey,
+    level: int,
+) -> Tuple[PolyBatch, PolyBatch]:
+    """ModUp P4 + P5 over the batch: two multiply passes, one fold per half."""
+    extended_digits = list(extended_digits)
+    if not dispatch.batched_enabled():
+        bsz = extended_digits[0].batch_size
+        halves: List[List[RNSPoly]] = [[], []]
+        for b in range(bsz):
+            acc0, acc1 = apply_evk(
+                context, [d.member(b) for d in extended_digits], key, level
+            )
+            halves[0].append(acc0)
+            halves[1].append(acc1)
+        return PolyBatch.stack(halves[0]), PolyBatch.stack(halves[1])
+    count, b_tall, a_tall, _ = _stacked_evk(context, key, level)
+    if len(extended_digits) != count:
+        raise KeySwitchError(
+            f"{len(extended_digits)} digits but key provides {count} pairs"
+        )
+    basis = extended_digits[0].basis
+    towers = len(basis)
+    n = extended_digits[0].n
+    q_col = basis.q_column
+    acc = []
+    for keys_tall in (b_tall, a_tall):
+        # Accumulate digit by digit instead of one (B, count*towers, N)
+        # tall pass: each term stays cache-resident and the reduced
+        # partial sums (count * q < 2**32) need just one final fold.
+        k4 = keys_tall.reshape(count, towers, n)
+        folded = extended_digits[0].data * k4[0] % q_col
+        for digit in range(1, count):
+            folded += extended_digits[digit].data * k4[digit] % q_col
+        if count > 1:
+            folded %= q_col
+        acc.append(PolyBatch(basis, folded, Domain.EVAL))
+    return acc[0], acc[1]
+
+
+def mod_down_pair_batch(
+    context: CKKSContext, a: PolyBatch, b: PolyBatch, level: int
+) -> Tuple[PolyBatch, PolyBatch]:
+    """ModDown of the batched accumulator pair in shared passes.
+
+    Both halves of all B members stack into one ``(2B, ...)`` INTT /
+    BConv / NTT, the batch-axis generalization of :func:`mod_down_pair`'s
+    side-by-side trick.
+    """
+    if not dispatch.batched_enabled():
+        outs = [
+            mod_down(context, member, level)
+            for half in (a, b)
+            for member in half.unstack()
+        ]
+        bsz = a.batch_size
+        return PolyBatch.stack(outs[:bsz]), PolyBatch.stack(outs[bsz:])
+    for half in (a, b):
+        if half.domain is not Domain.EVAL:
+            raise KeySwitchError("ModDown expects an EVAL-domain input")
+    num_q = level + 1
+    num_p = len(context.p_basis)
+    n = a.n
+    bsz = a.batch_size
+    for half in (a, b):
+        if half.num_towers != num_q + num_p:
+            raise KeySwitchError(
+                f"expected {num_q + num_p} towers, got {half.num_towers}"
+            )
+    level_basis = context.level_basis(level)
+    rows = np.concatenate([a.data, b.data])  # (2B, num_q + num_p, N)
+    # P1: one INTT of every member's K auxiliary towers.
+    p_coeff = get_batch_ntt(n, context.p_basis.moduli).inverse(rows[:, num_q:])
+    # P2: one blocked BConv P -> Q_l over the whole stack.
+    converter = get_converter(context.p_basis, level_basis)
+    conv = converter.convert(p_coeff)
+    # P3: one NTT back.
+    conv_eval = get_batch_ntt(n, level_basis.moduli).forward(conv)
+    # P4: (q_part - conv) * P^-1 in one matrix pass.
+    inv_col = np.array(
+        [context.p_inv_mod_q[i] for i in range(num_q)], dtype=np.int64
+    )[:, None]
+    diff = rows[:, :num_q] - conv_eval
+    diff = np.where(diff < 0, diff + level_basis.q_column, diff)
+    out = diff * inv_col % level_basis.q_column
+    return (
+        PolyBatch(level_basis, out[:bsz].copy(), Domain.EVAL),
+        PolyBatch(level_basis, out[bsz:].copy(), Domain.EVAL),
+    )
+
+
+def key_switch_batch(
+    context: CKKSContext, batch: PolyBatch, key: KeySwitchKey, level: int
+) -> Tuple[PolyBatch, PolyBatch]:
+    """Full HKS of a ciphertext batch: one stacked pass per HKS stage.
+
+    Bit-identical to ``[key_switch(context, p, key, level) for p in
+    batch.unstack()]`` — the per-member results, stacked.
+    """
+    digits = mod_up_all_batch(context, batch, level)
+    acc0, acc1 = apply_evk_batch(context, digits, key, level)
+    return mod_down_pair_batch(context, acc0, acc1, level)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 from weakref import WeakKeyDictionary
 
+import numpy as np
 
 from repro.ckks.encoding import Encoder
 from repro.ckks.encrypt import Ciphertext
@@ -31,7 +32,7 @@ from repro.ckks.evaluator import Evaluator
 from repro.ckks.keys import KeySwitchKey
 from repro.errors import ParameterError
 from repro.rns import dispatch
-from repro.rns.poly import RNSPoly
+from repro.rns.poly import PolyBatch, RNSPoly
 
 #: Per-encoder cache of constant plaintexts keyed by (value, level, scale).
 #: Encoding broadcasts a value into every slot and runs a length-2N FFT —
@@ -332,6 +333,141 @@ def evaluate_chebyshev(
         pt = _encode_constant(encoder, c0, total.level, total.scale)
         total = evaluator.add_plain(total, pt)
     return total
+
+
+def _stack_plaintexts(pts: Sequence[RNSPoly],
+                      counts: Sequence[int]) -> PolyBatch:
+    """Tile per-row plaintexts into a ``(sum(counts), L, N)`` batch."""
+    data = np.concatenate([
+        np.broadcast_to(pt.data, (count,) + pt.data.shape)
+        for pt, count in zip(pts, counts)
+    ])
+    return PolyBatch(
+        pts[0].basis, np.ascontiguousarray(data), pts[0].domain
+    )
+
+
+def evaluate_chebyshev_rows(
+    evaluator: Evaluator,
+    encoder: Encoder,
+    ct: Ciphertext,
+    coefficient_rows: Sequence[Sequence[complex]],
+    row_counts: Sequence[int],
+    relin_key: KeySwitchKey,
+    prescaled: bool = False,
+) -> Ciphertext:
+    """Chebyshev evaluation over a batched ciphertext whose consecutive
+    member groups use *different* coefficient vectors.
+
+    ``ct`` must be batched with ``sum(row_counts)`` members: the first
+    ``row_counts[0]`` members are combined with ``coefficient_rows[0]``,
+    the next group with row 1, and so on.  The ladder terms ``S_k``
+    depend only on the input values, so one stacked ladder (over the
+    union of the rows' non-zero indices) serves every row — only the
+    final combine and the ``c_0`` addition use per-row plaintexts, tiled
+    into a :class:`PolyBatch` via :func:`_stack_plaintexts`.
+
+    When the rows share a non-zero coefficient pattern (EvalMod's real
+    and imaginary branches do: they differ by the exact factor ``1j``),
+    each member's result is bit-identical to running
+    :func:`evaluate_chebyshev` on it alone with its row's coefficients.
+    Rows with *differing* patterns stay exact too — a zero coefficient
+    encodes to an exactly-zero plaintext, contributing nothing — but
+    their members come out mod-switched to the union ladder's combine
+    depth rather than their solo depth.  Bootstrapping uses this to run
+    EvalMod's real and imaginary branches through a single ladder —
+    ``len(order) - 1`` ciphertext multiplies total instead of per
+    branch.
+    """
+    rows = [[complex(c) for c in row] for row in coefficient_rows]
+    if not rows or len(rows) != len(row_counts):
+        raise ParameterError(
+            "coefficient_rows and row_counts must pair up (and be non-empty)"
+        )
+    width = max(len(r) for r in rows)
+    merged = [
+        1.0 if any(k < len(r) and r[k] != 0 for r in rows) else 0.0
+        for k in range(width)
+    ]
+    order = chebyshev_ladder_order(merged)
+
+    def stacked_c0(total: Ciphertext) -> Ciphertext:
+        c0s = [r[0] if r else 0.0 for r in rows]
+        if all(c == 0 for c in c0s):
+            return total
+        pts = [
+            _encode_constant(encoder, c, total.level, total.scale)
+            for c in c0s
+        ]
+        pt = _stack_plaintexts(pts, row_counts)
+        return evaluator.add_plain(total, pt, plain_scale=total.scale)
+
+    if not order:
+        return stacked_c0(evaluator.sub(ct, ct))
+
+    # -- ladder: identical to evaluate_chebyshev (shared constants
+    # broadcast over the batch axis) -------------------------------------
+    if prescaled:
+        s1 = ct
+    else:
+        q_top = evaluator.context.q_basis.moduli[ct.level]
+        pt = _encode_constant(encoder, 2.0, ct.level, float(q_top))
+        s1 = evaluator.rescale(
+            evaluator.multiply_plain(ct, pt, plain_scale=float(q_top))
+        )
+    terms: Dict[int, Ciphertext] = {1: s1}
+    for k in order:
+        if k == 1:
+            continue
+        hi, lo = (k + 1) // 2, k // 2
+        a, b = terms[hi], terms[lo]
+        level = min(a.level, b.level)
+        if level < 1:
+            raise ParameterError(
+                f"chebyshev degree {order[-1]} exhausts the level budget"
+            )
+        a = _drop_to_level(evaluator, a, level)
+        b = _drop_to_level(evaluator, b, level)
+        prod = evaluator.multiply(a, b, relin_key)
+        if k % 2 == 0:
+            pt = _encode_constant(encoder, -2.0, level, prod.scale)
+            sub = evaluator.add_plain(prod, pt)
+        else:
+            s1_matched = _match_scale(evaluator, encoder, terms[1], level,
+                                      prod.scale)
+            sub = evaluator.sub(prod, s1_matched)
+        terms[k] = evaluator.rescale(sub)
+
+    # -- combine: per-row coefficient plaintexts, tiled over the batch ----
+    delta = evaluator.context.params.scale
+    parts: List[Ciphertext] = []
+    for k in order:
+        row_coeffs = [r[k] if k < len(r) else 0.0 for r in rows]
+        if all(c == 0 for c in row_coeffs):
+            continue
+        s_k = terms[k]
+        if s_k.level < 1:
+            raise ParameterError("chebyshev combine ran out of levels")
+        q_next = evaluator.context.q_basis.moduli[s_k.level]
+        plain_scale = delta * q_next / s_k.scale
+        pts = [
+            encoder.encode(
+                [c / 2.0] * encoder.num_slots,
+                level=s_k.level, scale=plain_scale,
+            )
+            for c in row_coeffs
+        ]
+        pt = _stack_plaintexts(pts, row_counts)
+        part = evaluator.rescale(
+            evaluator.multiply_plain(s_k, pt, plain_scale=plain_scale)
+        )
+        parts.append(Ciphertext(part.c0, part.c1, part.level, delta))
+    deepest = min(p.level for p in parts)
+    total = None
+    for part in parts:
+        part = _drop_to_level(evaluator, part, deepest)
+        total = part if total is None else evaluator.add(total, part)
+    return stacked_c0(total)
 
 
 # -- level/scale alignment helpers ---------------------------------------------

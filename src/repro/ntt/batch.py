@@ -9,18 +9,28 @@ the moduli as a column vector ``q[:, None]``, so one butterfly stage
 updates *every* tower at once and a full transform is ``log2(N)``
 vectorized passes total.
 
-Two further tricks shave numpy passes off each stage:
+Three further tricks shave numpy passes off each stage:
 
-- **lazy reduction** — butterfly outputs are allowed to grow a few
-  multiples of ``q`` beyond canonical before a single whole-array ``% q``
-  pass reclaims them; the growth cap is chosen per moduli stack so every
-  twiddle product provably stays below ``2**62``.  All intermediates stay
-  congruent mod ``q``, and the final canonicalization makes outputs
-  bit-identical to the eagerly-reduced scalar network.
+- **lazy reduction, scheduled per tower run** — butterfly outputs are
+  allowed to grow a few multiples of ``q`` beyond canonical before a
+  ``% q`` pass reclaims them.  The growth cap is ``2**(62 - 2*bits)``
+  per tower, so narrow scale primes (26-bit) ride out a whole transform
+  without any mid-loop reduction while only the wide ``q0``/special
+  rows (29-30 bit, cap 4) pay periodic row-sliced ``%`` passes.  All
+  intermediates stay congruent mod ``q`` (signed values included), and
+  the final canonicalization makes outputs bit-identical to the
+  eagerly-reduced scalar network.
+- **lazy signed Barrett** — on cross-ciphertext ``(B, L, N)`` stacks the
+  per-stage twiddle-product reduction replaces int64 division (which
+  never vectorizes) with a float64 multiply-by-inverse, ``rint`` and an
+  exact int64 fixup, leaving a signed remainder in ``(-q, q)``.  The
+  remainder magnitude matches the canonical one, so the lazy growth
+  schedule is unchanged; below :data:`_BARRETT_MIN_ELEMS` elements the
+  extra passes cost more than the division and the engine keeps ``%``.
 - **preallocated scratch** — each stage writes the difference leg through
-  a reused ``(L, N/2)`` buffer instead of allocating per call, and the
-  input is canonical by the :class:`repro.rns.poly.RNSPoly` invariant so
-  no ``% q`` validation pass is spent on entry.
+  reused buffers instead of allocating per call, and the input is
+  canonical by the :class:`repro.rns.poly.RNSPoly` invariant so no
+  ``% q`` validation pass is spent on entry.
 
 The twiddle stacks are assembled from the per-``(N, q)``
 :class:`NTTContext` tables, which persist across processes via
@@ -30,7 +40,7 @@ The twiddle stacks are assembled from the per-``(N, q)``
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,18 +49,34 @@ from repro.ntt.transform import get_ntt_context
 
 _INT64 = np.int64
 
+#: Distinct batch sizes whose ping-pong buffers an engine keeps alive.
+#: Serving batches cluster around a handful of B values; anything rarer
+#: allocates per call instead of pinning memory forever.
+_MAX_CACHED_BATCH_SHAPES = 8
+
+#: Smallest twiddle-product block (elements) for which the 5-pass float
+#: Barrett reduction beats one int64 ``%`` pass.  Measured on the
+#: functional ring sizes: division costs ~4.5ns/element while the float
+#: passes cost ~0.7ns each, so the crossover sits near 8k elements —
+#: cross-ciphertext stacks clear it, single-matrix transforms do not.
+_BARRETT_MIN_ELEMS = 8192
+
 
 class BatchNTT:
     """Batched negacyclic NTT for a fixed ordered tuple of moduli.
 
-    All inputs/outputs are ``(L, N)`` int64 matrices of canonical
-    residues, row ``i`` modulo ``moduli[i]``.  Outputs are bit-identical
-    to looping :meth:`NTTContext.forward` / :meth:`NTTContext.inverse`
-    over the rows — ``tests/test_kernel_equivalence.py`` holds this as a
-    hypothesis property.
+    Inputs/outputs are ``(L, N)`` int64 matrices of canonical residues,
+    row ``i`` modulo ``moduli[i]`` — or ``(B, L, N)`` stacks of ``B``
+    such matrices, transformed in one pass (the cross-ciphertext batch
+    axis).  The twiddle tables stay ``(L, ...)`` and broadcast over the
+    batch axis, so no per-``B`` table is ever built or cached.  Outputs
+    are bit-identical to looping :meth:`NTTContext.forward` /
+    :meth:`NTTContext.inverse` over the rows (and over the batch) —
+    ``tests/test_kernel_equivalence.py`` holds this as a hypothesis
+    property.
     """
 
-    def __init__(self, n: int, moduli: Tuple[int, ...]):
+    def __init__(self, n: int, moduli: Tuple[int, ...]) -> None:
         contexts = [get_ntt_context(n, q) for q in moduli]
         self.n = n
         self.moduli = tuple(moduli)
@@ -58,15 +84,23 @@ class BatchNTT:
         #: butterfly legs as (L, 1, 1).
         self._q = np.array(self.moduli, dtype=_INT64)[:, None]
         self._q3 = self._q[:, :, None]
+        self._qinv3 = 1.0 / self._q3
         self._psi_rev = np.stack([c._psi_rev for c in contexts])
         self._psi_inv_rev = np.stack([c._psi_inv_rev for c in contexts])
         self._n_inv = np.array([c._n_inv for c in contexts], dtype=_INT64)[:, None]
-        #: How many multiples of q an operand may carry while its twiddle
-        #: product still fits comfortably in int64.
-        max_q = max(self.moduli)
-        self._lazy_cap = max(1, (1 << 62) // (max_q * max_q))
+        #: Maximal runs of adjacent towers sharing a lazy growth cap
+        #: (``2**(62 - 2*bits)`` multiples of q before a twiddle product
+        #: could overflow int64).  Mid-loop reductions touch one run at
+        #: a time, so 26-bit scale towers (cap 1024) never reduce while
+        #: the wide q0/special rows (cap 4) reduce on their own beat.
+        self._runs = self._build_runs()
         self._scratch = np.empty((len(self.moduli), max(1, n // 2)), dtype=_INT64)
         self._work = np.empty((len(self.moduli), n), dtype=_INT64)
+        #: Per-batch-size buffer bundles for (B, L, N) input: ping-pong
+        #: work, twiddle-product scratch, and the Barrett int/float pair.
+        self._batch_bufs: Dict[
+            int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
         # Per-stage twiddle slices, contiguous and pre-shaped for the
         # (L, m, t) butterfly blocks, so the hot loop does no slicing.
         self._fwd_tw = []
@@ -92,39 +126,46 @@ class BatchNTT:
     # -- public API ---------------------------------------------------------
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
-        """COEFF -> EVAL for a whole ``(L, N)`` tower matrix at once.
+        """COEFF -> EVAL for an ``(L, N)`` or ``(B, L, N)`` matrix at once.
 
         Residues must already be canonical (``[0, q_i)`` per row) — the
         callers inside :class:`repro.rns.poly.RNSPoly` maintain that
         invariant, so no ``% q`` canonicalization pass is spent on entry.
         Each butterfly stage reads one ping-pong buffer and writes the
-        other (4 numpy passes: twiddle multiply, reduce, sum leg,
-        difference leg); intermediates run signed and lazily reduced, and
-        the final canonicalization restores exact agreement with the
+        other (twiddle multiply, reduce, sum leg, difference leg);
+        intermediates run signed and lazily reduced, and the final
+        canonicalization restores exact agreement with the
         eagerly-reduced scalar network.
         """
-        src, dst, spare = self._buffers(coeffs)
+        src, dst, spare, tmp, ired, fred = self._buffers(coeffs)
+        if dst is None or spare is None or tmp is None:
+            return src
         original = src
         towers = len(self.moduli)
+        lead = src.shape[:-2]
         q3 = self._q3
-        tmp = self._scratch
-        bound = 1  # operand magnitudes are < bound * q
+        runs = self._runs
+        bounds = [1] * len(runs)
         stage = 0
         m, t = 1, self.n
         while m < self.n:
             t //= 2
-            if bound > self._lazy_cap:
-                src %= self._q
-                bound = 1
-            blk = src.reshape(towers, m, 2 * t)
-            out_blk = dst.reshape(towers, m, 2 * t)
-            lo = blk[:, :, :t]
-            whi = tmp.reshape(towers, m, t)
-            np.multiply(blk[:, :, t:], self._fwd_tw[stage], out=whi)
-            whi %= q3
-            np.add(lo, whi, out=out_blk[:, :, :t])
-            np.subtract(lo, whi, out=out_blk[:, :, t:])
-            bound += 1
+            for i, (sl, q_run, cap) in enumerate(runs):
+                if bounds[i] > cap:
+                    src[..., sl, :] %= q_run
+                    bounds[i] = 1
+            blk = src.reshape(*lead, towers, m, 2 * t)
+            out_blk = dst.reshape(*lead, towers, m, 2 * t)
+            lo = blk[..., :t]
+            whi = tmp.reshape(*lead, towers, m, t)
+            np.multiply(blk[..., t:], self._fwd_tw[stage], out=whi)
+            if ired is not None and fred is not None:
+                self._barrett(whi, ired, fred, lead + (towers, m, t))
+            else:
+                whi %= q3
+            np.add(lo, whi, out=out_blk[..., :t])
+            np.subtract(lo, whi, out=out_blk[..., t:])
+            bounds = [b + 1 for b in bounds]
             stage += 1
             src, dst = dst, (spare if src is original else src)
             m *= 2
@@ -132,66 +173,161 @@ class BatchNTT:
         return src
 
     def inverse(self, evals: np.ndarray) -> np.ndarray:
-        """EVAL (bit-reversed) -> COEFF for a whole ``(L, N)`` matrix."""
-        src, dst, spare = self._buffers(evals)
+        """EVAL (bit-reversed) -> COEFF for an ``(L, N)`` or ``(B, L, N)``
+        matrix."""
+        src, dst, spare, tmp, ired, fred = self._buffers(evals)
+        if dst is None or spare is None or tmp is None:
+            return src
         original = src
         towers = len(self.moduli)
+        lead = src.shape[:-2]
         q3 = self._q3
-        tmp = self._scratch
-        bound = 1
+        runs = self._runs
+        bounds = [1] * len(runs)
         stage = 0
         t, m = 1, self.n
         while m > 1:
             h = m // 2
-            if bound > self._lazy_cap:
-                src %= self._q
-                bound = 1
-            blk = src.reshape(towers, h, 2 * t)
-            out_blk = dst.reshape(towers, h, 2 * t)
-            lo = blk[:, :, :t]
-            hi = blk[:, :, t:]
+            for i, (sl, q_run, cap) in enumerate(runs):
+                if bounds[i] > cap:
+                    src[..., sl, :] %= q_run
+                    bounds[i] = 1
+            blk = src.reshape(*lead, towers, h, 2 * t)
+            out_blk = dst.reshape(*lead, towers, h, 2 * t)
+            lo = blk[..., :t]
+            hi = blk[..., t:]
             # GS butterfly: (lo', hi') = (lo + hi, (lo - hi) * w mod q).
             # The signed difference stays within +/- bound * q, so its
-            # twiddle product fits int64 and numpy's % returns canonical.
-            diff = tmp.reshape(towers, h, t)
+            # twiddle product fits int64 and the reduction (either % or
+            # signed Barrett) leaves a congruent value smaller than q.
+            diff = tmp.reshape(*lead, towers, h, t)
             np.subtract(lo, hi, out=diff)
-            np.add(lo, hi, out=out_blk[:, :, :t])
-            np.multiply(diff, self._inv_tw[stage], out=out_blk[:, :, t:])
-            out_blk[:, :, t:] %= q3
-            bound *= 2
+            np.add(lo, hi, out=out_blk[..., :t])
+            prod = out_blk[..., t:]
+            np.multiply(diff, self._inv_tw[stage], out=prod)
+            if ired is not None and fred is not None:
+                self._barrett(prod, ired, fred, lead + (towers, h, t))
+            else:
+                prod %= q3
+            bounds = [b * 2 for b in bounds]
             stage += 1
             src, dst = dst, (spare if src is original else src)
             t *= 2
             m = h
-        if bound > self._lazy_cap:
-            src %= self._q
+        for (sl, q_run, cap), bound in zip(runs, bounds):
+            if bound > cap:
+                src[..., sl, :] %= q_run
         src *= self._n_inv
         src %= self._q
         return src
 
     # -- helpers ------------------------------------------------------------
 
-    def _buffers(self, arr: np.ndarray):
+    def _barrett(
+        self,
+        prod: np.ndarray,
+        ired: np.ndarray,
+        fred: np.ndarray,
+        shape: Tuple[int, ...],
+    ) -> None:
+        """Reduce ``prod`` in place to a signed remainder in ``(-q, q)``.
+
+        ``round(prod / q) * q`` is subtracted exactly in int64; the
+        quotient comes from a float64 multiply-by-inverse whose error is
+        far below 1/2 for 62-bit products and 25+-bit moduli, so the
+        remainder magnitude never exceeds the canonical one and the
+        caller's lazy growth schedule is unchanged.  Values stay
+        congruent mod q — the transform's final ``%`` canonicalizes.
+        """
+        q3 = self._q3
+        fblk = fred.reshape(shape)
+        iblk = ired.reshape(shape)
+        np.multiply(prod, self._qinv3, out=fblk)
+        np.rint(fblk, out=fblk)
+        np.copyto(iblk, fblk, casting="unsafe")
+        np.multiply(iblk, q3, out=iblk)
+        np.subtract(prod, iblk, out=prod)
+
+    def _build_runs(self) -> List[Tuple[slice, np.ndarray, int]]:
+        """Adjacent towers bucketed by bit width into (slice, q, cap)."""
+        caps = [
+            max(1, 1 << max(0, 62 - 2 * q.bit_length())) for q in self.moduli
+        ]
+        runs: List[Tuple[slice, np.ndarray, int]] = []
+        start = 0
+        for i in range(1, len(caps) + 1):
+            if i == len(caps) or caps[i] != caps[start]:
+                runs.append((slice(start, i), self._q[start:i], caps[start]))
+                start = i
+        if len(runs) > 4:
+            # Pathological interleaving: fall back to one global run so
+            # the hot loop never pays per-run bookkeeping.
+            return [(slice(0, len(caps)), self._q, min(caps))]
+        return runs
+
+    def _batch_buffers(
+        self, b: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(work, scratch, barrett-int, barrett-float) for ``(B, L, N)``."""
+        bufs = self._batch_bufs.get(b)
+        if bufs is None:
+            towers = len(self.moduli)
+            half = max(1, self.n // 2)
+            bufs = (
+                np.empty((b, towers, self.n), dtype=_INT64),
+                np.empty((b, towers, half), dtype=_INT64),
+                np.empty((b, towers, half), dtype=_INT64),
+                np.empty((b, towers, half), dtype=np.float64),
+            )
+            if len(self._batch_bufs) < _MAX_CACHED_BATCH_SHAPES:
+                self._batch_bufs[b] = bufs
+        return bufs
+
+    def _buffers(
+        self, arr: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray],
+               Optional[np.ndarray], Optional[np.ndarray],
+               Optional[np.ndarray]]:
         """Validate input and set up the ping-pong buffer pair.
 
         The input array is only ever *read* (stage 1 writes into a
         buffer), and the buffer parity is arranged so the final stage
         lands in a freshly allocated caller-owned array, never in the
-        engine's reusable scratch.
+        engine's reusable scratch.  The Barrett pair comes back ``None``
+        when the twiddle-product blocks are too small for the float
+        reduction to win (single-matrix input, tiny batches).
         """
         arr = np.asarray(arr, dtype=_INT64)
         expected = (len(self.moduli), self.n)
-        if arr.shape != expected:
+        ired: Optional[np.ndarray] = None
+        fred: Optional[np.ndarray] = None
+        if arr.ndim == 2:
+            if arr.shape != expected:
+                raise ParameterError(
+                    f"batched NTT expects shape {expected}, got {arr.shape}"
+                )
+            work, scratch = self._work, self._scratch
+        elif arr.ndim == 3:
+            if arr.shape[1:] != expected:
+                raise ParameterError(
+                    f"batched NTT expects shape (B,) + {expected}, "
+                    f"got {arr.shape}"
+                )
+            work, scratch, ired, fred = self._batch_buffers(arr.shape[0])
+            if scratch.size < _BARRETT_MIN_ELEMS:
+                ired = fred = None
+        else:
             raise ParameterError(
-                f"batched NTT expects shape {expected}, got {arr.shape}"
+                f"batched NTT expects an (L, N) or (B, L, N) array, "
+                f"got shape {arr.shape}"
             )
         stages = self.n.bit_length() - 1
         if stages == 0:
-            return arr.copy(), None, None
-        result = np.empty(expected, dtype=_INT64)
+            return arr.copy(), None, None, None, None, None
+        result = np.empty(arr.shape, dtype=_INT64)
         if stages % 2 == 1:
-            return arr, result, self._work
-        return arr, self._work, result
+            return arr, result, work, scratch, ired, fred
+        return arr, work, result, scratch, ired, fred
 
     def __repr__(self) -> str:
         return f"BatchNTT(n={self.n}, towers={len(self.moduli)})"

@@ -203,6 +203,31 @@ class NTTContext:
 
 
 @lru_cache(maxsize=None)
+def galois_eval_permutation(n: int, galois_element: int) -> np.ndarray:
+    """Evaluation-domain gather realizing the automorphism ``X -> X^g``.
+
+    The CT forward network emits evaluations in bit-reversed order:
+    output slot ``i`` holds ``p(psi**(2*brv(i)+1))``.  Applying
+    ``X -> X^g`` in the coefficient domain re-evaluates ``p`` at the
+    ``g``-th powers of the same points — still odd exponents of ``psi``,
+    so in EVAL domain the automorphism is the pure permutation
+    ``out[..., i] = in[..., perm[i]]``: no transforms, no negations, and
+    bit-identical to the INTT -> permute -> NTT round trip.  The slot
+    ordering never depends on the modulus (only on the bit-reversal
+    layout), so one table serves every tower of a stack.
+    """
+    if galois_element % 2 == 0:
+        raise ParameterError(
+            f"Galois element must be odd, got {galois_element}"
+        )
+    rev = bit_reverse_indices(n)
+    exponents = 2 * rev + 1
+    perm = rev[((exponents * galois_element) % (2 * n) - 1) // 2]
+    perm.flags.writeable = False
+    return perm
+
+
+@lru_cache(maxsize=None)
 def get_ntt_context(n: int, q: int) -> NTTContext:
     """Shared per-(N, q) twiddle tables; building them is the expensive part.
 

@@ -81,15 +81,24 @@ class BasisConverter:
         Runs as a blocked integer matmul: ``ceil(|B| / chunk)`` tensordot
         passes with a single ``% t`` per chunk — bit-identical to the
         per-tower running reduction of :meth:`convert_reference`.
+
+        A stack of ``(B, |B|, N)`` residue matrices (the cross-ciphertext
+        batch axis) converts in the same number of matmul passes — the
+        hat table broadcasts over the leading axis, and the unreduced sum
+        per element is the same as in the 2-D case, so the bound argument
+        (and hence bit-identity with the per-ciphertext result) carries
+        over unchanged.
         """
         if not dispatch.batched_enabled():
             return self.convert_reference(residues)
         y = self._scaled_sources(residues)
         t_col = self.target.q_column
-        out = np.zeros((len(self.target), y.shape[1]), dtype=_INT64)
+        out = np.zeros(
+            y.shape[:-2] + (len(self.target), y.shape[-1]), dtype=_INT64
+        )
         for start in range(0, len(self.source), self._chunk):
             block = slice(start, start + self._chunk)
-            out += self._hat_mod[block].T @ y[block]
+            out += self._hat_mod[block].T @ y[..., block, :]
             out %= t_col
         return out
 
@@ -116,9 +125,10 @@ class BasisConverter:
     def _scaled_sources(self, residues: np.ndarray) -> np.ndarray:
         """``y_i = [x_i * hat_inv_i]_{q_i}`` for all towers in one pass."""
         residues = np.asarray(residues, dtype=_INT64)
-        if residues.shape[0] != len(self.source):
+        if residues.shape[-2] != len(self.source):
             raise ParameterError(
-                f"expected {len(self.source)} source towers, got {residues.shape[0]}"
+                f"expected {len(self.source)} source towers, "
+                f"got {residues.shape[-2]}"
             )
         return residues * self._hat_invs[:, None] % self.source.q_column
 

@@ -17,20 +17,27 @@ batched kernels are property-tested bit-exact against.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, List, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ParameterError
 from repro.ntt.batch import get_batch_ntt
 from repro.ntt.modmath import add_mod, mul_mod, neg_mod, sub_mod
-from repro.ntt.transform import get_ntt_context
+from repro.ntt.transform import galois_eval_permutation, get_ntt_context
 from repro.rns import dispatch
 from repro.rns.basis import RNSBasis
 
 _INT64 = np.int64
 
-__all__ = ["Domain", "RNSPoly", "automorphism_stacked", "get_ntt_context"]
+__all__ = [
+    "Domain",
+    "RNSPoly",
+    "PolyBatch",
+    "automorphism_stacked",
+    "automorphism_stacked_batch",
+    "get_ntt_context",
+]
 
 
 class Domain(enum.Enum):
@@ -282,7 +289,9 @@ class RNSPoly:
         return result.to_domain(self.domain)
 
 
-def automorphism_stacked(polys: Sequence[RNSPoly], galois_element: int) -> list:
+def automorphism_stacked(
+    polys: Sequence[RNSPoly], galois_element: int
+) -> List[RNSPoly]:
     """Apply one Galois map to several polynomials in a single batched pass.
 
     The permutation and sign mask depend only on ``(N, g)``, so the
@@ -321,10 +330,307 @@ def automorphism_stacked(polys: Sequence[RNSPoly], galois_element: int) -> list:
     out[:, dest] = vals
     if domain is Domain.EVAL:
         out = engine.forward(out)
-    results = []
+    results: List[RNSPoly] = []
     row = 0
     for p in polys:
         block = out[row : row + p.num_towers]
         row += p.num_towers
         results.append(RNSPoly(p.basis, block.copy(), domain))
+    return results
+
+
+class PolyBatch:
+    """``B`` same-basis polynomials as one ``(B, L, N)`` residue stack.
+
+    The cross-ciphertext batch axis: every operation runs as a single
+    whole-stack kernel pass (the ``(L, ...)`` twiddle/hat/modulus tables
+    broadcast over the batch axis, so no per-``B`` table exists), and
+    every operation is bit-identical to applying the corresponding
+    :class:`RNSPoly` op to each member — under the ``"looped"`` kernel
+    mode the implementation literally *is* that per-member loop, which is
+    the reference the batched path is property-tested against.
+
+    A :class:`PolyBatch` deliberately mirrors the :class:`RNSPoly`
+    surface (``basis``/``data``/``domain``, arithmetic, domain moves,
+    tower selection), so ciphertexts whose halves are batches flow
+    through the generic evaluator-driven code paths unchanged.
+    """
+
+    __slots__ = ("basis", "data", "domain")
+
+    def __init__(self, basis: RNSBasis, data: np.ndarray, domain: Domain):
+        data = np.asarray(data, dtype=_INT64)
+        if data.ndim != 3 or data.shape[1] != len(basis):
+            raise ParameterError(
+                f"batch data shape {data.shape} does not match "
+                f"(B, {len(basis)}, N) for a basis of {len(basis)} moduli"
+            )
+        self.basis = basis
+        self.data = data
+        self.domain = domain
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def stack(cls, polys: Sequence[RNSPoly]) -> "PolyBatch":
+        """Stack same-basis/domain/degree polynomials into one batch.
+
+        Mismatches are rejected with the index of the offending member —
+        the located-diagnostic style of :mod:`repro.analysis`.
+        """
+        polys = list(polys)
+        if not polys:
+            raise ParameterError("PolyBatch.stack needs at least one polynomial")
+        head = polys[0]
+        for i, p in enumerate(polys[1:], start=1):
+            if p.basis != head.basis:
+                raise ParameterError(
+                    f"batch[{i}]: basis has {p.num_towers} towers "
+                    f"(~2^{p.basis.product.bit_length()}), batch[0] has "
+                    f"{head.num_towers} — members of a batch must share a level"
+                )
+            if p.domain is not head.domain:
+                raise ParameterError(
+                    f"batch[{i}]: domain {p.domain.value} != batch[0] "
+                    f"domain {head.domain.value}"
+                )
+            if p.n != head.n:
+                raise ParameterError(
+                    f"batch[{i}]: ring degree {p.n} != batch[0] degree {head.n}"
+                )
+        data = np.stack([p.data for p in polys])
+        return cls(head.basis, data, head.domain)
+
+    @classmethod
+    def zero(
+        cls, basis: RNSBasis, n: int, batch_size: int,
+        domain: Domain = Domain.EVAL,
+    ) -> "PolyBatch":
+        return cls(
+            basis, np.zeros((batch_size, len(basis), n), dtype=_INT64), domain
+        )
+
+    def unstack(self) -> List[RNSPoly]:
+        """The member polynomials, as independent copies."""
+        return [
+            RNSPoly(self.basis, self.data[b].copy(), self.domain)
+            for b in range(self.batch_size)
+        ]
+
+    def member(self, b: int) -> RNSPoly:
+        return RNSPoly(self.basis, self.data[b].copy(), self.domain)
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return int(self.data.shape[2])
+
+    @property
+    def num_towers(self) -> int:
+        return int(self.data.shape[1])
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.data.shape[0])
+
+    def copy(self) -> "PolyBatch":
+        return PolyBatch(self.basis, self.data.copy(), self.domain)
+
+    def __repr__(self) -> str:
+        return (
+            f"PolyBatch(batch={self.batch_size}, towers={self.num_towers}, "
+            f"n={self.n}, domain={self.domain.value})"
+        )
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _operand(self, other: Union["PolyBatch", RNSPoly]) -> np.ndarray:
+        """Validate ``other`` and return its (broadcastable) data.
+
+        An :class:`RNSPoly` operand (e.g. a shared plaintext) broadcasts
+        across the batch axis.
+        """
+        if isinstance(other, PolyBatch) and other.batch_size != self.batch_size:
+            raise ParameterError(
+                f"operand batch sizes differ: {self.batch_size} vs "
+                f"{other.batch_size}"
+            )
+        if self.basis != other.basis:
+            raise ParameterError("operands have different RNS bases")
+        if self.domain is not other.domain:
+            raise ParameterError(
+                f"operands in different domains: {self.domain} vs {other.domain}"
+            )
+        if self.n != other.n:
+            raise ParameterError("operands have different ring degrees")
+        if isinstance(other, PolyBatch):
+            return other.data
+        return other.data[None, :, :]
+
+    def _loop(
+        self,
+        other: Union["PolyBatch", RNSPoly, None],
+        fn: Callable[..., RNSPoly],
+    ) -> "PolyBatch":
+        """Looped-mode reference: apply ``fn`` member by member."""
+        mine = self.unstack()
+        if other is None:
+            return PolyBatch.stack([fn(a) for a in mine])
+        theirs = (
+            other.unstack() if isinstance(other, PolyBatch)
+            else [other] * self.batch_size
+        )
+        return PolyBatch.stack([fn(a, b) for a, b in zip(mine, theirs)])
+
+    def __add__(self, other: Union["PolyBatch", RNSPoly]) -> "PolyBatch":
+        data = self._operand(other)
+        if not dispatch.batched_enabled():
+            return self._loop(other, lambda a, b: a + b)
+        s = self.data + data
+        # Conditional correction via a bool-scaled subtract: measurably
+        # cheaper than np.where at batch sizes (one temp, no select pass).
+        s -= self.basis.q_column * (s >= self.basis.q_column)
+        return PolyBatch(self.basis, s, self.domain)
+
+    def __sub__(self, other: Union["PolyBatch", RNSPoly]) -> "PolyBatch":
+        data = self._operand(other)
+        if not dispatch.batched_enabled():
+            return self._loop(other, lambda a, b: a - b)
+        d = self.data - data
+        d += self.basis.q_column * (d < 0)
+        return PolyBatch(self.basis, d, self.domain)
+
+    def __neg__(self) -> "PolyBatch":
+        if not dispatch.batched_enabled():
+            return self._loop(None, lambda a: -a)
+        out = np.where(self.data == 0, self.data, self.basis.q_column - self.data)
+        return PolyBatch(self.basis, out, self.domain)
+
+    def __mul__(self, other: Union["PolyBatch", RNSPoly]) -> "PolyBatch":
+        """Point-wise product; both operands must be in the EVAL domain."""
+        data = self._operand(other)
+        if self.domain is not Domain.EVAL:
+            raise ParameterError("polynomial product requires EVAL domain")
+        if not dispatch.batched_enabled():
+            return self._loop(other, lambda a, b: a * b)
+        out = self.data * data % self.basis.q_column
+        return PolyBatch(self.basis, out, self.domain)
+
+    def scale_by(self, scalars: Sequence[int]) -> "PolyBatch":
+        """Multiply tower ``i`` of every member by ``scalars[i] mod q_i``."""
+        if len(scalars) != self.num_towers:
+            raise ParameterError("need one scalar per tower")
+        if not dispatch.batched_enabled():
+            return self._loop(None, lambda a: a.scale_by(scalars))
+        col = np.array(
+            [int(s) % q for s, q in zip(scalars, self.basis.moduli)],
+            dtype=_INT64,
+        )[:, None]
+        out = self.data * col % self.basis.q_column
+        return PolyBatch(self.basis, out, self.domain)
+
+    # -- domain changes -------------------------------------------------------
+
+    def to_eval(self) -> "PolyBatch":
+        if self.domain is Domain.EVAL:
+            return self.copy()
+        if not dispatch.batched_enabled():
+            return self._loop(None, lambda a: a.to_eval())
+        out = get_batch_ntt(self.n, self.basis.moduli).forward(self.data)
+        return PolyBatch(self.basis, out, Domain.EVAL)
+
+    def to_coeff(self) -> "PolyBatch":
+        if self.domain is Domain.COEFF:
+            return self.copy()
+        if not dispatch.batched_enabled():
+            return self._loop(None, lambda a: a.to_coeff())
+        out = get_batch_ntt(self.n, self.basis.moduli).inverse(self.data)
+        return PolyBatch(self.basis, out, Domain.COEFF)
+
+    def to_domain(self, domain: Domain) -> "PolyBatch":
+        return self.to_eval() if domain is Domain.EVAL else self.to_coeff()
+
+    # -- tower structure -------------------------------------------------------
+
+    def select_towers(self, indices: Sequence[int]) -> "PolyBatch":
+        indices = list(indices)
+        return PolyBatch(
+            self.basis.subbasis(indices), self.data[:, indices], self.domain
+        )
+
+    def drop_last_tower(self) -> "PolyBatch":
+        if self.num_towers < 2:
+            raise ParameterError("cannot drop the only tower")
+        return PolyBatch(
+            self.basis.prefix(self.num_towers - 1),
+            self.data[:, :-1].copy(),
+            self.domain,
+        )
+
+    # -- Galois automorphism ----------------------------------------------------
+
+    def automorphism(self, galois_element: int) -> "PolyBatch":
+        """Apply ``X -> X^g`` to every member in one stacked pass."""
+        if not dispatch.batched_enabled():
+            return self._loop(None, lambda a: a.automorphism(galois_element))
+        return automorphism_stacked_batch([self], galois_element)[0]
+
+
+def automorphism_stacked_batch(
+    batches: Sequence[PolyBatch], galois_element: int
+) -> List[PolyBatch]:
+    """Batch-axis analogue of :func:`automorphism_stacked`.
+
+    The batches (which may sit over different bases, e.g. a ciphertext
+    half plus the ModUp digit extensions during hoisting) are
+    concatenated along the *tower* axis into one ``(B, sum L_i, N)``
+    stack and moved through INTT -> permute -> NTT exactly once.  All
+    inputs must share batch size, ring degree and domain; outputs match
+    ``[b.automorphism(g) for b in batches]`` bit for bit.
+    """
+    batches = list(batches)
+    if not batches:
+        return []
+    if not dispatch.batched_enabled():
+        return [b.automorphism(galois_element) for b in batches]
+    g = int(galois_element)
+    if g % 2 == 0:
+        raise ParameterError(f"Galois element must be odd, got {g}")
+    head = batches[0]
+    n, domain, bsz = head.n, head.domain, head.batch_size
+    for b in batches[1:]:
+        if b.n != n or b.domain is not domain or b.batch_size != bsz:
+            raise ParameterError(
+                "stacked automorphism needs a shared n, domain and batch size"
+            )
+    if domain is Domain.EVAL:
+        # In the evaluation domain the automorphism only re-labels the
+        # evaluation points, so the whole stack moves in one gather with
+        # no transforms at all (see galois_eval_permutation) — the
+        # dominant cost of hoisted rotations at large batch sizes.
+        perm = galois_eval_permutation(n, g)
+        return [
+            PolyBatch(b.basis, b.data[:, :, perm], domain) for b in batches
+        ]
+    # COEFF domain: the index map wraps through X^N = -1, so a shared
+    # destination/negation pattern applies to the concatenated stack.
+    moduli = tuple(m for b in batches for m in b.basis.moduli)
+    q_col = np.array(moduli, dtype=_INT64)[:, None]
+    coeff = np.concatenate([b.data for b in batches], axis=1)
+    j = np.arange(n, dtype=np.int64)
+    e = (j * g) % (2 * n)
+    dest = np.where(e < n, e, e - n)
+    flip = e >= n
+    vals = np.where(
+        flip[None, None, :], np.where(coeff == 0, coeff, q_col - coeff), coeff
+    )
+    out = np.empty_like(coeff)
+    out[:, :, dest] = vals
+    results: List[PolyBatch] = []
+    row = 0
+    for b in batches:
+        block = out[:, row : row + b.num_towers]
+        row += b.num_towers
+        results.append(PolyBatch(b.basis, block.copy(), domain))
     return results

@@ -18,6 +18,12 @@ Try it: ``python -m repro serve-bench`` or ``examples/serving.py``.
 """
 
 from repro.serve.aio import AsyncEstimateService
+from repro.serve.functional import (
+    FunctionalBatch,
+    FunctionalRequest,
+    FunctionalResult,
+    group_requests,
+)
 from repro.serve.pool import RemotePlanError, ShardPool, WorkerDied
 from repro.serve.service import (
     ADMISSION_MODES,
@@ -35,7 +41,11 @@ __all__ = [
     "AsyncEstimateService",
     "EstimateHandle",
     "EstimateService",
+    "FunctionalBatch",
+    "FunctionalRequest",
+    "FunctionalResult",
     "REPORT_CACHE_KIND",
+    "group_requests",
     "RemotePlanError",
     "ServeError",
     "ServiceStats",

@@ -93,6 +93,13 @@ class ServiceStats:
     memory_hits: int = 0
     #: Batch-distinct digests answered from the cross-process disk cache.
     disk_hits: int = 0
+    #: Functional HKS requests submitted (separate stream from plans).
+    functional_submitted: int = 0
+    #: Stacked kernel passes executed for functional requests: each pass
+    #: serves one group of same-level submissions in one batched circuit.
+    functional_passes: int = 0
+    #: Distinct functional requests those passes carried.
+    functional_ciphertexts: int = 0
 
     @property
     def dedup_hit_rate(self) -> float:
@@ -100,6 +107,14 @@ class ServiceStats:
         if not self.submitted:
             return 0.0
         return 1.0 - (self.computed + self.failed) / self.submitted
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean ciphertexts per stacked functional pass (B=1 means no
+        cross-ciphertext batching benefit; higher is better)."""
+        if not self.functional_passes:
+            return 0.0
+        return self.functional_ciphertexts / self.functional_passes
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -111,6 +126,10 @@ class ServiceStats:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "dedup_hit_rate": round(self.dedup_hit_rate, 4),
+            "functional_submitted": self.functional_submitted,
+            "functional_passes": self.functional_passes,
+            "functional_ciphertexts": self.functional_ciphertexts,
+            "batch_occupancy": round(self.batch_occupancy, 4),
         }
 
 
@@ -212,6 +231,9 @@ class EstimateService:
         #: digest -> (plan, handles waiting on it), insertion-ordered.
         self._pending: "OrderedDict[str, List[EstimateHandle]]" = OrderedDict()
         self._pending_plans: Dict[str, Plan] = {}
+        #: Functional HKS stream: digest -> waiting handles / request.
+        self._pending_fn: "OrderedDict[str, List[EstimateHandle]]" = OrderedDict()
+        self._pending_fn_requests: Dict[str, object] = {}
         self._seen_digests: Set[str] = set()
         self._lock = threading.Lock()
         self.stats = ServiceStats()
@@ -234,6 +256,37 @@ class EstimateService:
             if waiters is None:
                 self._pending[digest] = [handle]
                 self._pending_plans[digest] = plan
+            else:
+                self.stats.batch_hits += 1
+                waiters.append(handle)
+        return handle
+
+    def submit_functional(self, request) -> EstimateHandle:
+        """Queue one functional HKS request; resolved by the next
+        :meth:`gather`.
+
+        Requests are deduplicated by digest like plans (identical
+        submissions share one computation), and same-``group_key``
+        requests in a batch are coalesced into a single stacked
+        ``(B, L, N)`` kernel pass — see
+        :mod:`repro.serve.functional`.  The handle resolves with a
+        :class:`~repro.serve.functional.FunctionalResult`.
+        """
+        from repro.serve.functional import FunctionalRequest
+
+        if not isinstance(request, FunctionalRequest):
+            raise ParameterError(
+                f"submit_functional() takes a FunctionalRequest, "
+                f"got {type(request).__name__}"
+            )
+        digest = request.digest
+        handle = EstimateHandle(digest)
+        with self._lock:
+            self.stats.functional_submitted += 1
+            waiters = self._pending_fn.get(digest)
+            if waiters is None:
+                self._pending_fn[digest] = [handle]
+                self._pending_fn_requests[digest] = request
             else:
                 self.stats.batch_hits += 1
                 waiters.append(handle)
@@ -288,11 +341,15 @@ class EstimateService:
             plans = self._pending_plans
             self._pending = OrderedDict()
             self._pending_plans = {}
+            fn_batch = self._pending_fn
+            fn_requests = self._pending_fn_requests
+            self._pending_fn = OrderedDict()
+            self._pending_fn_requests = {}
             self.stats.unique += sum(
                 1 for d in plans if d not in self._seen_digests
             )
             self._seen_digests.update(plans)
-        if not batch:
+        if not batch and not fn_batch:
             return 0
 
         to_compute: List[Plan] = []
@@ -326,7 +383,60 @@ class EstimateService:
                 else:
                     handle._resolve(result)
                 answered += 1
+        return answered + self._gather_functional(fn_batch, fn_requests)
+
+    def _gather_functional(self, fn_batch, fn_requests) -> int:
+        """Drain the functional stream: coalesce same-group requests into
+        stacked passes, shard distinct groups, resolve every handle."""
+        if not fn_batch:
+            return 0
+        from repro.serve.functional import group_requests
+
+        groups = group_requests(fn_requests.values())
+        results = self._compute_functional(groups)
+        outcome: Dict[str, object] = {}
+        passes = ciphertexts = 0
+        for group, result in zip(groups, results):
+            if isinstance(result, BaseException):
+                for request in group.requests:
+                    outcome[request.digest] = result
+            else:
+                passes += 1
+                ciphertexts += len(group.requests)
+                for request, res in zip(group.requests, result):
+                    outcome[request.digest] = res
+        with self._lock:
+            self.stats.functional_passes += passes
+            self.stats.functional_ciphertexts += ciphertexts
+        answered = 0
+        for digest, handles in fn_batch.items():
+            result = outcome[digest]
+            for handle in handles:
+                if isinstance(result, BaseException):
+                    handle._fail(result)
+                else:
+                    handle._resolve(result)
+                answered += 1
         return answered
+
+    def _compute_functional(self, groups):
+        """Run the stacked passes: across the shard pool when several
+        groups are ready (each group is one pure, requeue-safe payload),
+        in-process otherwise — mirroring :meth:`_compute`."""
+        if self._pool is not None and len(groups) > 1:
+            try:
+                return list(self._pool.run_functional(
+                    groups, requeue=True, return_exceptions=True
+                ))
+            except Exception:
+                pass  # fall through to the isolated in-process path
+        results = []
+        for group in groups:
+            try:
+                results.append(group.run())
+            except Exception as exc:
+                results.append(exc)
+        return results
 
     # -- synchronous facade -----------------------------------------------------
 
@@ -414,7 +524,8 @@ class EstimateService:
     @property
     def pending(self) -> int:
         with self._lock:
-            return sum(len(h) for h in self._pending.values())
+            return (sum(len(h) for h in self._pending.values())
+                    + sum(len(h) for h in self._pending_fn.values()))
 
     @property
     def pool(self) -> Optional["ShardPool"]:

@@ -1,0 +1,433 @@
+"""Cross-ciphertext (B, L, N) batching: bit-identity and serving tests.
+
+The batch axis is a pure widening: every batched operation must produce,
+for each member, *exactly* the int64 residues the unbatched code path
+produces for that member alone.  All comparisons in this file are exact
+(``np.array_equal`` on tower data or digest equality) — there are no
+tolerance-based checks except the one decrypt-accuracy sanity test.
+
+Also covered: located rejection of un-stackable batches, the
+no-per-``B``-tables cache guarantee (satellite of PR 8), and the serving
+path — functional HKS requests coalesced into stacked passes, sharded
+across worker processes, compared against an in-process serial run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks.batch import (
+    BatchEvaluator,
+    BatchShapeError,
+    batch_size,
+    is_batched,
+    stack_ciphertexts,
+    unstack_ciphertexts,
+)
+from repro.errors import ParameterError
+from repro.ntt import transform
+from repro.rns.dispatch import use_kernel_mode
+from repro.rns.poly import Domain, PolyBatch, RNSPoly
+
+
+def _encrypt_batchable(encoder, encryptor, context, vectors, level=None):
+    """Encrypt one ciphertext per vector at a shared level."""
+    level = context.params.max_level if level is None else level
+    cts = []
+    for vec in vectors:
+        pt = encoder.encode(vec, level=level)
+        cts.append(encryptor.encrypt(pt))
+    return cts
+
+
+def _vectors(encoder, count, seed=5):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(-1, 1, encoder.num_slots) for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def batch_evaluator(context):
+    return BatchEvaluator(context)
+
+
+# -- stacking ------------------------------------------------------------------
+
+
+class TestStacking:
+    def test_stack_roundtrip_exact(self, context, encoder, encryptor):
+        cts = _encrypt_batchable(
+            encoder, encryptor, context, _vectors(encoder, 3)
+        )
+        batch = stack_ciphertexts(cts)
+        assert is_batched(batch) and batch_size(batch) == 3
+        back = unstack_ciphertexts(batch)
+        for original, member in zip(cts, back):
+            assert np.array_equal(original.c0.data, member.c0.data)
+            assert np.array_equal(original.c1.data, member.c1.data)
+            assert member.level == original.level
+            assert member.scale == original.scale
+
+    def test_single_member_stack(self, context, encoder, encryptor):
+        (ct,) = _encrypt_batchable(
+            encoder, encryptor, context, _vectors(encoder, 1)
+        )
+        batch = stack_ciphertexts([ct])
+        assert batch_size(batch) == 1
+        assert np.array_equal(batch.c0.member(0).data, ct.c0.data)
+
+    def test_mixed_level_rejected_with_location(
+        self, context, encoder, encryptor, evaluator
+    ):
+        a, b = _encrypt_batchable(
+            encoder, encryptor, context, _vectors(encoder, 2)
+        )
+        b = evaluator.rescale(
+            evaluator.multiply_plain(
+                b, encoder.encode(np.ones(encoder.num_slots), level=b.level)
+            )
+        )
+        with pytest.raises(BatchShapeError) as excinfo:
+            stack_ciphertexts([a, b])
+        message = str(excinfo.value)
+        assert "batch[1]" in message
+        assert "level" in message
+        assert isinstance(excinfo.value, ParameterError)
+
+    def test_unstack_plain_ciphertext_is_copy(
+        self, context, encoder, encryptor
+    ):
+        (ct,) = _encrypt_batchable(
+            encoder, encryptor, context, _vectors(encoder, 1)
+        )
+        (member,) = unstack_ciphertexts(ct)
+        assert np.array_equal(member.c0.data, ct.c0.data)
+        assert member.c0 is not ct.c0
+
+
+# -- batched evaluator vs per-member loop --------------------------------------
+
+
+class TestBatchedOps:
+    """Each op at ragged batch sizes, exactly equal to the member loop."""
+
+    @pytest.mark.parametrize("bsz", [1, 3, 5])
+    def test_multiply_bit_identical(
+        self, context, encoder, encryptor, evaluator, batch_evaluator,
+        relin_key, bsz,
+    ):
+        xs = _encrypt_batchable(
+            encoder, encryptor, context, _vectors(encoder, bsz, seed=11)
+        )
+        ys = _encrypt_batchable(
+            encoder, encryptor, context, _vectors(encoder, bsz, seed=12)
+        )
+        batched = batch_evaluator.multiply(
+            stack_ciphertexts(xs), stack_ciphertexts(ys), relin_key
+        )
+        for member, x, y in zip(unstack_ciphertexts(batched), xs, ys):
+            reference = evaluator.multiply(x, y, relin_key)
+            assert np.array_equal(member.c0.data, reference.c0.data)
+            assert np.array_equal(member.c1.data, reference.c1.data)
+
+    @pytest.mark.parametrize("bsz", [1, 3])
+    def test_rescale_bit_identical(
+        self, context, encoder, encryptor, evaluator, batch_evaluator, bsz
+    ):
+        cts = _encrypt_batchable(
+            encoder, encryptor, context, _vectors(encoder, bsz, seed=13)
+        )
+        pt = encoder.encode(
+            np.full(encoder.num_slots, 0.5), level=cts[0].level
+        )
+        scaled = [evaluator.multiply_plain(ct, pt) for ct in cts]
+        batched = batch_evaluator.rescale(stack_ciphertexts(scaled))
+        for member, ct in zip(unstack_ciphertexts(batched), scaled):
+            reference = evaluator.rescale(ct)
+            assert member.level == reference.level
+            assert np.array_equal(member.c0.data, reference.c0.data)
+            assert np.array_equal(member.c1.data, reference.c1.data)
+
+    def test_rescale_identical_across_kernel_modes(
+        self, context, encoder, encryptor, evaluator, batch_evaluator
+    ):
+        cts = _encrypt_batchable(
+            encoder, encryptor, context, _vectors(encoder, 3, seed=14)
+        )
+        pt = encoder.encode(
+            np.full(encoder.num_slots, 0.25), level=cts[0].level
+        )
+        scaled = stack_ciphertexts(
+            [evaluator.multiply_plain(ct, pt) for ct in cts]
+        )
+        with use_kernel_mode("batched"):
+            fast = batch_evaluator.rescale(scaled)
+        with use_kernel_mode("looped"):
+            slow = batch_evaluator.rescale(scaled)
+        assert np.array_equal(fast.c0.data, slow.c0.data)
+        assert np.array_equal(fast.c1.data, slow.c1.data)
+
+    @pytest.mark.parametrize("steps", [1, -2])
+    def test_rotate_bit_identical(
+        self, context, encoder, encryptor, evaluator, batch_evaluator,
+        keygen, steps,
+    ):
+        from repro.ckks.keys import rotation_galois_element
+
+        n = context.params.n
+        key = keygen.galois_key(rotation_galois_element(steps, n))
+        cts = _encrypt_batchable(
+            encoder, encryptor, context, _vectors(encoder, 3, seed=15)
+        )
+        batched = batch_evaluator.apply_galois(
+            stack_ciphertexts(cts), rotation_galois_element(steps, n), key
+        )
+        for member, ct in zip(unstack_ciphertexts(batched), cts):
+            reference = evaluator.apply_galois(
+                ct, rotation_galois_element(steps, n), key
+            )
+            assert np.array_equal(member.c0.data, reference.c0.data)
+            assert np.array_equal(member.c1.data, reference.c1.data)
+
+    def test_hoisted_rotations_bit_identical(
+        self, context, encoder, encryptor, evaluator, batch_evaluator, keygen
+    ):
+        from repro.ckks.keys import rotation_galois_element
+
+        n = context.params.n
+        steps_list = [1, 2, -1]
+        keys = {
+            s: keygen.galois_key(rotation_galois_element(s, n))
+            for s in steps_list
+        }
+        cts = _encrypt_batchable(
+            encoder, encryptor, context, _vectors(encoder, 3, seed=16)
+        )
+        batched = batch_evaluator.hoisted_rotations(
+            stack_ciphertexts(cts), keys
+        )
+        for i, ct in enumerate(cts):
+            reference = evaluator.hoisted_rotations(ct, keys)
+            for s in steps_list:
+                member = unstack_ciphertexts(batched[s])[i]
+                assert np.array_equal(
+                    member.c0.data, reference[s].c0.data
+                )
+                assert np.array_equal(
+                    member.c1.data, reference[s].c1.data
+                )
+
+
+# -- facade --------------------------------------------------------------------
+
+
+class TestCipherBatchFacade:
+    @pytest.fixture(scope="class")
+    def session(self):
+        from repro.api import FHESession
+
+        return FHESession.create("tiny_ci", seed=21)
+
+    def test_encrypt_batch_matches_encrypt_many(self, session):
+        vectors = _vectors_for_session(session, 3, seed=31)
+        from repro.api import FHESession
+
+        solo = FHESession.create("tiny_ci", seed=21)
+        loose = solo.encrypt_many(vectors)
+        batch = session.encrypt_batch(vectors)
+        assert batch.batch_size == 3
+        for member, ct in zip(batch.members(), loose):
+            assert np.array_equal(member.ciphertext.c0.data, ct.ciphertext.c0.data)
+            assert np.array_equal(member.ciphertext.c1.data, ct.ciphertext.c1.data)
+
+    def test_fluent_ops_bit_identical(self, session):
+        from repro.api import CipherBatch
+
+        vectors = _vectors_for_session(session, 3, seed=32)
+        loose = session.encrypt_many(vectors)
+        batch = CipherBatch.from_vectors(loose)
+        combined_batch = (batch * batch + batch) << 1
+        for i, ct in enumerate(loose):
+            reference = (ct * ct + ct) << 1
+            member = combined_batch.member(i)
+            assert np.array_equal(
+                member.ciphertext.c0.data, reference.ciphertext.c0.data
+            )
+            assert np.array_equal(
+                member.ciphertext.c1.data, reference.ciphertext.c1.data
+            )
+
+    def test_decrypt_shape_and_accuracy(self, session):
+        vectors = _vectors_for_session(session, 4, seed=33)
+        decoded = session.encrypt_batch(vectors).decrypt()
+        assert decoded.shape == (4, session.num_slots)
+        assert np.max(np.abs(decoded - np.stack(vectors))) < 1e-3
+
+    def test_mixed_session_rejected(self, session):
+        from repro.api import CipherBatch, FHESession
+
+        other = FHESession.create("tiny_ci", seed=22)
+        a = session.encrypt(_vectors_for_session(session, 1, seed=34)[0])
+        b = other.encrypt(_vectors_for_session(other, 1, seed=34)[0])
+        with pytest.raises(ParameterError, match=r"batch\[1\]"):
+            CipherBatch.from_vectors([a, b])
+
+
+def _vectors_for_session(session, count, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(-1, 1, session.num_slots) for _ in range(count)]
+
+
+# -- batched bootstrap ---------------------------------------------------------
+
+
+class TestBatchedBootstrap:
+    """One stacked pipeline pass == per-member bootstraps, bit for bit."""
+
+    def test_bootstrap_bit_identical(self):
+        from repro.api import FHESession
+
+        from repro.api import CipherBatch
+
+        session = FHESession.create("n7_boot", seed=21)
+        vectors = _vectors_for_session(session, 2, seed=41)
+        vectors = [0.2 * v for v in vectors]
+        loose = session.encrypt_many(vectors, level=0)
+        batch = CipherBatch.from_vectors(loose)
+        refreshed_batch = batch.bootstrap()
+        assert refreshed_batch.batch_size == 2
+        for i, ct in enumerate(loose):
+            reference = ct.bootstrap()
+            member = refreshed_batch.member(i)
+            assert member.ciphertext.level == reference.ciphertext.level
+            assert np.array_equal(
+                member.ciphertext.c0.data, reference.ciphertext.c0.data
+            )
+            assert np.array_equal(
+                member.ciphertext.c1.data, reference.ciphertext.c1.data
+            )
+
+
+# -- functional batch + serving ------------------------------------------------
+
+
+class TestFunctionalServing:
+    def test_batch_run_matches_serial(self):
+        from repro.serve import FunctionalBatch, FunctionalRequest
+
+        batch = FunctionalBatch([
+            FunctionalRequest(
+                preset="tiny_ci", dataflow="DC", level=1,
+                seed=s, key_seed=3,
+            )
+            for s in (1, 2, 3)
+        ])
+        stacked = batch.run()
+        serial = batch.run_serial()
+        assert [r.output_digest for r in stacked] == [
+            r.output_digest for r in serial
+        ]
+        assert all(r.batch_size == 3 for r in stacked)
+
+    def test_group_key_mismatch_located(self):
+        from repro.serve import FunctionalBatch, FunctionalRequest
+
+        with pytest.raises(ParameterError, match=r"batch\[1\]"):
+            FunctionalBatch([
+                FunctionalRequest(preset="tiny_ci", level=0),
+                FunctionalRequest(preset="tiny_ci", level=1),
+            ])
+
+    def test_service_coalesces_and_shards(self):
+        from repro.serve import (
+            EstimateService,
+            FunctionalRequest,
+            group_requests,
+        )
+
+        requests = [
+            FunctionalRequest(
+                preset="tiny_ci", dataflow=df, level=1, seed=s, key_seed=5
+            )
+            for df in ("MP", "OC")
+            for s in (1, 2, 3)
+        ]
+        reference = {
+            r.request_digest: r.output_digest
+            for g in group_requests(requests)
+            for r in g.run_serial()
+        }
+        with EstimateService(workers=2, admission="off") as service:
+            handles = [service.submit_functional(r) for r in requests]
+            duplicate = service.submit_functional(requests[0])
+            answered = service.gather()
+            assert answered == len(requests) + 1
+            for handle in handles + [duplicate]:
+                result = handle.result()
+                assert result.output_digest == reference[
+                    result.request_digest
+                ]
+                assert result.batch_size == 3
+            stats = service.stats
+            assert stats.functional_submitted == len(requests) + 1
+            assert stats.functional_passes == 2
+            assert stats.functional_ciphertexts == 6
+            assert stats.batch_occupancy == pytest.approx(3.0)
+            assert stats.batch_hits == 1
+
+    def test_service_in_process_fallback_identical(self):
+        from repro.serve import EstimateService, FunctionalRequest
+
+        request = FunctionalRequest(
+            preset="tiny_ci", dataflow="OC", level=2, seed=9, key_seed=5
+        )
+        with EstimateService(admission="off") as service:
+            handle = service.submit_functional(request)
+            service.gather()
+            pooled = handle.result()
+        with EstimateService(admission="off") as service:
+            handle = service.submit_functional(request)
+            service.gather()
+            assert handle.result().output_digest == pooled.output_digest
+
+
+# -- cache sharing across B (no per-batch tables) ------------------------------
+
+
+class TestBatchCacheSharing:
+    def test_no_power_tables_built_per_batch_size(self, context, rng):
+        """Widening B must never rebuild twiddle/power tables: all
+        (L, ·) tables broadcast over the batch axis."""
+        from repro.ntt.batch import get_batch_ntt
+
+        n = context.params.n
+        moduli = context.q_basis.moduli[:3]
+        engine = get_batch_ntt(n, moduli)
+        # Warm the engine once (any residual table building happens now).
+        warm = rng.integers(0, 2**20, size=(len(moduli), n), dtype=np.int64)
+        engine.forward(warm)
+        before = transform.POWER_TABLE_BUILDS
+        for bsz in (1, 2, 3, 5, 8):
+            data = rng.integers(
+                0, 2**20, size=(bsz, len(moduli), n), dtype=np.int64
+            )
+            out = engine.forward(data)
+            back = engine.inverse(out)
+            assert np.array_equal(back, data)
+        assert transform.POWER_TABLE_BUILDS == before, (
+            "processing new batch sizes rebuilt power tables — a table "
+            "must depend only on (n, q), never on B"
+        )
+
+    def test_batch_buffer_cache_bounded(self, context, rng):
+        from repro.ntt.batch import _MAX_CACHED_BATCH_SHAPES, BatchNTT
+
+        n = context.params.n
+        moduli = context.q_basis.moduli[:2]
+        engine = BatchNTT(n, moduli)
+        for bsz in range(1, 2 * _MAX_CACHED_BATCH_SHAPES + 2):
+            data = rng.integers(
+                0, 2**20, size=(bsz, len(moduli), n), dtype=np.int64
+            )
+            engine.forward(data)
+        assert len(engine._batch_bufs) <= _MAX_CACHED_BATCH_SHAPES

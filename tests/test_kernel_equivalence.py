@@ -507,14 +507,37 @@ for q in (*ctx.q_basis.moduli, *ctx.p_basis.moduli):
 print(transform.POWER_TABLE_BUILDS)
 """
 
-    def _run(self, cache_dir: str) -> int:
+    #: Same warm-start contract, but exercised through the cross-ciphertext
+    #: batch engines: stacked ``(B, L, N)`` NTTs at several batch sizes must
+    #: run entirely off the disk-cached (n, q) tables — the batch axis never
+    #: introduces a table of its own.
+    WARM_BATCH_SCRIPT = """
+import numpy as np
+from repro.api.presets import get_preset
+from repro.ckks.context import CKKSContext
+from repro.ntt import transform
+from repro.ntt.batch import get_batch_ntt
+
+params = get_preset("n7_boot")
+ctx = CKKSContext(params)
+moduli = (*ctx.q_basis.moduli, *ctx.p_basis.moduli)
+engine = get_batch_ntt(params.n, moduli)
+rng = np.random.default_rng(0)
+for bsz in (1, 2, 4, 8):
+    data = rng.integers(0, 2**20, size=(bsz, len(moduli), params.n),
+                        dtype=np.int64)
+    assert np.array_equal(engine.inverse(engine.forward(data)), data)
+print(transform.POWER_TABLE_BUILDS)
+"""
+
+    def _run(self, cache_dir: str, script: str = "") -> int:
         env = dict(os.environ)
         env["REPRO_CACHE_DIR"] = cache_dir
         env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
         )
         out = subprocess.run(
-            [sys.executable, "-c", self.WARM_SCRIPT],
+            [sys.executable, "-c", script or self.WARM_SCRIPT],
             capture_output=True, text=True, env=env, check=True,
         )
         return int(out.stdout.strip().splitlines()[-1])
@@ -526,6 +549,16 @@ print(transform.POWER_TABLE_BUILDS)
         assert warm == 0, (
             f"warm start regenerated {warm} power tables despite a "
             "populated REPRO_CACHE_DIR"
+        )
+
+    def test_second_process_batched_engines_regenerate_nothing(self, tmp_path):
+        cold = self._run(str(tmp_path), self.WARM_BATCH_SCRIPT)
+        assert cold > 0, "first process must build the tables"
+        warm = self._run(str(tmp_path), self.WARM_BATCH_SCRIPT)
+        assert warm == 0, (
+            f"batched (B, L, N) engines rebuilt {warm} power tables on a "
+            "warm start — batch tables must be shared across B and loaded "
+            "from the same disk cache as the scalar contexts"
         )
 
     def test_warm_start_never_calls_power_table(self, tmp_path, monkeypatch):
