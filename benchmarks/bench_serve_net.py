@@ -43,8 +43,10 @@ from repro.net import (
 from repro.net.loadgen import percentile
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serve_net.json"
+CHAOS_ARTIFACT = ARTIFACT.with_name("BENCH_serve_net_chaos.json")
 
 FULL = os.environ.get("REPRO_BENCH_NET_FULL") == "1"
+CHAOS = os.environ.get("REPRO_BENCH_NET_CHAOS") == "1"
 WORKLOAD = "HELR"
 
 #: Smoke keeps CI's default bench job fast; full is the serve-net job.
@@ -193,6 +195,73 @@ def test_emit_serve_net_artifact_and_guards(tmp_path, monkeypatch):
         f"{load['qps']:.0f} qps below the {PRESET['qps_floor']:.0f} "
         f"floor ({PRESET['mode']} mode, {PRESET['workers']} workers)"
     )
+
+
+@pytest.mark.skipif(not CHAOS, reason="set REPRO_BENCH_NET_CHAOS=1 to run")
+def test_chaos_smoke_with_deadlines(tmp_path, monkeypatch):
+    """Chaos smoke (the CI ``chaos`` job): stalls under load, deadlines.
+
+    A ``REPRO_FAULT_PLAN`` stall rule rides the documented env
+    inheritance path into the pre-forked workers (what ``repro serve
+    --fault-plan`` does); the load then runs with a per-request deadline.
+    Guards: zero dropped requests and p99 within the deadline — injected
+    stalls cost requeues, never answers.
+    """
+    import multiprocessing
+
+    from repro.faults import ENV_VAR, FaultPlan, FaultRule
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "chaos-cache"))
+    deadline_s = 30.0
+    # One plan in the mix carries the stall marker; each faulty worker
+    # hangs on it once and is reaped by stall_timeout.
+    plans = [build_plan(WORKLOAD, bandwidth_gbs=2000.0 + 8 * i)
+             for i in range(3)]
+    plans.append(build_plan(WORKLOAD, bandwidth_gbs=2072.5))
+    stall_plan = FaultPlan(
+        [FaultRule("worker.run", "delay", delay_s=1.5,
+                   match='"bandwidth_gbs":2072.5')],
+        seed=3,
+    )
+    monkeypatch.setenv(ENV_VAR, stall_plan.to_json())
+
+    async def scenario():
+        config = ServerConfig(workers=2, stall_timeout=0.3, warming=False,
+                              supervisor_interval=30.0)
+        async with EstimateServer(config) as server:
+            # The workers inherited the env plan at fork; drop it from
+            # the parent so only worker-side points can fire.
+            monkeypatch.delenv(ENV_VAR)
+            load = await run_load(
+                "127.0.0.1", server.port, plans=plans, duration_s=2.0,
+                concurrency=8, connections=2, deadline_s=deadline_s,
+            )
+            async with EstimateClient("127.0.0.1", server.port) as cli:
+                status = await cli.status()
+        return load, status
+
+    load, status = asyncio.run(asyncio.wait_for(scenario(), 120))
+    payload = {
+        "deadline_s": deadline_s,
+        "load": load.as_dict(),
+        "workers": status["workers"],
+        "server": status["server"],
+    }
+    CHAOS_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"wrote {CHAOS_ARTIFACT.name}: {load.completed} completed, "
+          f"{load.dropped} dropped, {load.deadline_exceeded} deadline, "
+          f"p99 {load.p99_ms:.1f} ms, "
+          f"{status['workers']['stalls']} worker stalls reaped")
+
+    assert load.completed > 0
+    assert load.dropped == 0, f"chaos dropped requests: {load.errors}"
+    assert load.p99_ms < deadline_s * 1e3, (
+        f"p99 {load.p99_ms:.1f} ms breaches the {deadline_s}s deadline"
+    )
+    assert status["server"]["failed"] == 0
 
 
 if __name__ == "__main__":

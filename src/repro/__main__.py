@@ -114,10 +114,16 @@ def cmd_serve(args) -> int:
     import asyncio
     import signal as _signal
 
+    import os
+
     from repro.net import ServerConfig, load_mix, load_tenant_specs, serve
 
     tenants = load_tenant_specs(args.tenants) if args.tenants else ()
     warm_mix = load_mix(args.warm_mix) if args.warm_mix else ()
+    if args.fault_plan:
+        # Through the environment (not faults.install) so forked shard
+        # workers inherit the plan too.
+        os.environ["REPRO_FAULT_PLAN"] = args.fault_plan
 
     async def _run() -> int:
         config = ServerConfig(
@@ -127,6 +133,7 @@ def cmd_serve(args) -> int:
             max_queue_depth=args.max_queue_depth,
             idle_warm_after=args.idle_warm_after,
             warm_top_k=args.warm_top_k,
+            stall_timeout=args.stall_timeout or None,
             tenants=tenants, warm_mix=warm_mix,
         )
         server = await serve(config)
@@ -196,6 +203,7 @@ def cmd_serve_load(args) -> int:
                 host, port, plans=plans, duration_s=args.duration,
                 concurrency=args.concurrency,
                 connections=args.connections, token=args.token,
+                deadline_s=args.deadline,
             )
             row = result.as_dict()
             print(format_table([row], title=(
@@ -468,6 +476,12 @@ def main(argv=None) -> int:
                        help="request-mix file to pre-warm at startup")
     p_srv.add_argument("--idle-warm-after", type=float, default=2.0,
                        help="idle seconds before speculative warming")
+    p_srv.add_argument("--stall-timeout", type=float, default=30.0,
+                       help="kill shard workers hung longer than this "
+                            "many seconds (0 disables)")
+    p_srv.add_argument("--fault-plan", default=None, metavar="JSON_OR_FILE",
+                       help="REPRO_FAULT_PLAN fault-injection plan "
+                            "(inline JSON or a file path; chaos drills)")
     p_srv.add_argument("--warm-top-k", type=int, default=4,
                        help="hottest digests pre-submitted on idle")
     p_srv.add_argument("--no-disk-cache", action="store_true")
@@ -488,6 +502,9 @@ def main(argv=None) -> int:
     p_load.add_argument("--connections", type=int, default=4)
     p_load.add_argument("--token", default=None,
                         help="tenant token for authenticated servers")
+    p_load.add_argument("--deadline", type=float, default=None,
+                        help="per-request deadline budget in seconds "
+                             "(propagated to the server)")
     p_load.add_argument("--workers", type=int, default=2,
                         help="self-hosted server's pool size")
     p_load.add_argument("--admission", default="strict",

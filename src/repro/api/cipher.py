@@ -25,11 +25,12 @@ bookkeeping the seed quickstart forced on users:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.ckks.encrypt import Ciphertext
+from repro.ckks.noise import NoiseEstimate
 from repro.errors import ParameterError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -54,9 +55,15 @@ class CipherVector:
 
     __array_priority__ = 1000  # numpy defers binary ops to us
 
-    def __init__(self, session: "FHESession", ciphertext: Ciphertext):
+    def __init__(self, session: "FHESession", ciphertext: Ciphertext,
+                 noise: Optional[NoiseEstimate] = None):
         self.session = session
         self.ciphertext = ciphertext
+        #: Tracked heuristic noise bound (``None`` when the session's
+        #: ``noise_policy`` is ``"off"`` or the handle was built from a
+        #: raw ciphertext of unknown history).  Propagated through every
+        #: operation and checked at decryption.
+        self.noise = noise
 
     # -- metadata ----------------------------------------------------------------
 
@@ -73,7 +80,7 @@ class CipherVector:
         return self.session.num_slots
 
     def copy(self) -> "CipherVector":
-        return CipherVector(self.session, self.ciphertext.copy())
+        return CipherVector(self.session, self.ciphertext.copy(), self.noise)
 
     def decrypt(self) -> np.ndarray:
         """Decrypt and decode back to the complex slot vector."""
@@ -90,10 +97,18 @@ class CipherVector:
     def __add__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         if isinstance(other, CipherVector):
             a, b = self._aligned_with(other)
-            return self._wrap(self._ev.add(a, b))
+            pair = self._pair_noise(other, a, b)
+            noise = None if pair is None \
+                else self.session.noise_model.add(*pair)
+            return self._wrap(self._ev.add(a, b), noise)
         pt = self._encode_at(other, self.level, self.scale)
+        noise = None if self.noise is None else NoiseEstimate(
+            # Plaintext addition only contributes encoding rounding; one
+            # conservative bit covers it.
+            self.noise.log2_noise + 1.0, self.level, self.scale
+        )
         return self._wrap(self._ev.add_plain(self.ciphertext, pt,
-                                             plain_scale=self.scale))
+                                             plain_scale=self.scale), noise)
 
     def __radd__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         return self.__add__(other)
@@ -101,20 +116,28 @@ class CipherVector:
     def __sub__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         if isinstance(other, CipherVector):
             a, b = self._aligned_with(other)
-            return self._wrap(self._ev.sub(a, b))
+            pair = self._pair_noise(other, a, b)
+            noise = None if pair is None \
+                else self.session.noise_model.add(*pair)
+            return self._wrap(self._ev.sub(a, b), noise)
         return self.__add__(_negated(other))
 
     def __rsub__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         return (-self).__add__(other)
 
     def __neg__(self) -> "CipherVector":
-        return self._wrap(self._ev.negate(self.ciphertext))
+        return self._wrap(self._ev.negate(self.ciphertext), self.noise)
 
     def __mul__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         if isinstance(other, CipherVector):
             a, b = self._aligned_with(other, for_multiply=True)
             product = self._ev.multiply(a, b, self.session.relin_key)
-            return self._wrap(self._ev.rescale(product))
+            pair = self._pair_noise(other, a, b)
+            noise = None
+            if pair is not None:
+                model = self.session.noise_model
+                noise = model.rescale(model.multiply(*pair))
+            return self._wrap(self._ev.rescale(product), noise)
         # Plaintext factor: encode at the top prime's scale so the rescale
         # cancels it exactly and the ciphertext scale is preserved.
         if self.level == 0:
@@ -123,7 +146,14 @@ class CipherVector:
         pt = self._encode_at(other, self.level, plain_scale)
         product = self._ev.multiply_plain(self.ciphertext, pt,
                                           plain_scale=plain_scale)
-        return self._wrap(self._ev.rescale(product))
+        noise = None
+        if self.noise is not None:
+            model = self.session.noise_model
+            noise = model.rescale(model.multiply_plain(
+                self._pin(self.noise, self.ciphertext),
+                plain_scale=plain_scale,
+            ))
+        return self._wrap(self._ev.rescale(product), noise)
 
     def __rmul__(self, other: Union[PlainOperand, "CipherVector"]) -> "CipherVector":
         return self.__mul__(other)
@@ -139,7 +169,8 @@ class CipherVector:
         if steps == 0:
             return self.copy()
         key = self.session.rotation_key(steps)
-        return self._wrap(self._ev.rotate(self.ciphertext, steps, key))
+        return self._wrap(self._ev.rotate(self.ciphertext, steps, key),
+                          self._turned_noise())
 
     def __lshift__(self, steps: int) -> "CipherVector":
         return self.rotate(steps)
@@ -149,7 +180,8 @@ class CipherVector:
 
     def conjugate(self) -> "CipherVector":
         return self._wrap(
-            self._ev.conjugate(self.ciphertext, self.session.conjugation_key)
+            self._ev.conjugate(self.ciphertext, self.session.conjugation_key),
+            self._turned_noise(),
         )
 
     def bootstrap(self) -> "CipherVector":
@@ -187,8 +219,37 @@ class CipherVector:
     def _ctx(self) -> "CKKSContext":
         return self.session.context
 
-    def _wrap(self, ct: Ciphertext) -> "CipherVector":
-        return CipherVector(self.session, ct)
+    def _wrap(self, ct: Ciphertext,
+              noise: Optional[NoiseEstimate] = None) -> "CipherVector":
+        if noise is not None:
+            noise = self._pin(noise, ct)
+        return CipherVector(self.session, ct, noise)
+
+    @staticmethod
+    def _pin(noise: NoiseEstimate, ct: Ciphertext) -> NoiseEstimate:
+        """Re-pin a tracked bound onto a ciphertext's actual level/scale
+        (alignment may have dropped levels or corrected scales; the
+        log2 bound itself is conservative either way)."""
+        if noise.level == ct.level and abs(noise.scale - ct.scale) <= SCALE_TOL:
+            return noise
+        return NoiseEstimate(noise.log2_noise, ct.level, ct.scale)
+
+    def _pair_noise(
+        self, other: "CipherVector", a: Ciphertext, b: Ciphertext
+    ) -> Optional[Tuple[NoiseEstimate, NoiseEstimate]]:
+        """Both operands' bounds pinned to their aligned ciphertexts, or
+        ``None`` when either side is untracked."""
+        if self.noise is None or other.noise is None:
+            return None
+        return self._pin(self.noise, a), self._pin(other.noise, b)
+
+    def _turned_noise(self) -> Optional[NoiseEstimate]:
+        """Noise after one key-switched automorphism (rotate/conjugate)."""
+        if self.noise is None:
+            return None
+        return self.session.noise_model.rotate(
+            self._pin(self.noise, self.ciphertext)
+        )
 
     def _encode_at(self, values: PlainOperand, level: int,
                    scale: float) -> "RNSPoly":
@@ -253,7 +314,8 @@ class CipherBatch(CipherVector):
     :meth:`decrypt` (a ``(B, slots)`` array) or :meth:`members`.
     """
 
-    def __init__(self, session: "FHESession", ciphertext: Ciphertext):
+    def __init__(self, session: "FHESession", ciphertext: Ciphertext,
+                 noise: Optional[NoiseEstimate] = None):
         from repro.ckks.batch import is_batched
 
         if not is_batched(ciphertext):
@@ -261,7 +323,7 @@ class CipherBatch(CipherVector):
                 "CipherBatch wraps a batched ciphertext (PolyBatch "
                 "halves); use CipherVector for a single ciphertext"
             )
-        super().__init__(session, ciphertext)
+        super().__init__(session, ciphertext, noise)
 
     @classmethod
     def from_vectors(cls, vectors: "Sequence[CipherVector]") -> "CipherBatch":
@@ -277,8 +339,14 @@ class CipherBatch(CipherVector):
                 raise ParameterError(
                     f"batch[{i}]: belongs to a different session"
                 )
+        # The batch's tracked bound is the worst member's — conservative
+        # for everyone; untracked members disable tracking for the batch.
+        tracked = [v.noise for v in vectors if v.noise is not None]
+        noise = max(tracked, key=lambda n: n.log2_noise) \
+            if len(tracked) == len(vectors) else None
         return cls(
-            session, stack_ciphertexts([v.ciphertext for v in vectors])
+            session, stack_ciphertexts([v.ciphertext for v in vectors]),
+            noise,
         )
 
     # -- metadata ----------------------------------------------------------------
@@ -292,7 +360,7 @@ class CipherBatch(CipherVector):
         from repro.ckks.batch import unstack_ciphertexts
 
         return [
-            CipherVector(self.session, ct)
+            CipherVector(self.session, ct, self.noise)
             for ct in unstack_ciphertexts(self.ciphertext)
         ]
 
@@ -301,13 +369,15 @@ class CipherBatch(CipherVector):
         return CipherVector(
             self.session,
             Ciphertext(ct.c0.member(b), ct.c1.member(b), ct.level, ct.scale),
+            self.noise,
         )
 
     def copy(self) -> "CipherBatch":
-        return CipherBatch(self.session, self.ciphertext.copy())
+        return CipherBatch(self.session, self.ciphertext.copy(), self.noise)
 
     def decrypt(self) -> np.ndarray:
         """Decrypt all members: a ``(B, num_slots)`` complex array."""
+        self.session.check_noise(self.noise)
         raw = self.ciphertext
         dec = self.session.decryptor.decrypt(raw)  # PolyBatch
         return np.stack([
@@ -338,8 +408,11 @@ class CipherBatch(CipherVector):
     def _ev(self) -> "Evaluator":
         return self.session.batch_evaluator
 
-    def _wrap(self, ct: Ciphertext) -> "CipherBatch":
-        return CipherBatch(self.session, ct)
+    def _wrap(self, ct: Ciphertext,
+              noise: Optional[NoiseEstimate] = None) -> "CipherBatch":
+        if noise is not None:
+            noise = self._pin(noise, ct)
+        return CipherBatch(self.session, ct, noise)
 
 
 def _negated(value: PlainOperand) -> PlainOperand:

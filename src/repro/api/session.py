@@ -20,6 +20,7 @@ hand.  ``FHESession`` owns that whole constellation:
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
@@ -40,14 +41,29 @@ from repro.ckks.encoding import Encoder
 from repro.ckks.encrypt import Ciphertext, Decryptor, Encryptor
 from repro.ckks.evaluator import Evaluator
 from repro.ckks.keys import KeyGenerator, KeySwitchKey, rotation_galois_element
-from repro.errors import ParameterError
+from repro.ckks.noise import NoiseEstimate, NoiseModel
+from repro.errors import NoiseBudgetError, NoiseBudgetWarning, ParameterError
 from repro.rns.poly import RNSPoly
+
+#: What :meth:`FHESession.check_noise` does when the tracked budget hits
+#: zero: raise, warn (default), or skip tracking entirely.
+NOISE_POLICIES = ("strict", "warn", "off")
 
 
 class FHESession:
     """A complete CKKS working set behind one handle."""
 
-    def __init__(self, params: CKKSParams, *, seed: Optional[int] = 0):
+    def __init__(self, params: CKKSParams, *, seed: Optional[int] = 0,
+                 noise_policy: str = "warn"):
+        if noise_policy not in NOISE_POLICIES:
+            raise ParameterError(
+                f"unknown noise policy {noise_policy!r}; "
+                f"expected one of {NOISE_POLICIES}"
+            )
+        #: ``"strict"`` raises :class:`NoiseBudgetError` at decryption
+        #: when the tracked budget is gone, ``"warn"`` (default) emits a
+        #: :class:`NoiseBudgetWarning`, ``"off"`` disables tracking.
+        self.noise_policy = noise_policy
         self.params = params
         self.context = CKKSContext(params)
         self.keygen = KeyGenerator(self.context, seed=seed)
@@ -65,10 +81,12 @@ class FHESession:
         self._galois_keys: Dict[int, KeySwitchKey] = {}
         self._bootstrapper: Optional[Bootstrapper] = None
         self._bootstrap_keys: Optional[BootstrapKeys] = None
+        self._noise_model: Optional[NoiseModel] = None
 
     @classmethod
     def create(cls, preset: Union[str, CKKSParams] = DEFAULT_PRESET, *,
-               seed: Optional[int] = 0, **overrides: Any) -> "FHESession":
+               seed: Optional[int] = 0, noise_policy: str = "warn",
+               **overrides: Any) -> "FHESession":
         """Build a session from a preset name (or explicit params).
 
         Keyword overrides patch individual preset fields, e.g.
@@ -80,13 +98,14 @@ class FHESession:
                     "pass field overrides only with a preset name; "
                     "use dataclasses.replace on explicit CKKSParams"
                 )
-            return cls(preset, seed=seed)
-        return cls(get_preset(preset, **overrides), seed=seed)
+            return cls(preset, seed=seed, noise_policy=noise_policy)
+        return cls(get_preset(preset, **overrides), seed=seed,
+                   noise_policy=noise_policy)
 
     @classmethod
-    def from_params(cls, params: CKKSParams, *,
-                    seed: Optional[int] = 0) -> "FHESession":
-        return cls(params, seed=seed)
+    def from_params(cls, params: CKKSParams, *, seed: Optional[int] = 0,
+                    noise_policy: str = "warn") -> "FHESession":
+        return cls(params, seed=seed, noise_policy=noise_policy)
 
     # -- metadata ----------------------------------------------------------------
 
@@ -111,6 +130,53 @@ class FHESession:
         if self._batch_evaluator is None:
             self._batch_evaluator = BatchEvaluator(self.context)
         return self._batch_evaluator
+
+    # -- noise tracking ----------------------------------------------------------
+
+    @property
+    def noise_model(self) -> NoiseModel:
+        """The session's heuristic noise tracker (built on first use)."""
+        if self._noise_model is None:
+            self._noise_model = NoiseModel(self.context)
+        return self._noise_model
+
+    def _fresh_noise(self, ct: Ciphertext) -> Optional[NoiseEstimate]:
+        """Encryption-noise estimate pinned to ``ct``'s level and scale
+        (``None`` when the session's policy disables tracking)."""
+        if self.noise_policy == "off":
+            return None
+        fresh = self.noise_model.fresh()
+        if fresh.level == ct.level and fresh.scale == ct.scale:
+            return fresh
+        return NoiseEstimate(fresh.log2_noise, ct.level, ct.scale)
+
+    def check_noise(self, noise: Optional[NoiseEstimate]) -> None:
+        """Enforce the session's noise policy against a tracked bound.
+
+        Called by :meth:`decrypt` (and :meth:`CipherBatch.decrypt <
+        repro.api.cipher.CipherBatch.decrypt>`) with the ciphertext's
+        tracked :class:`~repro.ckks.noise.NoiseEstimate`.  A non-positive
+        :meth:`~repro.ckks.noise.NoiseEstimate.budget_bits` means the
+        heuristic bound has reached ``Q_level / 2`` — the decode is
+        unreliable.  Policy ``"strict"`` raises
+        :class:`~repro.errors.NoiseBudgetError`, ``"warn"`` (default)
+        emits a :class:`~repro.errors.NoiseBudgetWarning`, ``"off"``
+        (or an untracked ciphertext) is a no-op.
+        """
+        if noise is None or self.noise_policy == "off":
+            return
+        budget = noise.budget_bits(self.context)
+        if budget > 0.0:
+            return
+        message = (
+            f"noise budget exhausted: {budget:.1f} bits remaining at "
+            f"level {noise.level} (tracked bound 2^{noise.log2_noise:.1f}"
+            f" vs Q/2) — decryption is unreliable; bootstrap earlier or "
+            f"use a preset with more levels"
+        )
+        if self.noise_policy == "strict":
+            raise NoiseBudgetError(message)
+        warnings.warn(message, NoiseBudgetWarning, stacklevel=3)
 
     # -- lazy key material -------------------------------------------------------
 
@@ -220,9 +286,11 @@ class FHESession:
         evaluator = self.batch_evaluator if is_batched(raw) else self.evaluator
         out = self.bootstrapper().bootstrap(evaluator, raw,
                                             self.bootstrap_keys())
+        # A refreshed ciphertext restarts its noise budget at fresh-
+        # encryption levels (pinned to the pipeline's output level).
         if is_batched(out):
-            return CipherBatch(self, out)
-        return CipherVector(self, out)
+            return CipherBatch(self, out, noise=self._fresh_noise(out))
+        return CipherVector(self, out, noise=self._fresh_noise(out))
 
     # -- encode / encrypt / decrypt ----------------------------------------------
 
@@ -238,7 +306,7 @@ class FHESession:
         """Encode + encrypt a slot vector (or scalar broadcast)."""
         pt = self.encoder.encode(values, level=level, scale=scale)
         ct = self.encryptor.encrypt(pt, level=level, scale=scale)
-        return CipherVector(self, ct)
+        return CipherVector(self, ct, noise=self._fresh_noise(ct))
 
     def encrypt_many(self, vectors: Iterable[Any], *,
                      level: Optional[int] = None,
@@ -263,7 +331,14 @@ class FHESession:
 
     def decrypt(self, ct: Union[CipherVector, Ciphertext],
                 *, scale: Optional[float] = None) -> np.ndarray:
-        """Decrypt back to the complex slot vector (scale read from the ct)."""
+        """Decrypt back to the complex slot vector (scale read from the ct).
+
+        A :class:`CipherVector` with a tracked noise bound is checked
+        against the session's :attr:`noise_policy` first (see
+        :meth:`check_noise`).
+        """
+        if isinstance(ct, CipherVector):
+            self.check_noise(ct.noise)
         raw = ct.ciphertext if isinstance(ct, CipherVector) else ct
         return self.encoder.decode(
             self.decryptor.decrypt(raw), scale=scale or raw.scale
@@ -291,8 +366,15 @@ class FHESession:
         keys = {n: self.rotation_key(n) for n in nonzero}
         rotated = evaluator.hoisted_rotations(raw, keys) if keys else {}
         wrap = CipherBatch if is_batched(raw) else CipherVector
+        base = ct.noise if isinstance(ct, CipherVector) else None
+        turned = None
+        if base is not None and self.noise_policy != "off":
+            turned = self.noise_model.rotate(
+                NoiseEstimate(base.log2_noise, raw.level, raw.scale)
+            )
         return {
-            s: wrap(self, rotated[n] if n else raw.copy())
+            s: wrap(self, rotated[n], noise=turned) if n
+            else wrap(self, raw.copy(), noise=base)
             for s, n in normalized.items()
         }
 

@@ -14,6 +14,12 @@ with an embedded format-version array.  Writes are atomic
 never observe a torn file; corrupted or stale-version files are treated
 as misses and quietly rewritten.
 
+Corruption policy: a file that exists but cannot be parsed is
+*quarantined* — renamed aside to ``<name>.quarantine`` and logged — then
+treated as a miss, so one damaged entry (torn write on a crashed host,
+bit rot, a truncating copy) costs one recomputation instead of crashing
+every worker that touches it.  A clean version mismatch is just a miss.
+
 Configuration:
 
 - ``REPRO_CACHE_DIR`` — overrides the cache location.  Set it to an
@@ -25,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -32,11 +39,19 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
+from repro.faults import fault_point
+
 #: Bump when the on-disk layout of any cached table changes; stale files
 #: are treated as misses and rewritten in the new format.
 CACHE_VERSION = 1
 
 _ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Corrupt entries quarantined by this process (observability for tests
+#: and chaos harnesses).
+QUARANTINED = 0
+
+logger = logging.getLogger("repro.cache")
 
 
 def cache_dir() -> Optional[Path]:
@@ -73,20 +88,49 @@ def _path_for(kind: str, key: str) -> Optional[Path]:
     return root / f"{kind}-{key}.npz"
 
 
+def _quarantine(path: Path, reason: BaseException) -> None:
+    """Move an unparseable entry aside so it cannot poison readers again."""
+    global QUARANTINED
+    try:
+        os.replace(path, path.with_name(path.name + ".quarantine"))
+    except OSError:
+        pass
+    QUARANTINED += 1
+    logger.warning(
+        "quarantined corrupt cache entry %s (%s: %s); recomputing",
+        path.name, type(reason).__name__, reason,
+    )
+
+
+def _damage(path: Path) -> None:
+    """Truncate an entry in place (the ``corrupt`` fault action's effect)."""
+    try:
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+    except OSError:
+        pass
+
+
 def load(kind: str, key: str) -> Optional[Dict[str, np.ndarray]]:
     """Fetch cached arrays for ``(kind, key)``; ``None`` on any miss.
 
-    A file that cannot be parsed, lacks the version marker, or carries a
-    different :data:`CACHE_VERSION` is a miss — the caller regenerates
-    and :func:`store` overwrites it atomically.
+    A file that exists but cannot be parsed is quarantined (renamed to
+    ``<name>.quarantine``, logged) and reported as a miss; a clean
+    :data:`CACHE_VERSION` mismatch is just a miss.  Either way the
+    caller regenerates and :func:`store` rewrites the entry atomically —
+    a corrupt entry never crashes the process that finds it.
     """
     path = _path_for(kind, key)
     if path is None or not path.is_file():
         return None
+    if fault_point("cache.load", context=f"{kind}:{key}") == "corrupt":
+        _damage(path)
     try:
         with np.load(path) as archive:
             arrays = {name: archive[name] for name in archive.files}
-    except Exception:
+    except Exception as exc:
+        _quarantine(path, exc)
         return None
     version = arrays.pop("__cache_version__", None)
     if version is None or int(version) != CACHE_VERSION:
@@ -103,6 +147,16 @@ def store(kind: str, key: str, arrays: Dict[str, np.ndarray]) -> bool:
     path = _path_for(kind, key)
     if path is None:
         return False
+    if fault_point("cache.store", context=f"{kind}:{key}") == "corrupt":
+        # Simulate a torn write that bypassed the atomic-rename protocol
+        # (e.g. a crashed host flushing half a page): publish garbage at
+        # the final path so the next load exercises quarantine+recompute.
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(b"\x93TORN-CACHE-ENTRY")
+        except OSError:
+            return False
+        return True
     payload = dict(arrays)
     payload["__cache_version__"] = np.int64(CACHE_VERSION)
     try:

@@ -48,6 +48,22 @@ class SimulationError(ReproError):
     instruction = None
 
 
+class NoiseBudgetError(ReproError):
+    """A tracked ciphertext's noise budget is exhausted (strict policy).
+
+    Raised at decryption when the session's
+    :class:`~repro.ckks.noise.NoiseModel` bound says the error term has
+    reached ``Q_level / 2`` — the decode would be unreliable.  Bootstrap
+    earlier, spend fewer levels, or relax the session's
+    ``noise_policy`` to ``"warn"``.
+    """
+
+
+class NoiseBudgetWarning(UserWarning):
+    """Same condition as :class:`NoiseBudgetError`, under the default
+    ``"warn"`` policy: decryption proceeds, but the result is suspect."""
+
+
 class AnalysisError(ReproError):
     """Static analysis found error-severity diagnostics.
 

@@ -1,0 +1,37 @@
+"""Deterministic fault injection and deadline propagation.
+
+See :mod:`repro.faults.plan` for the injection registry (fault points,
+``REPRO_FAULT_PLAN`` activation) and :mod:`repro.faults.deadline` for
+wire-propagated deadlines.
+"""
+
+from repro.faults.deadline import Deadline, DeadlineExceeded
+from repro.faults.plan import (
+    ACTIONS,
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    clear,
+    fault_counts,
+    fault_point,
+    install,
+)
+
+__all__ = [
+    "ACTIONS",
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "clear",
+    "fault_counts",
+    "fault_point",
+    "install",
+]

@@ -1,0 +1,89 @@
+"""Monotonic deadlines that propagate across process and wire boundaries.
+
+A :class:`Deadline` is an absolute point on the local ``time.monotonic``
+clock.  Inside one process it travels by reference; across the wire it
+travels as a *remaining-seconds budget* (:meth:`Deadline.to_wire` /
+:meth:`Deadline.from_wire`), the gRPC convention that sidesteps clock
+skew: the client sends "you have 2.5 s left" and the server rebuilds a
+local deadline from its own clock, so each hop only needs a monotonic
+clock, never a synchronized one.
+
+Every layer of the serving stack checks the same object: the client
+bounds its retry loop with it, the server rejects already-expired
+submits, :class:`~repro.serve.aio.AsyncEstimateService` bounds its
+flush wait, and :class:`~repro.serve.pool.ShardPool` abandons a batch
+wait when it expires.  Expiry always surfaces as the structured
+:class:`DeadlineExceeded` (error kind ``deadline_exceeded`` on the
+wire), never as silence.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.errors import ReproError
+
+
+class DeadlineExceeded(ReproError):
+    """A request ran past its deadline (error kind ``deadline_exceeded``)."""
+
+
+class Deadline:
+    """An absolute expiry on the local monotonic clock."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float):
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(time.monotonic() + float(seconds))
+
+    @classmethod
+    def coerce(
+        cls, value: "Union[None, int, float, Deadline]"
+    ) -> "Optional[Deadline]":
+        """Accept ``None`` / seconds-from-now / an existing deadline."""
+        if value is None or isinstance(value, Deadline):
+            return value
+        return cls.after(float(value))
+
+    def remaining(self) -> float:
+        """Seconds left, clamped at 0.0."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"deadline exceeded{f' for {label}' if label else ''}"
+            )
+
+    def to_wire(self) -> float:
+        """The remaining budget in seconds, as sent in a frame header."""
+        return round(self.remaining(), 4)
+
+    @classmethod
+    def from_wire(cls, value: object) -> "Optional[Deadline]":
+        """Rebuild a local deadline from a frame's ``deadline_s`` field.
+
+        Lenient by design: a missing or malformed field means "no
+        deadline" rather than a protocol error, so old clients keep
+        working against new servers and vice versa.
+        """
+        if value is None or isinstance(value, bool):
+            return None
+        try:
+            return cls.after(float(value))
+        except (TypeError, ValueError):
+            return None
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"

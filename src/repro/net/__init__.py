@@ -21,6 +21,7 @@ from repro.net.client import (
     QuotaExceeded,
     RateLimited,
     RemoteAdmissionError,
+    RemoteDeadlineExceeded,
     RemoteError,
 )
 from repro.net.loadgen import LoadResult, run_load
@@ -63,6 +64,7 @@ __all__ = [
     "QuotaExceeded",
     "RateLimited",
     "RemoteAdmissionError",
+    "RemoteDeadlineExceeded",
     "RemoteError",
     "LoadResult",
     "run_load",

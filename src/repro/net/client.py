@@ -20,10 +20,12 @@ Typical use::
 from __future__ import annotations
 
 import asyncio
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.plan import Plan, report_from_dict
 from repro.errors import ReproError
+from repro.faults import Deadline, DeadlineExceeded
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
@@ -67,15 +69,38 @@ class Backpressure(RemoteError):
     """Server queue full; retry after ``.retry_after`` seconds."""
 
 
+class RemoteDeadlineExceeded(RemoteError):
+    """The server answered ``deadline_exceeded``: the request's budget
+    ran out before (or while) it was computed.  Terminal, not retryable
+    — the same budget would expire again."""
+
+
 _ERROR_CLASSES = {
     "admission": RemoteAdmissionError,
     "rate": RateLimited,
     "quota": QuotaExceeded,
     "backpressure": Backpressure,
+    "deadline_exceeded": RemoteDeadlineExceeded,
 }
 
 #: Error kinds :meth:`EstimateClient.estimate` may transparently retry.
 RETRYABLE_KINDS = ("rate", "quota", "backpressure")
+
+
+def backoff_delay(attempt: int, hint: Optional[float] = None,
+                  rng: Optional[random.Random] = None, *,
+                  base: float = 0.05, cap: float = 2.0) -> float:
+    """Capped exponential backoff with full-range jitter.
+
+    ``(hint or base) * 2**attempt`` capped at ``cap``, then scaled by a
+    uniform factor in ``[0.5, 1.5)`` so a fleet of clients refused at
+    the same instant does not re-arrive in lockstep (a retry storm
+    re-synchronizing against a recovering server).  Deterministic when
+    given a seeded ``rng`` — chaos tests replay exact retry schedules.
+    """
+    delay = min(cap, (hint if hint else base) * (2.0 ** attempt))
+    jitter = (rng or random).random()
+    return delay * (0.5 + jitter)
 
 
 def _raise_error(error: Dict[str, object]) -> None:
@@ -94,13 +119,17 @@ class EstimateClient:
     def __init__(self, host: str, port: int, *,
                  token: Optional[str] = None,
                  max_frame: int = DEFAULT_MAX_FRAME,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0,
+                 backoff_seed: Optional[int] = None):
         self.host = host
         self.port = port
         self.token = token
         self.max_frame = max_frame
         #: Client-side ceiling on one request/response round trip.
         self.timeout = timeout
+        #: Jitter stream for retry backoff; seed it for reproducible
+        #: retry schedules (chaos tests), leave None for real traffic.
+        self._rng = random.Random(backoff_seed)
         #: Set by ``hello``: tenant name, limits, server admission mode.
         self.session: Dict[str, object] = {}
         self._reader: Optional[asyncio.StreamReader] = None
@@ -171,7 +200,9 @@ class EstimateClient:
             if not future.done():
                 future.set_exception(exc)
 
-    async def _request(self, op: str, **fields: object) -> Dict[str, object]:
+    async def _request(self, op: str,
+                       rpc_timeout: Optional[float] = None,
+                       **fields: object) -> Dict[str, object]:
         """Send one frame and await its (id-matched) response payload."""
         if self._writer is None:
             raise ConnectionError("client is not connected")
@@ -184,9 +215,17 @@ class EstimateClient:
         self._waiting[req_id] = future
         try:
             async with self._write_lock:
-                await write_frame(self._writer, frame,
-                                  max_frame=self.max_frame)
-            response = await asyncio.wait_for(future, self.timeout)
+                # Re-check under the lock: close() may have nulled the
+                # writer while we awaited it.  A clean ConnectionError
+                # here, never an AttributeError.
+                writer = self._writer
+                if writer is None:
+                    raise ConnectionError("client closed")
+                await write_frame(writer, frame, max_frame=self.max_frame)
+            response = await asyncio.wait_for(
+                future,
+                self.timeout if rpc_timeout is None else rpc_timeout,
+            )
         finally:
             self._waiting.pop(req_id, None)
         if not response.get("ok"):
@@ -195,18 +234,38 @@ class EstimateClient:
 
     # -- operations -------------------------------------------------------------
 
-    async def submit(self, plan: Plan) -> str:
-        """Submit one plan; returns its ticket id (gather it later)."""
-        response = await self._request("submit", plan=plan.to_dict())
+    async def submit(self, plan: Plan, *,
+                     deadline: Optional[Deadline] = None) -> str:
+        """Submit one plan; returns its ticket id (gather it later).
+
+        ``deadline`` travels in the frame as a remaining-seconds budget
+        (``deadline_s``) — the server rejects expired arrivals and
+        answers ``deadline_exceeded`` if the budget runs out later.
+        """
+        response = await self._request(
+            "submit", plan=plan.to_dict(),
+            deadline_s=deadline.to_wire() if deadline else None,
+        )
         return str(response["ticket"])
 
     async def gather(self, tickets: Sequence[str], *,
-                     timeout: Optional[float] = None
+                     timeout: Optional[float] = None,
+                     deadline: Optional[Deadline] = None,
                      ) -> List["RunReport"]:
         """Resolve tickets into reports (order preserved); raises on the
-        first failed ticket."""
-        response = await self._request("gather", tickets=list(tickets),
-                                       timeout=timeout)
+        first failed ticket.  With a ``deadline``, both the server-side
+        wait and the client-side RPC timeout are clipped to it."""
+        if deadline is not None:
+            remaining = deadline.remaining()
+            timeout = remaining if timeout is None \
+                else min(timeout, remaining)
+        response = await self._request(
+            "gather", tickets=list(tickets), timeout=timeout,
+            # Give the server a moment to answer `timeout` cleanly
+            # before the client-side watchdog gives up on the RPC.
+            rpc_timeout=None if deadline is None
+            else min(self.timeout, deadline.remaining() + 1.0),
+        )
         reports = []
         for entry in response["results"]:
             if not entry.get("ok"):
@@ -214,31 +273,58 @@ class EstimateClient:
             reports.append(report_from_dict(entry["report"]))
         return reports
 
-    async def estimate(self, plan: Plan, *, retries: int = 0
+    async def estimate(self, plan: Plan, *, retries: int = 0,
+                       deadline: "Union[None, float, Deadline]" = None,
                        ) -> "RunReport":
         """Submit one plan and await its report.
 
         ``retries`` > 0 transparently re-submits after retryable
-        refusals (rate, quota, backpressure), sleeping the server's
-        ``retry_after`` hint between attempts — load shed by the server
-        becomes deferral, not failure, up to the retry budget.
+        refusals (rate, quota, backpressure), sleeping a capped
+        exponential backoff seeded from the server's ``retry_after``
+        hint (with jitter, so refused fleets desynchronize) — load shed
+        by the server becomes deferral, not failure, up to the retry
+        budget.  ``deadline`` (seconds, or a
+        :class:`~repro.faults.Deadline`) bounds the *whole* call,
+        retries included: when the next backoff would overrun it, the
+        last refusal is re-raised as
+        :class:`~repro.faults.DeadlineExceeded` — a refusing server can
+        never pin a client forever.
         """
+        deadline = Deadline.coerce(deadline)
         attempt = 0
         while True:
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"deadline expired before plan {plan.name} was "
+                    f"submitted"
+                )
             try:
-                ticket = await self.submit(plan)
-                return (await self.gather([ticket]))[0]
+                ticket = await self.submit(plan, deadline=deadline)
+                return (await self.gather([ticket], deadline=deadline))[0]
             except RemoteError as exc:
                 if exc.kind not in RETRYABLE_KINDS or attempt >= retries:
                     raise
+                delay = backoff_delay(attempt, exc.retry_after, self._rng)
                 attempt += 1
-                await asyncio.sleep(exc.retry_after or 0.05)
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= delay:
+                        raise DeadlineExceeded(
+                            f"deadline expired after {attempt} attempt(s) "
+                            f"for plan {plan.name}; last refusal: "
+                            f"{exc.kind}"
+                        ) from exc
+                await asyncio.sleep(delay)
 
     async def estimate_many(self, plans: Sequence[Plan], *,
-                            retries: int = 0) -> List["RunReport"]:
+                            retries: int = 0,
+                            deadline: "Union[None, float, Deadline]" = None,
+                            ) -> List["RunReport"]:
         """Pipelined batch estimate over this one connection."""
+        deadline = Deadline.coerce(deadline)
         return list(await asyncio.gather(
-            *(self.estimate(plan, retries=retries) for plan in plans)
+            *(self.estimate(plan, retries=retries, deadline=deadline)
+              for plan in plans)
         ))
 
     async def status(self, *, mix: bool = False) -> Dict[str, object]:

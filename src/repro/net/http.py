@@ -50,7 +50,9 @@ STATUS_BY_KIND = {
     "backpressure": 503,
     "shutdown": 503,
     "timeout": 504,
+    "deadline_exceeded": 504,
     "worker": 500,
+    "stalled_worker": 500,
     "internal": 500,
 }
 

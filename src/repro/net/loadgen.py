@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.plan import Plan
-from repro.net.client import EstimateClient, RemoteError
+from repro.faults import DeadlineExceeded
+from repro.net.client import EstimateClient, RemoteDeadlineExceeded, RemoteError
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -43,6 +44,10 @@ class LoadResult:
     dropped: int = 0
     #: Retryable refusals honored (each retried, not dropped).
     deferred: int = 0
+    #: Requests answered ``deadline_exceeded`` (client- or server-side).
+    #: Structured shedding, not loss: counted separately from ``dropped``
+    #: so the zero-loss guard still holds under chaos with deadlines.
+    deadline_exceeded: int = 0
     errors: Dict[str, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list)
 
@@ -65,6 +70,7 @@ class LoadResult:
             "completed": self.completed,
             "dropped": self.dropped,
             "deferred": self.deferred,
+            "deadline_exceeded": self.deadline_exceeded,
             "qps": round(self.qps, 1),
             "p50_ms": round(self.p50_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
@@ -77,12 +83,16 @@ class LoadResult:
 async def run_load(host: str, port: int, *, plans: Sequence[Plan],
                    duration_s: float = 5.0, concurrency: int = 16,
                    connections: int = 4, token: Optional[str] = None,
-                   retries: int = 32) -> LoadResult:
+                   retries: int = 32,
+                   deadline_s: Optional[float] = None) -> LoadResult:
     """Drive the server with ``concurrency`` closed-loop workers.
 
     Workers walk the (weighted) plan list round-robin over
     ``connections`` pipelined client connections.  Returns the merged
-    :class:`LoadResult`.
+    :class:`LoadResult`.  With ``deadline_s``, every request carries a
+    per-call deadline budget (propagated to the server via
+    ``deadline_s`` on the wire); expiries land in
+    :attr:`LoadResult.deadline_exceeded`, not ``dropped``.
     """
     if not plans:
         raise ValueError("run_load needs at least one plan")
@@ -103,7 +113,11 @@ async def run_load(host: str, port: int, *, plans: Sequence[Plan],
             t0 = time.perf_counter()
             try:
                 await _estimate_counting_defers(client, plan, retries,
-                                                result)
+                                                result, deadline_s)
+            except (DeadlineExceeded, RemoteDeadlineExceeded):
+                result.deadline_exceeded += 1
+                result.errors["deadline_exceeded"] = \
+                    result.errors.get("deadline_exceeded", 0) + 1
             except RemoteError as exc:
                 result.dropped += 1
                 result.errors[exc.kind] = result.errors.get(exc.kind, 0) + 1
@@ -127,13 +141,14 @@ async def run_load(host: str, port: int, *, plans: Sequence[Plan],
 
 
 async def _estimate_counting_defers(client: EstimateClient, plan: Plan,
-                                    retries: int,
-                                    result: LoadResult) -> None:
+                                    retries: int, result: LoadResult,
+                                    deadline_s: Optional[float] = None,
+                                    ) -> None:
     """client.estimate with per-retry accounting (deferrals measured)."""
     attempt = 0
     while True:
         try:
-            await client.estimate(plan)
+            await client.estimate(plan, deadline=deadline_s)
             return
         except RemoteError as exc:
             retryable = exc.kind in ("rate", "quota", "backpressure")

@@ -13,11 +13,21 @@ requests and match responses out of order.
 Request frames (client -> server)::
 
     {"v": 1, "id": 7, "op": "hello",  "token": "..."}
-    {"v": 1, "id": 8, "op": "submit", "plan": {...Plan.to_dict()...}}
+    {"v": 1, "id": 8, "op": "submit", "plan": {...Plan.to_dict()...},
+                      "deadline_s": 2.5}
     {"v": 1, "id": 9, "op": "gather", "tickets": ["t3"], "timeout": 30.0}
     {"v": 1, "id": 10, "op": "status", "mix": false}
     {"v": 1, "id": 11, "op": "warm",   "mix": {...mix payload...}}
     {"v": 1, "id": 12, "op": "shutdown"}
+
+``deadline_s`` (optional, ``submit`` only) is the request's *remaining*
+time budget in seconds — a relative duration, not a timestamp, so the
+two ends never need synchronized clocks (the gRPC convention).  The
+server rebuilds a local monotonic deadline from it: a submit that
+arrives already expired is rejected with kind ``deadline_exceeded``,
+and a ticket whose budget runs out mid-computation resolves to the same
+structured error instead of silence.  Missing or malformed values mean
+"no deadline" — old clients keep working unchanged.
 
 Response frames (server -> client)::
 
@@ -43,6 +53,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis import AnalysisReport, Diagnostic, Severity
 from repro.errors import ReproError
+from repro.faults import InjectedFault, fault_point
 
 #: Bump on incompatible frame-layout changes; both ends check it.
 PROTOCOL_VERSION = 1
@@ -67,6 +78,15 @@ ERROR_KINDS = (
     "worker",        # execution failed in a worker process
     "timeout",       # gather wait expired (the ticket stays valid)
     "shutdown",      # server is draining and not accepting work
+    #: The request's ``deadline_s`` budget expired — on arrival, in the
+    #: queue, or mid-computation.  Terminal: the ticket is consumed and
+    #: the work was skipped or abandoned; resubmit with a fresh budget.
+    "deadline_exceeded",
+    #: A live-but-hung shard worker was killed by the pool's stall
+    #: reaper with this request in flight and the requeue budget ran
+    #: out (see ShardPool.MAX_REQUEUES) — the payload itself likely
+    #: wedges workers.
+    "stalled_worker",
     "internal",      # anything else
 )
 
@@ -86,6 +106,14 @@ def encode_frame(payload: Dict[str, object], *,
             f"frame body of {len(body)} bytes exceeds the "
             f"{max_frame}-byte limit"
         )
+    try:
+        if fault_point("net.encode", context=str(payload.get("op", ""))) \
+                == "corrupt":
+            # Flip the last body byte: a correctly framed but damaged
+            # payload, so the receiver's JSON-level recovery runs.
+            body = body[:-1] + bytes([body[-1] ^ 0x01])
+    except InjectedFault as exc:
+        raise FrameError(str(exc)) from exc
     return _HEADER.pack(len(body)) + body
 
 
@@ -115,6 +143,13 @@ def decode_frames(buffer: bytes, *, max_frame: int = DEFAULT_MAX_FRAME
 
 
 def _parse_body(body: bytes) -> Dict[str, object]:
+    # An injected decode fault must surface as FrameError — it is the
+    # one exception type every reader loop already handles gracefully.
+    try:
+        if fault_point("net.decode") == "corrupt" and body:
+            body = body[:-1] + bytes([body[-1] ^ 0x01])
+    except InjectedFault as exc:
+        raise FrameError(str(exc)) from exc
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.api.plan import Plan, report_to_dict
 from repro.errors import ParameterError, ReproError
+from repro.faults import Deadline, DeadlineExceeded, fault_point
 from repro.net import protocol
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
@@ -57,7 +58,12 @@ from repro.net.tenants import (
     TenantState,
 )
 from repro.net.warming import DigestStream, parse_mix_payload
-from repro.serve import AdmissionError, AsyncEstimateService, EstimateService
+from repro.serve import (
+    AdmissionError,
+    AsyncEstimateService,
+    EstimateService,
+    StalledWorker,
+)
 
 if TYPE_CHECKING:
     from repro.api.backends import RunReport
@@ -109,6 +115,9 @@ class ServerConfig:
     gather_timeout: float = 120.0
     #: Grace given to in-flight requests during a draining stop.
     drain_timeout: float = 30.0
+    #: Kill a live-but-hung shard worker after this many seconds of no
+    #: progress mid-batch (its jobs requeue).  ``None``/``0`` disables.
+    stall_timeout: Optional[float] = 30.0
     tenants: Sequence[TenantSpec] = ()
     #: (plan, count) entries pre-warmed at startup (a saved request mix).
     warm_mix: Sequence[Tuple[Plan, int]] = ()
@@ -133,6 +142,10 @@ class ServerStats:
     rejected_backpressure: int = 0
     rejected_admission: int = 0
     rejected_shutdown: int = 0
+    #: Submits that arrived with their ``deadline_s`` already expired.
+    rejected_deadline: int = 0
+    #: Accepted tickets answered ``deadline_exceeded`` (not in ``failed``).
+    deadline_exceeded: int = 0
     protocol_errors: int = 0
     warmed: int = 0
     idle_warms: int = 0
@@ -145,17 +158,17 @@ class ServerStats:
     def rejected(self) -> int:
         return (self.rejected_rate + self.rejected_quota
                 + self.rejected_backpressure + self.rejected_admission
-                + self.rejected_shutdown)
+                + self.rejected_shutdown + self.rejected_deadline)
 
 
 class Ticket:
     """One accepted submission: resolves exactly once, gathered at most once."""
 
     __slots__ = ("id", "tenant", "plan", "event", "report", "error",
-                 "created_at", "resolved_at")
+                 "created_at", "resolved_at", "deadline")
 
     def __init__(self, ticket_id: str, tenant: TenantState, plan: Plan,
-                 now: float):
+                 now: float, deadline: Optional[Deadline] = None):
         self.id = ticket_id
         self.tenant = tenant
         self.plan = plan
@@ -164,6 +177,9 @@ class Ticket:
         self.error: Optional[BaseException] = None
         self.created_at = now
         self.resolved_at: Optional[float] = None
+        #: Local monotonic deadline rebuilt from the frame's
+        #: ``deadline_s`` budget; ``None`` = unbounded.
+        self.deadline = deadline
 
     @property
     def resolved(self) -> bool:
@@ -207,6 +223,7 @@ class EstimateServer:
             admission=self.config.admission,
             disk_cache=self.config.disk_cache,
             cache_size=self.config.cache_size,
+            stall_timeout=self.config.stall_timeout,
         )
         self.service = AsyncEstimateService(service)
         self.supervisor = WorkerSupervisor(
@@ -378,6 +395,7 @@ class EstimateServer:
                             frame: Dict[str, object]) -> None:
         req_id = frame.get("id")
         try:
+            fault_point("server.handle", context=str(frame.get("op", "")))
             if frame.get("v") != PROTOCOL_VERSION:
                 raise Rejection(
                     "protocol",
@@ -441,7 +459,9 @@ class EstimateServer:
             plan = Plan.from_dict(plan_payload)
         except (ParameterError, KeyError, TypeError, ValueError) as exc:
             raise Rejection("plan", f"plan payload rejected: {exc}") from exc
-        ticket = await self.admit_and_submit(tenant, plan)
+        deadline = Deadline.from_wire(frame.get("deadline_s"))
+        ticket = await self.admit_and_submit(tenant, plan,
+                                             deadline=deadline)
         return ok_payload(req_id, ticket=ticket.id, digest=plan.digest,
                           queue_depth=self._queue.depth)
 
@@ -491,7 +511,14 @@ class EstimateServer:
                 payload["error"]["report"] = \
                     protocol.analysis_report_to_dict(error.report)
             return payload
-        kind = "worker" if isinstance(error, ReproError) else "internal"
+        if isinstance(error, DeadlineExceeded):
+            kind = "deadline_exceeded"
+        elif isinstance(error, StalledWorker):
+            kind = "stalled_worker"
+        elif isinstance(error, ReproError):
+            kind = "worker"
+        else:
+            kind = "internal"
         return self._ticket_error(
             ticket_id, kind, f"{type(error).__name__}: {error}"
         )
@@ -532,16 +559,23 @@ class EstimateServer:
 
     # -- admission (load half) --------------------------------------------------
 
-    async def admit_and_submit(self, tenant: TenantState,
-                               plan: Plan) -> Ticket:
+    async def admit_and_submit(self, tenant: TenantState, plan: Plan, *,
+                               deadline: Optional[Deadline] = None,
+                               ) -> Ticket:
         """Apply every admission gate, then queue the plan for dispatch.
 
-        Gate order is cheapest-first: drain state, token bucket, quota,
-        queue depth, and only then static verification (PR 6's validity
-        half, memoized per digest in the service).  Raises
-        :class:`Rejection`; returns the queued :class:`Ticket`.
+        Gate order is cheapest-first: deadline, drain state, token
+        bucket, quota, queue depth, and only then static verification
+        (PR 6's validity half, memoized per digest in the service).
+        Raises :class:`Rejection`; returns the queued :class:`Ticket`.
         """
         loop = asyncio.get_running_loop()
+        if deadline is not None and deadline.expired:
+            self.stats.rejected_deadline += 1
+            raise Rejection(
+                "deadline_exceeded",
+                "the request's deadline budget expired before admission",
+            )
         if self._draining:
             self.stats.rejected_shutdown += 1
             raise Rejection("shutdown", "server is draining",
@@ -590,7 +624,8 @@ class EstimateServer:
                 report=exc.report,
             ) from exc
         self._ticket_seq += 1
-        ticket = Ticket(f"t{self._ticket_seq}", tenant, plan, loop.time())
+        ticket = Ticket(f"t{self._ticket_seq}", tenant, plan, loop.time(),
+                        deadline)
         self._tickets[ticket.id] = ticket
         tenant.inflight += 1
         tenant.submitted += 1
@@ -632,13 +667,20 @@ class EstimateServer:
     async def _run_ticket(self, ticket: Ticket) -> None:
         loop = asyncio.get_running_loop()
         try:
-            report = await self.service.estimate(ticket.plan)
+            report = await self.service.estimate(
+                ticket.plan, deadline=ticket.deadline
+            )
             ticket.resolve(report, loop.time())
             ticket.tenant.completed += 1
             self.stats.completed += 1
         except asyncio.CancelledError:
             ticket.fail(Rejection("shutdown", "server stopped"), loop.time())
             raise
+        except DeadlineExceeded as exc:
+            # The tenant's budget ran out — an answered contract, not a
+            # server failure; tracked apart from ``failed``.
+            ticket.fail(exc, loop.time())
+            self.stats.deadline_exceeded += 1
         except Exception as exc:  # noqa: BLE001 - resolves the ticket
             ticket.fail(exc, loop.time())
             ticket.tenant.failed += 1

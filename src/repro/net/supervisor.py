@@ -83,7 +83,7 @@ class WorkerSupervisor:
     def status(self) -> Dict[str, object]:
         if self.pool is None:
             return {"workers": 0, "alive": 0, "pids": [], "deaths": 0,
-                    "restarts": 0, "sweeps": self.sweeps,
+                    "restarts": 0, "stalls": 0, "sweeps": self.sweeps,
                     "rolling_restarts": self.rolling_restarts}
         return {
             "workers": self.pool.workers,
@@ -91,6 +91,7 @@ class WorkerSupervisor:
             "pids": self.pool.worker_pids() if self.pool.started else [],
             "deaths": self.pool.deaths,
             "restarts": self.pool.restarts,
+            "stalls": self.pool.stalls,
             "sweeps": self.sweeps,
             "rolling_restarts": self.rolling_restarts,
         }

@@ -24,7 +24,12 @@ from repro.serve.functional import (
     FunctionalResult,
     group_requests,
 )
-from repro.serve.pool import RemotePlanError, ShardPool, WorkerDied
+from repro.serve.pool import (
+    RemotePlanError,
+    ShardPool,
+    StalledWorker,
+    WorkerDied,
+)
 from repro.serve.service import (
     ADMISSION_MODES,
     AdmissionError,
@@ -50,5 +55,6 @@ __all__ = [
     "ServeError",
     "ServiceStats",
     "ShardPool",
+    "StalledWorker",
     "WorkerDied",
 ]

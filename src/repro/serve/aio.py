@@ -11,12 +11,13 @@ executor — the loop itself never blocks on a backend run.
 from __future__ import annotations
 
 import asyncio
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:
     from repro.api.backends import RunReport
     from repro.api.plan import Plan
 
+from repro.faults import Deadline, DeadlineExceeded
 from repro.serve.service import EstimateService
 
 
@@ -32,18 +33,38 @@ class AsyncEstimateService:
         self.service = service if service is not None else EstimateService(**kwargs)
         self._flush: Optional[asyncio.Task] = None
 
-    async def estimate(self, plan: "Plan") -> "RunReport":
+    async def estimate(
+        self, plan: "Plan", *,
+        deadline: "Union[None, float, Deadline]" = None,
+    ) -> "RunReport":
         """Submit one plan and await its report.
 
         Awaiters that arrive while a flush is in flight are queued for
         the next one — every handle resolves after at most two flushes.
+        With a ``deadline`` the wait is bounded: the handle carries it
+        into the service (which skips or short-circuits expired work)
+        and the await itself stops at expiry with
+        :class:`~repro.faults.DeadlineExceeded` — a stuck flush cannot
+        hold the caller past its budget.
         """
         loop = asyncio.get_running_loop()
-        handle = self.service.submit(plan)
+        deadline = Deadline.coerce(deadline)
+        handle = self.service.submit(plan, deadline=deadline)
         while not handle.done:
             if self._flush is None or self._flush.done():
                 self._flush = loop.create_task(self._drain(loop))
-            await asyncio.shield(self._flush)
+            if deadline is None:
+                await asyncio.shield(self._flush)
+                continue
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(self._flush),
+                    max(deadline.remaining(), 0.001),
+                )
+            except asyncio.TimeoutError:
+                raise DeadlineExceeded(
+                    f"deadline expired awaiting plan {plan.name}"
+                ) from None
         return handle.result()
 
     async def estimate_many(self, plans: Sequence["Plan"]) -> List["RunReport"]:

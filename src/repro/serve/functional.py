@@ -230,7 +230,10 @@ class FunctionalBatch:
         """Execute all requests through one stacked kernel pass."""
         from repro.core import get_dataflow
         from repro.core.functional import execute_dataflow_batch
+        from repro.faults import fault_point
         from repro.rns.poly import PolyBatch
+
+        fault_point("functional.run", context=self.name)
 
         head = self.requests[0]
         context, key = _world(head.preset, head.key_seed)

@@ -19,7 +19,14 @@ polling, reaped, and replaced; its in-flight plans are either requeued
 onto the surviving workers (``run_plans(..., requeue=True)`` — what the
 serving layer uses, so a kill loses no requests) or surfaced to the
 caller as :class:`WorkerDied` (the default — never a silent hang).
-Either way the pool stays usable afterwards.  The network front-end's
+A worker that is alive but *hung* (stuck in a syscall, spinning, paused
+by the fault injector) is caught by the same sweep when a
+``stall_timeout`` is set: a worker showing no progress for that long is
+killed, counted in ``stalls``, and handled exactly like a death —
+requeue or :class:`StalledWorker`.  Requeues per job are capped
+(:data:`ShardPool.MAX_REQUEUES`) so a payload that reliably wedges its
+worker fails loudly instead of cycling forever.  Either way the pool
+stays usable afterwards.  The network front-end's
 :class:`~repro.net.supervisor.WorkerSupervisor` builds on the same
 primitives: :meth:`reap` for idle-time health checks and
 :meth:`rolling_restart` for graceful ``SIGHUP`` recycling.
@@ -35,6 +42,7 @@ import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import ParameterError, ReproError
+from repro.faults import Deadline, DeadlineExceeded, fault_point
 
 if TYPE_CHECKING:
     from repro.api.backends import RunReport
@@ -53,6 +61,16 @@ class WorkerDied(ReproError):
     def __init__(self, message: str, lost: Sequence[str] = ()):
         super().__init__(message)
         self.lost = tuple(lost)
+
+
+class StalledWorker(WorkerDied):
+    """A live-but-hung shard worker was retired mid-batch.
+
+    Subclasses :class:`WorkerDied` so existing requeue/error handling
+    applies unchanged; the distinct type (and the ``stalled_worker``
+    error kind on the wire) tells operators the worker was killed by the
+    pool's stall reaper, not by the OS.
+    """
 
 
 class RemotePlanError(ReproError):
@@ -99,12 +117,22 @@ def _worker_main(task_q, result_q) -> None:
             break
         job, payload = item
         try:
+            # "worker.run" fires before the computation: a crash here
+            # models an OOM kill mid-request, a delay models a hung
+            # worker (what stall_timeout reaps), an error is isolated
+            # like any plan failure.  The full payload is the context so
+            # fault plans can match on any workload field.
+            fault_point("worker.run", context=payload)
             result = {"ok": True, "report": _run_payload(payload)}
         except BaseException as exc:  # noqa: BLE001 - isolate any failure
             result = {
                 "ok": False,
                 "error": {"type": type(exc).__name__, "message": str(exc)},
             }
+        # "worker.result" fires after the computation but before the
+        # result is published — a crash here loses finished work and
+        # exercises the parent's requeue path end to end.
+        fault_point("worker.result", context=payload)
         result_q.put((job, result))
 
 
@@ -116,13 +144,17 @@ def _default_workers() -> int:
 class _Worker:
     """One supervised worker process and its private task queue."""
 
-    __slots__ = ("process", "task_q", "outstanding")
+    __slots__ = ("process", "task_q", "outstanding", "busy_since")
 
     def __init__(self, process, task_q):
         self.process = process
         self.task_q = task_q
         #: Job ids dispatched to this worker and not yet answered.
         self.outstanding: Set[Tuple[int, int]] = set()
+        #: Monotonic time of the last observed progress while busy
+        #: (a dispatch onto an idle worker, or any result it returned);
+        #: ``None`` when idle.  The stall reaper measures against this.
+        self.busy_since: Optional[float] = None
 
     @property
     def alive(self) -> bool:
@@ -146,21 +178,31 @@ class ShardPool:
 
     Liveness is the pool's contract: a dead worker is always detected
     (no silent hangs), reaped, and replaced, and its in-flight plans are
-    requeued or reported via :class:`WorkerDied`.  ``deaths`` counts
-    workers observed dead; ``restarts`` counts replacement and recycle
-    spawns.
+    requeued or reported via :class:`WorkerDied`.  With a
+    ``stall_timeout``, a live worker showing no progress for that long
+    is killed and handled the same way (:class:`StalledWorker`).
+    ``deaths`` counts workers observed dead (stall kills included);
+    ``stalls`` counts the subset the pool killed for hanging;
+    ``restarts`` counts replacement and recycle spawns.
     """
 
     #: Liveness poll interval while waiting on batch results (seconds).
     POLL_S = 0.05
     #: Grace period for a retiring worker to drain its queue (seconds).
     RETIRE_GRACE_S = 10.0
+    #: Times one job may be requeued after worker deaths/stalls before
+    #: it fails with :class:`WorkerDied` — a payload that reliably
+    #: wedges its worker must not cycle through the pool forever.
+    MAX_REQUEUES = 3
 
     def __init__(self, workers: Optional[int] = None, *,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 stall_timeout: Optional[float] = None):
         self.workers = _default_workers() if workers is None else int(workers)
         if self.workers < 1:
             raise ParameterError("a shard pool needs at least one worker")
+        if stall_timeout is not None and stall_timeout <= 0:
+            stall_timeout = None
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -170,8 +212,12 @@ class ShardPool:
         self._batch_seq = 0
         self._rr = 0  # round-robin dispatch cursor
         self._lock = threading.RLock()
+        #: Kill a live worker that makes no progress for this many
+        #: seconds mid-batch; ``None`` disables stall reaping.
+        self.stall_timeout = stall_timeout
         self.deaths = 0
         self.restarts = 0
+        self.stalls = 0
 
     # -- worker lifecycle -------------------------------------------------------
 
@@ -259,6 +305,7 @@ class ShardPool:
     def run_plans(
         self, plans: Sequence["Plan"], *, requeue: bool = False,
         return_exceptions: bool = False,
+        deadline: Optional[Deadline] = None,
     ) -> List[Union["RunReport", ReproError]]:
         """Execute ``plans`` across the workers, preserving order.
 
@@ -270,10 +317,14 @@ class ShardPool:
         seconds and replaced.  With ``requeue=True`` its in-flight plans
         are redistributed and the batch completes normally (plans are
         pure, so re-execution is safe); otherwise :class:`WorkerDied` is
-        raised naming the lost workloads.  With
-        ``return_exceptions=True`` a plan that *raises* inside a worker
-        yields a :class:`RemotePlanError` in its slot instead of raising
-        here.
+        raised naming the lost workloads.  A live worker that hangs is
+        reaped the same way once ``stall_timeout`` elapses
+        (:class:`StalledWorker`).  With ``return_exceptions=True`` a
+        plan that *raises* inside a worker yields a
+        :class:`RemotePlanError` in its slot instead of raising here.
+        With a ``deadline``, the wait for results is bounded: on expiry
+        unfinished slots become :class:`DeadlineExceeded`
+        (``return_exceptions=True``) or the batch raises it.
         """
         from repro.api.plan import report_from_dict
 
@@ -284,11 +335,13 @@ class ShardPool:
             [plan.run for plan in plans],
             report_from_dict,
             requeue=requeue, return_exceptions=return_exceptions,
+            deadline=deadline,
         )
 
     def run_functional(
         self, batches: Sequence, *, requeue: bool = False,
         return_exceptions: bool = False,
+        deadline: Optional[Deadline] = None,
     ) -> List[Union[list, ReproError]]:
         """Execute stacked functional batches across the workers.
 
@@ -310,11 +363,13 @@ class ShardPool:
             [b.run for b in batches],
             results_from_dict,
             requeue=requeue, return_exceptions=return_exceptions,
+            deadline=deadline,
         )
 
     def _run_batch(
         self, job_payloads: List[str], job_names: List[str],
         job_inline: List, decode, *, requeue: bool, return_exceptions: bool,
+        deadline: Optional[Deadline] = None,
     ) -> List:
         """Shared dispatch/supervise/collect loop behind :meth:`run_plans`
         and :meth:`run_functional`.
@@ -327,7 +382,8 @@ class ShardPool:
             return []
         if len(job_payloads) == 1:
             # Not worth a round-trip through the pool.
-            return [self._run_inline(job_inline[0], return_exceptions)]
+            return [self._run_inline(job_inline[0], return_exceptions,
+                                     deadline)]
         with self._lock:
             self._ensure_workers()
             batch = self._batch_seq
@@ -341,17 +397,36 @@ class ShardPool:
                 self._dispatch(job, payloads[job])
             results: Dict[int, Union[object, ReproError]] = {}
             remaining = set(payloads)
+            requeues: Dict[Tuple[int, int], int] = {}
             while remaining:
-                self._check_liveness(remaining, payloads, names, requeue)
+                if deadline is not None and deadline.expired:
+                    expired = DeadlineExceeded(
+                        f"batch deadline expired with {len(remaining)} "
+                        f"job(s) unfinished"
+                    )
+                    if not return_exceptions:
+                        self._abandon(remaining)
+                        raise expired
+                    for job in list(remaining):
+                        results[job[1]] = expired
+                    self._abandon(remaining)
+                    break
+                self._check_liveness(remaining, payloads, names, requeue,
+                                     requeues, results, return_exceptions)
                 try:
                     job, result = self._result_q.get(timeout=self.POLL_S)
                 except queue_mod.Empty:
                     continue
+                now = time.monotonic()
                 if job not in remaining:
                     continue  # stale (aborted batch) or already requeued+done
                 remaining.discard(job)
                 for worker in self._workers:
-                    worker.outstanding.discard(job)
+                    if job in worker.outstanding:
+                        worker.outstanding.discard(job)
+                        # Any returned result is progress: restart that
+                        # worker's stall clock (or park it when idle).
+                        worker.busy_since = now if worker.outstanding else None
                 if result["ok"]:
                     results[job[1]] = decode(result["report"])
                 else:
@@ -363,10 +438,17 @@ class ShardPool:
                     results[job[1]] = error
             return [results[i] for i in range(len(job_payloads))]
 
-    def _run_inline(self, run,
-                    return_exceptions: bool) -> Union[object, ReproError]:
+    def _run_inline(self, run, return_exceptions: bool,
+                    deadline: Optional[Deadline] = None,
+                    ) -> Union[object, ReproError]:
         try:
+            if deadline is not None:
+                deadline.check("inline batch")
             return run()
+        except DeadlineExceeded as exc:
+            if return_exceptions:
+                return exc
+            raise
         except Exception as exc:
             if return_exceptions:
                 return RemotePlanError(type(exc).__name__, str(exc))
@@ -374,14 +456,38 @@ class ShardPool:
 
     def _dispatch(self, job: Tuple[int, int], payload: str) -> None:
         """Hand one job to the next live worker (round-robin)."""
+        fault_point("pool.dispatch", context=payload)
         live = [w for w in self._workers if w.alive] or self._workers
         worker = live[self._rr % len(live)]
         self._rr += 1
+        if not worker.outstanding:
+            worker.busy_since = time.monotonic()
         worker.outstanding.add(job)
         worker.task_q.put((job, payload))
 
-    def _check_liveness(self, remaining, payloads, names, requeue) -> None:
-        """Reap dead workers; requeue or surface their in-flight jobs."""
+    def _check_liveness(self, remaining, payloads, names, requeue,
+                        requeues, results, return_exceptions) -> None:
+        """Reap dead *and hung* workers; requeue or surface their jobs.
+
+        A worker is hung when it is alive but has shown no progress (no
+        result returned) for longer than ``stall_timeout``; it is
+        killed, counted in both ``stalls`` and ``deaths``, and its
+        in-flight jobs take the same path as a genuine death.  Each
+        job's requeue count is capped at :data:`MAX_REQUEUES`, after
+        which the job fails with the appropriate error instead of
+        cycling through (and wedging) every replacement worker.
+        """
+        stalled: Set[Tuple[int, int]] = set()
+        if self.stall_timeout is not None:
+            now = time.monotonic()
+            for worker in self._workers:
+                if (worker.alive and worker.busy_since is not None
+                        and worker.outstanding & remaining
+                        and now - worker.busy_since > self.stall_timeout):
+                    stalled |= worker.outstanding & remaining
+                    self.stalls += 1
+                    worker.process.kill()
+                    worker.process.join(1.0)
         dead = [w for w in self._workers if not w.alive]
         if not dead:
             return
@@ -396,13 +502,45 @@ class ShardPool:
         if not lost:
             return
         if requeue:
+            over_cap: Set[Tuple[int, int]] = set()
             for job in sorted(lost):
-                self._dispatch(job, payloads[job])
-            return
+                requeues[job] = requeues.get(job, 0) + 1
+                if requeues[job] > self.MAX_REQUEUES:
+                    over_cap.add(job)
+                else:
+                    self._dispatch(job, payloads[job])
+            if not over_cap:
+                return
+            lost = over_cap
+            if return_exceptions:
+                for job in over_cap:
+                    remaining.discard(job)
+                    results[job[1]] = self._lost_error({job}, names, stalled)
+                return
+        else:
+            self._abandon(remaining)
+        error = self._lost_error(lost, names, stalled)
+        if not requeue:
+            raise error
+        # requeue=True but some jobs exhausted their cap without
+        # return_exceptions: fail the batch loudly.
         self._abandon(remaining)
-        workloads = sorted({names[job] for job in lost})
-        raise WorkerDied(
-            f"shard worker died with {len(lost)} plan(s) in flight "
+        raise error
+
+    @staticmethod
+    def _lost_error(jobs, names, stalled) -> WorkerDied:
+        """Build the WorkerDied/StalledWorker naming the lost workloads."""
+        workloads = sorted({names[job] for job in jobs})
+        if jobs & stalled:
+            return StalledWorker(
+                f"shard worker hung past stall_timeout with {len(jobs)} "
+                f"plan(s) in flight ({', '.join(workloads)}); the pool "
+                f"killed and replaced it — resubmit, or use "
+                f"run_plans(..., requeue=True)",
+                lost=workloads,
+            )
+        return WorkerDied(
+            f"shard worker died with {len(jobs)} plan(s) in flight "
             f"({', '.join(workloads)}); the pool has respawned the worker — "
             f"resubmit, or use run_plans(..., requeue=True)",
             lost=workloads,
@@ -445,5 +583,6 @@ class ShardPool:
         return (
             f"ShardPool(workers={self.workers}, "
             f"start_method={self.start_method!r}, {state}, "
-            f"deaths={self.deaths}, restarts={self.restarts})"
+            f"deaths={self.deaths}, stalls={self.stalls}, "
+            f"restarts={self.restarts})"
         )

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Union
 from repro import __version__, cache
 from repro.api.plan import Plan, report_from_dict, report_to_dict
 from repro.errors import ParameterError
+from repro.faults import Deadline, DeadlineExceeded, fault_point
 
 if TYPE_CHECKING:
     from repro.api.backends import RunReport
@@ -100,6 +101,11 @@ class ServiceStats:
     functional_passes: int = 0
     #: Distinct functional requests those passes carried.
     functional_ciphertexts: int = 0
+    #: Handles answered with DeadlineExceeded instead of a result.
+    deadline_exceeded: int = 0
+    #: Batch-distinct digests whose computation was skipped outright
+    #: because every waiter's deadline had already expired.
+    deadline_skipped: int = 0
 
     @property
     def dedup_hit_rate(self) -> float:
@@ -130,6 +136,8 @@ class ServiceStats:
             "functional_passes": self.functional_passes,
             "functional_ciphertexts": self.functional_ciphertexts,
             "batch_occupancy": round(self.batch_occupancy, 4),
+            "deadline_exceeded": self.deadline_exceeded,
+            "deadline_skipped": self.deadline_skipped,
         }
 
 
@@ -141,10 +149,13 @@ class EstimateHandle:
     the same batch never strands cache-served waiters.
     """
 
-    __slots__ = ("digest", "_report", "_error", "_done")
+    __slots__ = ("digest", "deadline", "_report", "_error", "_done")
 
-    def __init__(self, digest: str):
+    def __init__(self, digest: str, deadline: Optional[Deadline] = None):
         self.digest = digest
+        #: Optional expiry: a gather past it answers the handle with
+        #: :class:`~repro.faults.DeadlineExceeded` instead of a report.
+        self.deadline = deadline
         self._report: Optional["RunReport"] = None
         self._error: Optional[BaseException] = None
         self._done = False
@@ -204,11 +215,16 @@ class EstimateService:
         :class:`UserWarning`, ``"off"`` skips analysis entirely.  A
         digest is analyzed at most once per service lifetime — repeat
         submissions of an admitted plan pay only a set lookup.
+    stall_timeout:
+        Forwarded to the shard pool (built or passed): a live worker
+        showing no progress for this many seconds mid-batch is killed
+        and its jobs requeued.  ``None``/``0`` disables stall reaping.
     """
 
     def __init__(self, *, cache_size: int = 256, disk_cache: bool = True,
                  pool: Optional["ShardPool"] = None,
-                 workers: int = 0, admission: str = "strict"):
+                 workers: int = 0, admission: str = "strict",
+                 stall_timeout: Optional[float] = None):
         if cache_size < 1:
             raise ParameterError("cache_size must be positive")
         if pool is not None and workers:
@@ -221,8 +237,11 @@ class EstimateService:
         if workers > 1:
             from repro.serve.pool import ShardPool
 
-            pool = ShardPool(workers)
+            pool = ShardPool(workers, stall_timeout=stall_timeout)
+        elif pool is not None and stall_timeout is not None:
+            pool.stall_timeout = None if stall_timeout <= 0 else stall_timeout
         self._pool = pool
+        self._closed = False
         self._cache_size = cache_size
         self._disk_cache = disk_cache
         self._admission = admission
@@ -240,8 +259,18 @@ class EstimateService:
 
     # -- submit / gather --------------------------------------------------------
 
-    def submit(self, plan: Plan) -> EstimateHandle:
-        """Queue one plan; the handle resolves on the next :meth:`gather`."""
+    def submit(self, plan: Plan, *,
+               deadline: Union[None, float, Deadline] = None,
+               ) -> EstimateHandle:
+        """Queue one plan; the handle resolves on the next :meth:`gather`.
+
+        ``deadline`` (seconds from now, or a :class:`~repro.faults.Deadline`)
+        bounds how stale an answer may be: a gather that completes after
+        it fails the handle with
+        :class:`~repro.faults.DeadlineExceeded`, and a digest whose
+        waiters have *all* expired is skipped without computing.
+        """
+        self._check_open()
         if not isinstance(plan, Plan):
             raise ParameterError(
                 f"submit() takes a Plan (see FHESession.plan), "
@@ -249,7 +278,7 @@ class EstimateService:
             )
         digest = plan.digest
         self._admit(plan, digest)
-        handle = EstimateHandle(digest)
+        handle = EstimateHandle(digest, Deadline.coerce(deadline))
         with self._lock:
             self.stats.submitted += 1
             waiters = self._pending.get(digest)
@@ -261,7 +290,9 @@ class EstimateService:
                 waiters.append(handle)
         return handle
 
-    def submit_functional(self, request) -> EstimateHandle:
+    def submit_functional(self, request, *,
+                          deadline: Union[None, float, Deadline] = None,
+                          ) -> EstimateHandle:
         """Queue one functional HKS request; resolved by the next
         :meth:`gather`.
 
@@ -271,16 +302,18 @@ class EstimateService:
         ``(B, L, N)`` kernel pass — see
         :mod:`repro.serve.functional`.  The handle resolves with a
         :class:`~repro.serve.functional.FunctionalResult`.
+        ``deadline`` behaves exactly as in :meth:`submit`.
         """
         from repro.serve.functional import FunctionalRequest
 
+        self._check_open()
         if not isinstance(request, FunctionalRequest):
             raise ParameterError(
                 f"submit_functional() takes a FunctionalRequest, "
                 f"got {type(request).__name__}"
             )
         digest = request.digest
-        handle = EstimateHandle(digest)
+        handle = EstimateHandle(digest, Deadline.coerce(deadline))
         with self._lock:
             self.stats.functional_submitted += 1
             waiters = self._pending_fn.get(digest)
@@ -335,7 +368,12 @@ class EstimateService:
         distinct plan at most once.  Returns the number of submissions
         resolved.  A plan whose computation raises resolves its own
         waiters with that exception (re-raised by ``result()``) — it
-        never strands the rest of the batch."""
+        never strands the rest of the batch.  Deadlines are honored
+        twice: a digest whose waiters have all expired is never
+        computed, and a handle whose deadline passed mid-gather is
+        answered with :class:`~repro.faults.DeadlineExceeded` even when
+        a result exists — a handle always resolves, never in silence."""
+        self._check_open()
         with self._lock:
             batch = self._pending
             plans = self._pending_plans
@@ -354,16 +392,25 @@ class EstimateService:
 
         to_compute: List[Plan] = []
         outcome: Dict[str, Union["RunReport", BaseException]] = {}
+        skipped = 0
         for digest, plan in plans.items():
             report = self._lookup(digest)
-            if report is None:
-                to_compute.append(plan)
-            else:
+            if report is not None:
                 outcome[digest] = report
+            elif _all_expired(batch[digest]):
+                outcome[digest] = DeadlineExceeded(
+                    f"deadline expired before plan {plan.name} was computed"
+                )
+                skipped += 1
+            else:
+                to_compute.append(plan)
 
         if to_compute:
             computed = failed = 0
-            for plan, result in zip(to_compute, self._compute(to_compute)):
+            deadline = _latest_deadline(batch, to_compute)
+            for plan, result in zip(
+                to_compute, self._compute(to_compute, deadline)
+            ):
                 outcome[plan.digest] = result
                 if isinstance(result, BaseException):
                     failed += 1
@@ -374,15 +421,10 @@ class EstimateService:
                 self.stats.computed += computed
                 self.stats.failed += failed
 
-        answered = 0
-        for digest, handles in batch.items():
-            result = outcome[digest]
-            for handle in handles:
-                if isinstance(result, BaseException):
-                    handle._fail(result)
-                else:
-                    handle._resolve(result)
-                answered += 1
+        answered, expired = _resolve_all(batch, outcome)
+        with self._lock:
+            self.stats.deadline_exceeded += expired
+            self.stats.deadline_skipped += skipped
         return answered + self._gather_functional(fn_batch, fn_requests)
 
     def _gather_functional(self, fn_batch, fn_requests) -> int:
@@ -392,9 +434,22 @@ class EstimateService:
             return 0
         from repro.serve.functional import group_requests
 
-        groups = group_requests(fn_requests.values())
-        results = self._compute_functional(groups)
         outcome: Dict[str, object] = {}
+        live: Dict[str, object] = {}
+        skipped = 0
+        for digest, request in fn_requests.items():
+            if _all_expired(fn_batch[digest]):
+                outcome[digest] = DeadlineExceeded(
+                    "deadline expired before the functional request "
+                    f"{digest[:12]}... was computed"
+                )
+                skipped += 1
+            else:
+                live[digest] = request
+        groups = group_requests(live.values())
+        live_requests = [r for group in groups for r in group.requests]
+        deadline = _latest_deadline(fn_batch, live_requests)
+        results = self._compute_functional(groups, deadline)
         passes = ciphertexts = 0
         for group, result in zip(groups, results):
             if isinstance(result, BaseException):
@@ -405,34 +460,31 @@ class EstimateService:
                 ciphertexts += len(group.requests)
                 for request, res in zip(group.requests, result):
                     outcome[request.digest] = res
+        answered, expired = _resolve_all(fn_batch, outcome)
         with self._lock:
             self.stats.functional_passes += passes
             self.stats.functional_ciphertexts += ciphertexts
-        answered = 0
-        for digest, handles in fn_batch.items():
-            result = outcome[digest]
-            for handle in handles:
-                if isinstance(result, BaseException):
-                    handle._fail(result)
-                else:
-                    handle._resolve(result)
-                answered += 1
+            self.stats.deadline_exceeded += expired
+            self.stats.deadline_skipped += skipped
         return answered
 
-    def _compute_functional(self, groups):
+    def _compute_functional(self, groups, deadline=None):
         """Run the stacked passes: across the shard pool when several
         groups are ready (each group is one pure, requeue-safe payload),
         in-process otherwise — mirroring :meth:`_compute`."""
         if self._pool is not None and len(groups) > 1:
             try:
                 return list(self._pool.run_functional(
-                    groups, requeue=True, return_exceptions=True
+                    groups, requeue=True, return_exceptions=True,
+                    deadline=deadline,
                 ))
             except Exception:
                 pass  # fall through to the isolated in-process path
         results = []
         for group in groups:
             try:
+                if deadline is not None:
+                    deadline.check(group.name)
                 results.append(group.run())
             except Exception as exc:
                 results.append(exc)
@@ -440,9 +492,11 @@ class EstimateService:
 
     # -- synchronous facade -----------------------------------------------------
 
-    def estimate(self, plan: Plan) -> "RunReport":
+    def estimate(self, plan: Plan, *,
+                 deadline: Union[None, float, Deadline] = None,
+                 ) -> "RunReport":
         """Submit one plan and resolve it immediately (one-call facade)."""
-        handle = self.submit(plan)
+        handle = self.submit(plan, deadline=deadline)
         self.gather()
         return handle.result()
 
@@ -494,7 +548,7 @@ class EstimateService:
             self._lru.popitem(last=False)
 
     def _compute(
-        self, plans: List[Plan]
+        self, plans: List[Plan], deadline: Optional[Deadline] = None,
     ) -> List[Union["RunReport", BaseException]]:
         """Run the cold plans, isolating failures per plan.
 
@@ -503,17 +557,23 @@ class EstimateService:
         the survivors (plans are pure, so re-execution is safe) — a
         worker kill never loses a submitted request.  If the pool fails
         wholesale anyway, fall back to in-process execution so one sick
-        pool cannot take the batch down with it."""
+        pool cannot take the batch down with it.  ``deadline`` (the
+        latest waiter expiry, when every waiter has one) bounds the
+        pool wait and the in-process loop."""
         if self._pool is not None and len(plans) > 1:
             try:
                 return list(self._pool.run_plans(
-                    plans, requeue=True, return_exceptions=True
+                    plans, requeue=True, return_exceptions=True,
+                    deadline=deadline,
                 ))
             except Exception:
                 pass  # fall through to the isolated in-process path
         results: List[Union["RunReport", BaseException]] = []
         for plan in plans:
             try:
+                if deadline is not None:
+                    deadline.check(plan.name)
+                fault_point("service.compute", context=plan.name)
                 results.append(plan.run())
             except Exception as exc:
                 results.append(exc)
@@ -532,7 +592,20 @@ class EstimateService:
         """The attached shard pool, if any (for supervisors and stats)."""
         return self._pool
 
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServeError(
+                "service is closed; create a new EstimateService"
+            )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Shut down permanently: later submit/gather raise
+        :class:`ServeError` (a clean error, never an attribute error)."""
+        self._closed = True
         if self._pool is not None:
             self._pool.close()
 
@@ -548,3 +621,54 @@ class EstimateService:
             f"pending={self.pending}, pool={self._pool!r}, "
             f"stats={self.stats.as_row()})"
         )
+
+
+# -- deadline helpers ------------------------------------------------------------
+
+def _all_expired(handles: List[EstimateHandle]) -> bool:
+    """True when every waiter carries a deadline and all have expired —
+    the only case where skipping the computation loses nothing."""
+    return bool(handles) and all(
+        h.deadline is not None and h.deadline.expired for h in handles
+    )
+
+
+def _latest_deadline(batch, items) -> Optional[Deadline]:
+    """The loosest waiter deadline across ``items`` (anything with a
+    ``digest``), or ``None`` as soon as one waiter has no deadline (the
+    computation must then run to completion regardless)."""
+    latest: Optional[Deadline] = None
+    for item in items:
+        for handle in batch.get(item.digest, ()):
+            if handle.deadline is None:
+                return None
+            if latest is None or \
+                    handle.deadline.expires_at > latest.expires_at:
+                latest = handle.deadline
+    return latest
+
+
+def _resolve_all(batch, outcome) -> "tuple[int, int]":
+    """Answer every handle from ``outcome``; returns (answered, expired).
+
+    A handle whose own deadline has passed is failed with
+    :class:`~repro.faults.DeadlineExceeded` even when a result is
+    available — its caller has already given up, and the contract is a
+    structured error, not a stale success."""
+    answered = expired = 0
+    for digest, handles in batch.items():
+        result = outcome[digest]
+        for handle in handles:
+            if isinstance(result, BaseException):
+                handle._fail(result)
+                if isinstance(result, DeadlineExceeded):
+                    expired += 1
+            elif handle.deadline is not None and handle.deadline.expired:
+                handle._fail(DeadlineExceeded(
+                    f"deadline expired while gathering {digest[:12]}..."
+                ))
+                expired += 1
+            else:
+                handle._resolve(result)
+            answered += 1
+    return answered, expired

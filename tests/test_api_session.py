@@ -251,3 +251,75 @@ class TestFluentPrograms:
         assert max_err(1.0 + cx, 1.0 + x) < 1e-2
         assert max_err(1.0 - cx, 1.0 - x) < 1e-2
         assert max_err(2.0 * cx, 2.0 * x) < 1e-2
+
+
+class TestNoiseBudget:
+    """PR 9 regression: tracked noise budgets gate decryption.
+
+    The session threads a :class:`~repro.ckks.noise.NoiseModel` bound
+    through every CipherVector op; at decrypt time an exhausted budget
+    raises (``strict``), warns (``warn``, the default), or is skipped
+    entirely (``off``).
+    """
+
+    def test_fresh_ciphertext_has_headroom(self, session, api_rng):
+        cv = session.encrypt(api_rng.uniform(-1, 1, session.num_slots))
+        assert cv.noise is not None
+        assert cv.noise.level == cv.level
+        assert cv.noise.budget_bits(session.context) > 0
+
+    def test_ops_thread_and_grow_the_bound(self, session, vectors):
+        _, _, cx, cy = vectors
+        prod = cx * cy
+        assert prod.noise is not None
+        assert (cx + cy).noise is not None
+        assert cx.rotate(1).noise is not None
+        deeper = prod * prod
+        assert deeper.noise.budget_bits(session.context) < \
+            prod.noise.budget_bits(session.context) < \
+            cx.noise.budget_bits(session.context)
+        deeper.decrypt()  # healthy chain decrypts without a warning
+
+    def test_warn_policy_flags_exhausted_budget(self, session, api_rng):
+        from repro.ckks.noise import NoiseEstimate
+        from repro.errors import NoiseBudgetWarning
+
+        cv = session.encrypt(api_rng.uniform(-1, 1, session.num_slots))
+        cv.noise = NoiseEstimate(1e4, cv.level, cv.scale)
+        with pytest.warns(NoiseBudgetWarning, match="noise budget"):
+            cv.decrypt()  # proceeds: the data still comes back
+
+    def test_strict_policy_raises(self, api_rng):
+        from repro.ckks.noise import NoiseEstimate
+        from repro.errors import NoiseBudgetError
+
+        strict = FHESession.create("tiny_ci", seed=5,
+                                   noise_policy="strict")
+        cv = strict.encrypt(api_rng.uniform(-1, 1, strict.num_slots))
+        cv.noise = NoiseEstimate(1e4, cv.level, cv.scale)
+        with pytest.raises(NoiseBudgetError, match="noise budget"):
+            strict.decrypt(cv)
+        cv.noise = None  # untracked ciphertexts are never gated
+        strict.decrypt(cv)
+
+    def test_off_policy_disables_tracking(self, api_rng):
+        off = FHESession.create("tiny_ci", seed=5, noise_policy="off")
+        cv = off.encrypt(api_rng.uniform(-1, 1, off.num_slots))
+        assert cv.noise is None
+        assert (cv * cv).noise is None
+        off.decrypt(cv)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ParameterError):
+            FHESession.create("tiny_ci", noise_policy="maybe")
+
+    def test_batch_carries_the_worst_member(self, session, api_rng):
+        from repro.api.cipher import CipherBatch
+
+        vecs = [session.encrypt(api_rng.uniform(-1, 1, session.num_slots))
+                for _ in range(3)]
+        vecs[1] = vecs[1] + vecs[1]  # noisiest member (level preserved)
+        batch = CipherBatch.from_vectors(vecs)
+        assert batch.noise is not None
+        assert batch.noise.log2_noise == max(v.noise.log2_noise
+                                             for v in vecs)

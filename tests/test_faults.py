@@ -1,0 +1,776 @@
+"""Fault-injection, deadline, and graceful-degradation tests.
+
+The contracts ISSUE 9 pins down: a seeded :class:`~repro.faults.FaultPlan`
+fires deterministically (same seed, same firing pattern), deadlines
+propagate client -> wire -> service -> pool and always surface as the
+structured ``deadline_exceeded``, a corrupt cache entry is quarantined
+and recomputed (never trusted, never fatal), a crashed or hung shard
+worker costs a retry instead of a request, and the chaos acceptance run
+— worker crash + worker stall + one corrupt cache entry under a
+200-request TCP load — loses zero requests and answers bit-identically
+to a fault-free run.
+"""
+
+import asyncio
+import json
+import multiprocessing
+import os
+import random
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.cache as cache
+from repro import faults
+from repro.api import build_plan, register_backend
+from repro.api.backends import _REGISTRY, PlanBackendBase, RunReport
+from repro.api.plan import report_to_dict
+from repro.errors import ReproError
+from repro.faults import (
+    CRASH_EXIT_CODE,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
+from repro.net.client import (
+    EstimateClient,
+    RemoteDeadlineExceeded,
+    backoff_delay,
+)
+from repro.net.protocol import FrameError, decode_frames, encode_frame
+from repro.net.server import EstimateServer, ServerConfig
+from repro.net.tenants import TenantSpec
+from repro.serve import EstimateService, ShardPool, StalledWorker
+from repro.serve.service import REPORT_CACHE_KIND, REPORT_MODEL_VERSION, ServeError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 120))
+
+
+@pytest.fixture(autouse=True)
+def _fault_hygiene(monkeypatch):
+    """Every test starts and ends with no fault plan in force."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan / FaultRule
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_json_round_trip_preserves_non_default_fields(self):
+        plan = FaultPlan(
+            [
+                FaultRule("worker.run", "crash", match="HELR", after=2),
+                FaultRule("cache.load", "corrupt", probability=0.25,
+                          max_hits=None, message="bitrot"),
+                FaultRule("pool.dispatch", "delay", delay_s=0.5),
+            ],
+            seed=42,
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.rules == plan.rules
+        assert clone.seed == 42
+
+    def test_malformed_plans_raise_repro_error(self):
+        with pytest.raises(ReproError):
+            FaultRule("cache.load", "explode")
+        with pytest.raises(ReproError):
+            FaultRule("cache.load", "error", probability=1.5)
+        with pytest.raises(ReproError):
+            FaultRule("", "error")
+        with pytest.raises(ReproError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ReproError):
+            FaultPlan.from_dict({"rules": [{"action": "error"}]})
+
+    def test_error_action_raises_injected_fault_with_point(self):
+        FaultPlan([FaultRule("cache.load", "error", message="boom")]).install()
+        with pytest.raises(InjectedFault) as excinfo:
+            faults.fault_point("cache.load")
+        assert excinfo.value.point == "cache.load"
+        assert "boom" in str(excinfo.value)
+
+    def test_first_matching_rule_wins(self):
+        FaultPlan(
+            [
+                FaultRule("p", "corrupt"),
+                FaultRule("p", "error"),
+            ]
+        ).install()
+        assert faults.fault_point("p") == "corrupt"
+        # Rule 1 spent its budget; rule 2 now fires.
+        with pytest.raises(InjectedFault):
+            faults.fault_point("p")
+
+    def test_match_gates_on_context_substring(self):
+        FaultPlan([FaultRule("p", "corrupt", match="HELR",
+                             max_hits=None)]).install()
+        assert faults.fault_point("p", context="plan:BTS1") is None
+        assert faults.fault_point("p", context="plan:HELR:64") == "corrupt"
+
+    def test_after_and_max_hits_bound_the_firing_window(self):
+        FaultPlan([FaultRule("p", "corrupt", after=2, max_hits=2,
+                             probability=1.0)]).install()
+        fired = [faults.fault_point("p") for _ in range(6)]
+        assert fired == [None, None, "corrupt", "corrupt", None, None]
+        assert faults.fault_counts() == {"p": 2}
+
+    def test_delay_action_sleeps_then_reports(self):
+        FaultPlan([FaultRule("p", "delay", delay_s=0.0)]).install()
+        assert faults.fault_point("p") == "delay"
+        assert faults.fault_point("p") is None
+
+    def test_probability_stream_is_seed_deterministic(self):
+        text = FaultPlan(
+            [FaultRule("p", "corrupt", probability=0.4, max_hits=None)],
+            seed=1234,
+        ).to_json()
+        runs = []
+        for _ in range(2):
+            faults.install(FaultPlan.from_json(text))
+            runs.append([faults.fault_point("p") for _ in range(64)])
+        assert runs[0] == runs[1]
+        assert "corrupt" in runs[0] and None in runs[0], "0.4 must mix"
+
+    def test_env_var_activates_and_tracks_changes(self, monkeypatch):
+        rule = {"point": "p", "action": "corrupt"}
+        monkeypatch.setenv(faults.ENV_VAR,
+                           json.dumps({"rules": [rule], "seed": 1}))
+        assert faults.fault_point("p") == "corrupt"
+        # Changing the variable re-parses: a fresh plan, fresh budget.
+        monkeypatch.setenv(faults.ENV_VAR,
+                           json.dumps({"rules": [rule], "seed": 2}))
+        assert faults.fault_point("p") == "corrupt"
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.fault_point("p") is None
+
+    def test_env_var_accepts_a_file_path(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan([FaultRule("p", "corrupt")]).to_json())
+        monkeypatch.setenv(faults.ENV_VAR, str(path))
+        assert faults.fault_point("p") == "corrupt"
+
+    def test_malformed_env_plan_is_ignored_not_fatal(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "{broken")
+        assert faults.active_plan() is None
+        assert faults.fault_point("p") is None
+
+    def test_install_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            FaultPlan([FaultRule("p", "error")]).to_json(),
+        )
+        faults.install(FaultPlan([FaultRule("p", "corrupt")]))
+        assert faults.fault_point("p") == "corrupt"
+        faults.clear()
+        with pytest.raises(InjectedFault):
+            faults.fault_point("p")
+
+    def test_crash_action_exits_with_the_crash_code(self):
+        code = (
+            "from repro import faults\n"
+            "from repro.faults import FaultPlan, FaultRule\n"
+            "faults.install(FaultPlan([FaultRule('p', 'crash')]))\n"
+            "faults.fault_point('p')\n"
+            "raise SystemExit(0)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+            capture_output=True,
+        )
+        assert proc.returncode == CRASH_EXIT_CODE
+
+
+# ---------------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_after_remaining_and_expiry(self):
+        deadline = Deadline.after(10.0)
+        assert 9.0 < deadline.remaining() <= 10.0
+        assert not deadline.expired
+        deadline.check("ok")  # must not raise
+        gone = Deadline.after(0.0)
+        assert gone.expired
+        assert gone.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            gone.check("HELR")
+        assert "HELR" in str(excinfo.value)
+
+    def test_coerce(self):
+        assert Deadline.coerce(None) is None
+        deadline = Deadline.after(1.0)
+        assert Deadline.coerce(deadline) is deadline
+        assert 0.0 < Deadline.coerce(0.5).remaining() <= 0.5
+
+    def test_wire_round_trip_carries_the_remaining_budget(self):
+        wire = Deadline.after(2.5).to_wire()
+        assert 2.0 < wire <= 2.5
+        rebuilt = Deadline.from_wire(wire)
+        assert rebuilt is not None
+        assert 2.0 < rebuilt.remaining() <= 2.5
+
+    def test_from_wire_is_lenient(self):
+        assert Deadline.from_wire(None) is None
+        assert Deadline.from_wire(True) is None
+        assert Deadline.from_wire("soon") is None
+
+
+# ---------------------------------------------------------------------------
+# Client backoff
+# ---------------------------------------------------------------------------
+
+
+class _FixedRng:
+    """random()-compatible stub pinning the jitter factor to 1.0."""
+
+    def random(self):
+        return 0.5
+
+
+class TestBackoff:
+    def test_exponential_growth_and_cap(self):
+        rng = _FixedRng()
+        assert backoff_delay(0, None, rng) == pytest.approx(0.05)
+        assert backoff_delay(3, None, rng) == pytest.approx(0.4)
+        assert backoff_delay(10, None, rng) == pytest.approx(2.0)
+
+    def test_server_hint_replaces_the_base(self):
+        rng = _FixedRng()
+        assert backoff_delay(0, 0.2, rng) == pytest.approx(0.2)
+        assert backoff_delay(1, 0.2, rng) == pytest.approx(0.4)
+
+    def test_jitter_spans_half_to_one_and_a_half(self):
+        rng = random.Random(99)
+        for attempt in range(6):
+            base = min(2.0, 0.05 * 2.0 ** attempt)
+            delay = backoff_delay(attempt, None, rng)
+            assert 0.5 * base <= delay < 1.5 * base
+
+    def test_seeded_rng_replays_the_schedule(self):
+        first = [backoff_delay(i, None, random.Random(7)) for i in range(5)]
+        second = [backoff_delay(i, None, random.Random(7)) for i in range(5)]
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Cache corruption -> quarantine -> recompute
+# ---------------------------------------------------------------------------
+
+
+class TestCacheCorruption:
+    @pytest.fixture(autouse=True)
+    def _own_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        self.root = tmp_path
+
+    def test_corrupt_load_quarantines_and_recovers(self):
+        arrays = {"t": np.arange(16, dtype=np.int64)}
+        assert cache.store("ntt", "k1", arrays)
+        faults.install(FaultPlan([FaultRule("cache.load", "corrupt",
+                                            match="ntt:k1")]))
+        before = cache.QUARANTINED
+        assert cache.load("ntt", "k1") is None, "damaged entry is a miss"
+        assert cache.QUARANTINED == before + 1
+        quarantined = list(self.root.glob("*.quarantine"))
+        assert len(quarantined) == 1, "entry moved aside, not deleted"
+        assert not (self.root / "ntt-k1.npz").exists()
+        assert faults.fault_counts() == {"cache.load": 1}
+        # The recovery path: regenerate, store, read back bit-identically.
+        assert cache.store("ntt", "k1", arrays)
+        loaded = cache.load("ntt", "k1")
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded["t"], arrays["t"])
+
+    def test_torn_write_is_caught_by_the_next_reader(self):
+        faults.install(FaultPlan([FaultRule("cache.store", "corrupt",
+                                            match="ntt:k2")]))
+        assert cache.store("ntt", "k2", {"t": np.ones(4)})
+        faults.clear()
+        before = cache.QUARANTINED
+        assert cache.load("ntt", "k2") is None
+        assert cache.QUARANTINED == before + 1
+        assert cache.store("ntt", "k2", {"t": np.ones(4)})
+        assert cache.load("ntt", "k2") is not None
+
+    def test_json_entries_ride_the_same_quarantine_path(self):
+        payload = {"model_version": "x", "report": {"latency_ms": 1.5}}
+        assert cache.store_json("report", "d1", payload)
+        faults.install(FaultPlan([FaultRule("cache.load", "corrupt",
+                                            match="report:d1")]))
+        assert cache.load_json("report", "d1") is None
+        faults.clear()
+        assert cache.store_json("report", "d1", payload)
+        assert cache.load_json("report", "d1") == payload
+
+    def test_concurrent_writers_with_one_corruption_stay_consistent(self):
+        """Eight threads store distinct keys while one store is torn.
+
+        Deterministic (no sleeps): the fault rule matches exactly one
+        key, fires exactly once, and every other entry must round-trip.
+        """
+        faults.install(FaultPlan([FaultRule("cache.store", "corrupt",
+                                            match="ntt:victim")]))
+        keys = [f"w{i}" for i in range(7)] + ["victim"]
+        errors = []
+
+        def writer(key):
+            try:
+                assert cache.store("ntt", key,
+                                   {"t": np.full(8, len(key))})
+            except BaseException as exc:  # noqa: BLE001 - collect, then fail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(k,)) for k in keys]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        faults.clear()
+        before = cache.QUARANTINED
+        assert cache.load("ntt", "victim") is None
+        assert cache.QUARANTINED == before + 1
+        for key in keys[:-1]:
+            loaded = cache.load("ntt", key)
+            assert loaded is not None
+            np.testing.assert_array_equal(loaded["t"], np.full(8, len(key)))
+
+
+# ---------------------------------------------------------------------------
+# Service-level degradation (no forked workers needed)
+# ---------------------------------------------------------------------------
+
+
+class TestServiceDegradation:
+    def test_expired_deadline_skips_the_compute(self):
+        with EstimateService(disk_cache=False) as service:
+            handle = service.submit(build_plan("HELR"),
+                                    deadline=Deadline.after(0.0))
+            service.gather()
+            with pytest.raises(DeadlineExceeded):
+                handle.result()
+            assert service.stats.deadline_skipped == 1
+            assert service.stats.computed == 0, "expired work is not done"
+
+    def test_live_deadline_still_computes(self):
+        with EstimateService(disk_cache=False) as service:
+            report = service.estimate(build_plan("HELR"), deadline=30.0)
+            assert report == build_plan("HELR").run()
+
+    def test_submit_and_gather_after_close_raise_cleanly(self):
+        service = EstimateService(disk_cache=False)
+        service.close()
+        with pytest.raises(ServeError, match="closed"):
+            service.submit(build_plan("HELR"))
+        with pytest.raises(ServeError, match="closed"):
+            service.gather()
+
+    def test_compute_fault_surfaces_as_plan_error_not_hang(self):
+        faults.install(FaultPlan([FaultRule("service.compute", "error",
+                                            message="injected")]))
+        with EstimateService(disk_cache=False) as service:
+            handle = service.submit(build_plan("HELR"))
+            service.gather()
+            with pytest.raises(InjectedFault):
+                handle.result()
+            # The digest is not poisoned: the next submission recomputes.
+            assert service.estimate(build_plan("HELR")) == \
+                build_plan("HELR").run()
+
+
+# ---------------------------------------------------------------------------
+# Frame codec faults
+# ---------------------------------------------------------------------------
+
+
+class TestFrameFaults:
+    def test_encode_error_becomes_frame_error(self):
+        faults.install(FaultPlan([FaultRule("net.encode", "error",
+                                            match="status")]))
+        with pytest.raises(FrameError):
+            encode_frame({"op": "status"})
+
+    def test_encode_corruption_is_caught_by_the_decoder(self):
+        frame = encode_frame({"op": "status"})
+        faults.install(FaultPlan([FaultRule("net.encode", "corrupt")]))
+        damaged = encode_frame({"op": "status"})
+        assert damaged != frame
+        with pytest.raises(FrameError):
+            decode_frames(damaged)
+
+    def test_decode_corruption_is_an_error_not_garbage(self):
+        frame = encode_frame({"op": "status"})
+        faults.install(FaultPlan([FaultRule("net.decode", "corrupt")]))
+        with pytest.raises(FrameError):
+            decode_frames(frame)
+        faults.clear()
+        frames, rest = decode_frames(frame)
+        assert frames == [{"op": "status"}]
+        assert rest == b""
+
+
+# ---------------------------------------------------------------------------
+# Shard-pool stalls and crashes (fork-only)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def sleeper_backend():
+    """A registered backend the chaos rules can slow down or crash."""
+
+    class SleeperBackend(PlanBackendBase):
+        name = "sleeper-faults"
+
+        def run_plan(self, plan):
+            time.sleep(0.01)
+            return RunReport(
+                benchmark=plan.name, backend=self.name,
+                schedule=plan.schedule, total_bytes=64, data_bytes=64,
+                evk_bytes=0, mod_ops=640, num_tasks=1,
+                peak_on_chip_bytes=0, latency_ms=1.0, options=plan.options,
+            )
+
+    backend = SleeperBackend()
+    register_backend(backend)
+    try:
+        yield backend
+    finally:
+        del _REGISTRY["sleeper-faults"]
+
+
+def _marked_plans(*bandwidths):
+    """Plans whose serialized payloads carry a unique bandwidth marker."""
+    return [build_plan("BTS1", backend="sleeper-faults", schedule="OC",
+                       bandwidth_gbs=b) for b in bandwidths]
+
+
+def _bw_marker(value):
+    """The unambiguous payload substring a fault rule can match on."""
+    return f'"bandwidth_gbs":{value}'
+
+
+def _forked_pool(pool, plan):
+    """Fork the pool's workers while ``plan`` is installed.
+
+    Fork children copy the parent's installed plan, so the rules live in
+    the workers no matter what the parent installs afterwards.
+    """
+    faults.install(plan)
+    pool.worker_pids()
+    faults.clear()
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+class TestPoolFaults:
+    def test_stalled_worker_is_reaped_and_jobs_requeue(self, sleeper_backend):
+        plans = _marked_plans(64.0, 65.0, 66.0, 67.0)
+        with ShardPool(2, stall_timeout=0.4) as pool:
+            _forked_pool(pool, FaultPlan(
+                [FaultRule("worker.run", "delay", delay_s=5.0,
+                           match=_bw_marker(64.0))]))
+            reports = pool.run_plans(plans, requeue=True)
+            assert pool.stalls >= 1
+            assert pool.deaths >= 1
+            assert pool.restarts >= 1
+        assert reports == [plan.run() for plan in plans]
+
+    def test_stall_without_requeue_raises_stalled_worker(self,
+                                                         sleeper_backend):
+        plans = _marked_plans(64.0, 65.0)
+        with ShardPool(2, stall_timeout=0.3) as pool:
+            _forked_pool(pool, FaultPlan(
+                [FaultRule("worker.run", "delay", delay_s=5.0,
+                           match=_bw_marker(64.0))]))
+            with pytest.raises(StalledWorker) as excinfo:
+                pool.run_plans(plans)
+            assert excinfo.value.lost
+            assert pool.stalls >= 1
+
+    def test_worker_crash_costs_a_retry_not_a_request(self, sleeper_backend):
+        plans = _marked_plans(64.0, 65.0, 66.0, 67.0)
+        with ShardPool(2) as pool:
+            _forked_pool(pool, FaultPlan(
+                [FaultRule("worker.run", "crash", match=_bw_marker(64.0))]))
+            reports = pool.run_plans(plans, requeue=True)
+            assert pool.deaths >= 1
+        assert reports == [plan.run() for plan in plans]
+
+    def test_result_crash_loses_finished_work_but_not_the_request(
+            self, sleeper_backend):
+        # Crash after computing, before publishing: the parent must
+        # requeue and a replacement redo the (pure) work.
+        plans = _marked_plans(64.0, 65.0, 66.0)
+        with ShardPool(2) as pool:
+            _forked_pool(pool, FaultPlan(
+                [FaultRule("worker.result", "crash", match=_bw_marker(65.0))]))
+            reports = pool.run_plans(plans, requeue=True)
+            assert pool.deaths >= 1
+        assert reports == [plan.run() for plan in plans]
+
+    def test_requeue_budget_caps_a_poison_payload(self, sleeper_backend):
+        """A payload that stalls every worker it touches must end as a
+        structured StalledWorker, not an infinite kill/requeue loop."""
+        plans = _marked_plans(64.0, 65.0)
+        poison = FaultPlan([FaultRule("worker.run", "delay", delay_s=5.0,
+                                      match=_bw_marker(64.0), max_hits=None)])
+        with ShardPool(2, stall_timeout=0.2) as pool:
+            # Keep the plan installed: replacements fork from the parent
+            # and inherit it, so the poison payload stalls them too.
+            faults.install(poison)
+            pool.worker_pids()
+            results = pool.run_plans(plans, requeue=True,
+                                     return_exceptions=True)
+            assert pool.stalls >= ShardPool.MAX_REQUEUES
+        assert isinstance(results[0], StalledWorker)
+        assert results[1] == plans[1].run()
+
+
+# ---------------------------------------------------------------------------
+# Wire deadlines (TCP)
+# ---------------------------------------------------------------------------
+
+
+def _server_config(**kw):
+    kw.setdefault("workers", 0)
+    kw.setdefault("disk_cache", False)
+    kw.setdefault("warming", False)
+    return ServerConfig(**kw)
+
+
+@pytest.fixture()
+def slow_backend():
+    """A backend slow enough for a wire deadline to lapse mid-compute."""
+
+    class SlowBackend(PlanBackendBase):
+        name = "slow-faults"
+
+        def run_plan(self, plan):
+            time.sleep(0.5)
+            return RunReport(
+                benchmark=plan.name, backend=self.name,
+                schedule=plan.schedule, total_bytes=64, data_bytes=64,
+                evk_bytes=0, mod_ops=640, num_tasks=1,
+                peak_on_chip_bytes=0, latency_ms=1.0, options=plan.options,
+            )
+
+    backend = SlowBackend()
+    register_backend(backend)
+    try:
+        yield backend
+    finally:
+        del _REGISTRY["slow-faults"]
+
+
+class TestWireDeadlines:
+    def test_deadline_lapsing_mid_compute_answers_structured(
+            self, slow_backend):
+        plan = build_plan("BTS1", backend="slow-faults", schedule="OC")
+
+        async def main():
+            async with EstimateServer(_server_config()) as server:
+                client = EstimateClient("127.0.0.1", server.port)
+                await client.connect()
+                try:
+                    ticket = await client.submit(
+                        plan, deadline=Deadline.after(0.15))
+                    with pytest.raises(RemoteDeadlineExceeded):
+                        await client.gather([ticket])
+                    # The connection survives; the next request is fine.
+                    status = await client.status()
+                    assert "service" in status
+                finally:
+                    await client.close()
+
+        run(main())
+
+    def test_client_deadline_bounds_a_refusing_server(self):
+        # rate=0.001 with burst=1: the first submit drains the bucket,
+        # the second is refused with an hour-scale retry hint.  The
+        # client's overall deadline must convert that into a prompt
+        # DeadlineExceeded instead of sleeping out the hint.
+        tenant = TenantSpec(name="t", token="s3cret", rate=0.001, burst=1)
+
+        async def main():
+            config = _server_config(tenants=(tenant,))
+            async with EstimateServer(config) as server:
+                client = EstimateClient("127.0.0.1", server.port,
+                                        token="s3cret", backoff_seed=7)
+                await client.connect()
+                try:
+                    await client.estimate(build_plan("HELR"))
+                    started = time.perf_counter()
+                    with pytest.raises(DeadlineExceeded):
+                        await client.estimate(
+                            build_plan("HELR", bandwidth_gbs=96.0),
+                            retries=8, deadline=0.6)
+                    assert time.perf_counter() - started < 5.0
+                finally:
+                    await client.close()
+
+        run(main())
+
+    def test_request_after_close_is_a_clean_connection_error(self):
+        async def main():
+            async with EstimateServer(_server_config()) as server:
+                client = EstimateClient("127.0.0.1", server.port)
+                await client.connect()
+                await client.close()
+                with pytest.raises(ConnectionError):
+                    await client.status()
+
+        run(main())
+
+
+# ---------------------------------------------------------------------------
+# Chaos acceptance: crash + stall + corrupt cache under TCP load
+# ---------------------------------------------------------------------------
+
+
+class ChaosHarness:
+    """Replay a seeded fault plan against a live server under load.
+
+    The harness computes fault-free baselines in-process, seeds the
+    worker fault plan into the pool's forked children, plants a corrupt
+    report-cache entry, then drives ``total`` TCP requests while the
+    worker faults fire, classifying every outcome.
+    """
+
+    def __init__(self, plans, *, total=200, concurrency=16, deadline_s=30.0):
+        self.plans = plans
+        self.total = total
+        self.concurrency = concurrency
+        self.deadline_s = deadline_s
+        self.baseline = {p.digest: report_to_dict(p.run()) for p in plans}
+        self.ok = 0
+        self.deadline_hits = 0
+        self.lost = []
+        self.mismatches = []
+
+    async def drive(self, port):
+        clients = [EstimateClient("127.0.0.1", port, backoff_seed=i)
+                   for i in range(4)]
+        await asyncio.gather(*(c.connect() for c in clients))
+        sem = asyncio.Semaphore(self.concurrency)
+
+        async def one(index):
+            plan = self.plans[index % len(self.plans)]
+            async with sem:
+                try:
+                    report = await clients[index % len(clients)].estimate(
+                        plan, retries=8, deadline=self.deadline_s)
+                except (DeadlineExceeded, RemoteDeadlineExceeded):
+                    self.deadline_hits += 1
+                    return
+                except Exception as exc:  # noqa: BLE001 - any loss counts
+                    self.lost.append((plan.name, repr(exc)))
+                    return
+            if report_to_dict(report) != self.baseline[plan.digest]:
+                self.mismatches.append(plan.digest)
+            else:
+                self.ok += 1
+
+        try:
+            await asyncio.gather(*(one(i) for i in range(self.total)))
+        finally:
+            await asyncio.gather(*(c.close() for c in clients),
+                                 return_exceptions=True)
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+class TestChaosAcceptance:
+    def test_crash_stall_and_corrupt_cache_lose_nothing(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # The load mix never matches a worker fault rule, so the two
+        # initial (faulty) workers stay alive until the dedicated faulty
+        # batch reaches them — one crash and one stall, deterministically,
+        # while the TCP load is in flight on the same pool.
+        load_plans = [build_plan("HELR", bandwidth_gbs=b)
+                      for b in (64.0, 96.0, 128.0, 160.0)]
+        crash_plan, stall_plan = (build_plan("HELR", bandwidth_gbs=b)
+                                  for b in (172.5, 181.25))
+        faulty_baseline = [report_to_dict(p.run())
+                           for p in (crash_plan, stall_plan)]
+        harness = ChaosHarness(load_plans)
+        worker_rules = FaultPlan(
+            [
+                FaultRule("worker.run", "crash", match=_bw_marker(172.5)),
+                FaultRule("worker.run", "delay", delay_s=2.0,
+                          match=_bw_marker(181.25)),
+            ],
+            seed=7,
+        )
+        cache_rule = FaultPlan(
+            [FaultRule("cache.load", "corrupt", match="report:")], seed=11
+        )
+        victim = load_plans[0]
+        quarantined_before = cache.QUARANTINED
+
+        async def main():
+            config = ServerConfig(workers=2, stall_timeout=0.4,
+                                  warming=False, supervisor_interval=30.0)
+            # The server pre-forks its two workers during start(), so the
+            # crash/stall rules must be installed *before* entering the
+            # context: fork children copy the installed plan.  Right
+            # after startup the parent switches to the cache-corruption
+            # rule — replacement workers forked later inherit only that,
+            # and its match never hits a worker-side kernel-cache key.
+            faults.install(worker_rules)
+            async with EstimateServer(config) as server:
+                pool = server.service.service.pool
+                assert pool.started, "workers pre-forked with the rules"
+                faults.install(cache_rule)
+                # Plant the corrupt disk entry: a valid cached report
+                # the load's first cold lookup will find, damage,
+                # quarantine, and recompute.
+                cache.store_json(
+                    REPORT_CACHE_KIND, victim.digest,
+                    {"model_version": REPORT_MODEL_VERSION,
+                     "report": harness.baseline[victim.digest]},
+                )
+
+                loop = asyncio.get_running_loop()
+                faulty = loop.run_in_executor(
+                    None,
+                    lambda: pool.run_plans([crash_plan, stall_plan],
+                                           requeue=True),
+                )
+                await harness.drive(server.port)
+                reports = await faulty
+                assert [report_to_dict(r) for r in reports] == \
+                    faulty_baseline, "requeued faulty batch still exact"
+                assert pool.deaths >= 2, "crash and stall both reaped"
+                assert pool.stalls >= 1
+                assert pool.restarts >= 2
+
+        run(main())
+        # Zero loss: every request completed bit-identically or was a
+        # structured deadline answer (none expected at this deadline).
+        assert harness.lost == []
+        assert harness.mismatches == []
+        assert harness.ok + harness.deadline_hits == harness.total
+        assert harness.ok >= harness.total - 5
+        # The planted corruption fired exactly once and was quarantined.
+        assert cache.QUARANTINED >= quarantined_before + 1
+        assert faults.fault_counts().get("cache.load", 0) == 1
+        assert list(tmp_path.glob("*.quarantine"))
