@@ -272,7 +272,7 @@ def cmd_verify(args) -> int:
     else:
         for name in names:
             for backend in list_backends():
-                for schedule in ("MP", "DC", "OC"):
+                for schedule in ("MP", "DC", "OC", "SOLVER"):
                     plan = build_plan(name, backend=backend,
                                       schedule=schedule)
                     subjects.append(
@@ -355,6 +355,65 @@ def cmd_estimate(args) -> int:
                 title=f"{report.benchmark}/{report.schedule} "
                       "per-phase breakdown (descending chain levels):",
             ))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    """Solve (or recall) the best schedule per spec of one workload."""
+    from repro import sched
+    from repro.core import DataflowConfig
+
+    config = DataflowConfig(
+        data_sram_bytes=args.sram_mb * MB,
+        evk_on_chip=not args.stream_keys,
+        key_compression=args.compress_keys,
+    )
+    if args.traffic:
+        objective = sched.Objective.traffic()
+        unit, scale = "MB", 1.0 / MB
+    else:
+        objective = sched.Objective.latency(
+            bandwidth_gbs=args.bandwidth, modops_scale=args.modops
+        )
+        unit, scale = "ms", 1.0
+    rows = []
+    records = []
+    for spec, calls, solved in sched.solve_workload(
+        args.workload, config, objective
+    ):
+        rec = solved.record
+        rows.append({
+            "spec": f"{spec.name}(kl={spec.kl})",
+            "hks": calls,
+            "schedule": solved.decision.summary(),
+            f"cost_{unit}": round(solved.cost * scale, 3),
+            "hand-written": rec.legacy_best,
+            f"hand_{unit}": round(rec.legacy_best_cost * scale, 3),
+        })
+        records.append(rec)
+    keys = "streamed" if args.stream_keys else "on-chip"
+    print(format_table(
+        rows,
+        title=(f"{args.workload.upper()} schedule solver "
+               f"({objective.metric}, {args.sram_mb} MB SRAM, keys {keys}):"),
+    ))
+    if args.explain:
+        for rec in records:
+            print(f"\n{rec.spec_name}: {rec.reason}")
+            print(f"  considered {rec.considered} candidates, "
+                  f"evaluated {rec.evaluated} exactly")
+        program_decision = {
+            "RESNET_BOOT": sched.RESNET_DECISION,
+            "HELR": sched.HELR_DECISION,
+        }.get(args.workload.upper())
+        if program_decision is not None:
+            from repro.workloads import bootstrap_phases, bootstrap_plan
+            from repro.workloads.builders import _BOOT_SPEC
+
+            _, post_boot = bootstrap_phases(_BOOT_SPEC, bootstrap_plan())
+            print(f"\n{args.workload.upper()} program structure:")
+            for line in program_decision.explain(post_boot):
+                print(f"  {line}")
     return 0
 
 
@@ -527,12 +586,35 @@ def main(argv=None) -> int:
     p_estimate.add_argument("--backend", default="rpu",
                             help=f"one of {list_backends()}")
     p_estimate.add_argument("--schedule", default="all",
-                            help="MP, DC, OC or 'all'")
+                            help="MP, DC, OC, SOLVER or 'all'")
     p_estimate.add_argument("--phases", action="store_true",
                             help="print the per-phase breakdown of "
                                  "workload programs (BOOT, RESNET_BOOT, "
                                  "HELR)")
     p_estimate.set_defaults(func=cmd_estimate)
+    p_sched = sub.add_parser(
+        "schedule",
+        help="solve the best per-phase schedule for a workload",
+    )
+    p_sched.add_argument("workload",
+                         help="benchmark (ARK) or workload program "
+                              "(BOOT, RESNET_BOOT, HELR)")
+    p_sched.add_argument("--explain", action="store_true",
+                         help="print why each schedule was chosen, plus "
+                              "the program-structure decisions")
+    p_sched.add_argument("--traffic", action="store_true",
+                         help="minimize DRAM traffic instead of latency")
+    p_sched.add_argument("--bandwidth", type=float, default=64.0,
+                         help="DRAM bandwidth in GB/s (latency objective)")
+    p_sched.add_argument("--modops", type=float, default=1.0,
+                         help="MODOPS throughput scale (latency objective)")
+    p_sched.add_argument("--sram-mb", type=int, default=32,
+                         help="on-chip data SRAM budget in MB")
+    p_sched.add_argument("--stream-keys", action="store_true",
+                         help="stream evaluation keys from DRAM")
+    p_sched.add_argument("--compress-keys", action="store_true",
+                         help="seed-compressed streamed keys")
+    p_sched.set_defaults(func=cmd_schedule)
     for name, fn in (("simulate", cmd_simulate), ("trace", cmd_trace)):
         p = sub.add_parser(name, help=f"{name} one configuration")
         _add_machine_args(p)

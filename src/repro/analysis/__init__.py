@@ -9,7 +9,7 @@ registry of read-only passes over a :class:`~repro.api.plan.Plan`, a
 :class:`Diagnostic` findings; ``verify(obj)`` additionally raises
 :class:`~repro.errors.AnalysisError` on any error.
 
-Three pass families ship here:
+Four pass families ship here:
 
 * **plan/IR** (``plan.*``, ``ir.*``) — level monotonicity, tower
   budgets, bootstrap-group structure, HKS-count cross-checks against
@@ -20,7 +20,11 @@ Three pass families ship here:
   capacity overflows and cross-pipe hazards before the VM ever runs;
 * **task graphs** (``graph.*``) — structural/deadlock checks, buffer
   write-write races and SRAM resource overflow for the MP/DC/OC
-  schedules.
+  schedules;
+* **solved schedules** (``sched.*``) — op-count invariance, key/data
+  traffic bounds, SRAM-budget and decision-legality checks on every
+  :class:`~repro.sched.solver.ScheduleArtifact` the schedule solver
+  emits.
 
 Integration points: ``EstimateService`` verifies plans at admission,
 ``repro.rpu.codegen`` verifies emitted kernels when
@@ -43,7 +47,12 @@ from repro.analysis.registry import (
 )
 
 # Importing the pass modules registers their passes.
-from repro.analysis import graph_passes, plan_passes, rpu_passes  # noqa: F401,E402
+from repro.analysis import (  # noqa: F401,E402
+    graph_passes,
+    plan_passes,
+    rpu_passes,
+    sched_passes,
+)
 from repro.analysis.plan_passes import required_evks
 from repro.errors import AnalysisError
 

@@ -58,16 +58,16 @@ def _phase_loc(index: int, phase: Phase) -> str:
                "backend and schedule name a registered engine/dataflow")
 def check_plan_backend(plan: "Plan",
                        ctx: AnalysisContext) -> Iterator[Diagnostic]:
-    from repro.api.backends import SCHEDULES, list_backends
+    from repro.api.backends import KNOWN_SCHEDULES, list_backends
 
     if plan.backend not in list_backends():
         yield error("plan.backend", f"backend {plan.backend!r}",
                     "plan names an unregistered backend",
                     hint=f"registered backends: {list_backends()}")
-    if plan.schedule not in SCHEDULES:
+    if plan.schedule not in KNOWN_SCHEDULES:
         yield error("plan.backend", f"schedule {plan.schedule!r}",
                     "plan names an unknown dataflow schedule",
-                    hint=f"choose from {SCHEDULES}")
+                    hint=f"choose from {KNOWN_SCHEDULES}")
 
 
 @analysis_pass("plan.options", "plan",

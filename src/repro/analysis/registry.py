@@ -3,8 +3,9 @@
 Passes register against an object *family* — ``"plan"``
 (:class:`~repro.api.plan.Plan`), ``"workload"``
 (:class:`~repro.workloads.ir.WorkloadProgram`), ``"rpu"``
-(:class:`~repro.rpu.program.Program`) or ``"graph"``
-(:class:`~repro.core.taskgraph.TaskGraph`).  ``analyze(obj)`` dispatches
+(:class:`~repro.rpu.program.Program`), ``"graph"``
+(:class:`~repro.core.taskgraph.TaskGraph`) or ``"sched"``
+(:class:`~repro.sched.solver.ScheduleArtifact`).  ``analyze(obj)`` dispatches
 on the object's type, runs every registered pass of the matching family
 and folds the diagnostics into one
 :class:`~repro.analysis.diagnostics.AnalysisReport`.  Analyzing a plan
@@ -26,7 +27,7 @@ from repro.errors import ParameterError
 from repro.params import MB
 
 #: The known pass families, in dispatch-priority order.
-FAMILIES = ("plan", "workload", "rpu", "graph")
+FAMILIES = ("plan", "workload", "rpu", "graph", "sched")
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,7 @@ def _family_of(obj: object) -> Optional[str]:
     from repro.api.plan import Plan
     from repro.core.taskgraph import TaskGraph
     from repro.rpu.program import Program
+    from repro.sched.solver import ScheduleArtifact
     from repro.workloads.ir import WorkloadProgram
 
     if isinstance(obj, Plan):
@@ -105,6 +107,8 @@ def _family_of(obj: object) -> Optional[str]:
         return "rpu"
     if isinstance(obj, TaskGraph):
         return "graph"
+    if isinstance(obj, ScheduleArtifact):
+        return "sched"
     return None
 
 
@@ -116,6 +120,10 @@ def _subject_of(obj: object, family: str) -> str:
     if family == "rpu":
         name = getattr(obj, "name", "") or "<unnamed>"
         return f"rpu program {name}"
+    if family == "sched":
+        spec = getattr(obj, "spec", None)
+        name = getattr(spec, "name", "?")
+        return f"solved schedule {name}"
     name = getattr(obj, "name", "") or "<unnamed>"
     return f"task graph {name}"
 

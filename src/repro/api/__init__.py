@@ -10,8 +10,9 @@ Three layers, smallest surface first:
   level/scale management;
 * the backend registry — ``session.estimate(workload, backend=...,
   schedule=...)`` answers accelerator-scale performance questions for all
-  three paper dataflows and the RPU simulator through one typed
-  :class:`RunReport`;
+  three paper dataflows, the :mod:`repro.sched` schedule solver
+  (``schedule="SOLVER"`` or ``backend="auto"``) and the RPU simulator
+  through one typed :class:`RunReport`;
 * the plan/execute pipeline — ``session.plan(...)`` freezes a request
   into a typed, hashable, content-addressed :class:`Plan`;
   ``plan.run()`` (via :func:`execute_plan`) produces the same
@@ -25,8 +26,10 @@ the stable facade on top of them.
 
 from repro.api.backends import (
     AnalyticBackend,
+    AutoBackend,
     Backend,
     EstimateOptions,
+    KNOWN_SCHEDULES,
     RPUBackend,
     RunReport,
     SCHEDULES,
@@ -44,12 +47,14 @@ from repro.api.session import FHESession
 
 __all__ = [
     "AnalyticBackend",
+    "AutoBackend",
     "Backend",
     "CipherBatch",
     "CipherVector",
     "DEFAULT_PRESET",
     "EstimateOptions",
     "FHESession",
+    "KNOWN_SCHEDULES",
     "PRESETS",
     "Plan",
     "RPUBackend",

@@ -205,7 +205,11 @@ class Plan:
     options: "EstimateOptions" = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
-        from repro.api.backends import SCHEDULES, EstimateOptions, get_backend
+        from repro.api.backends import (
+            KNOWN_SCHEDULES,
+            EstimateOptions,
+            get_backend,
+        )
 
         if self.options is None:
             object.__setattr__(self, "options", EstimateOptions())
@@ -226,9 +230,10 @@ class Plan:
         object.__setattr__(self, "backend", str(self.backend).lower())
         get_backend(self.backend)  # fail now, not at run time
         schedule = str(self.schedule).upper()
-        if schedule not in SCHEDULES:
+        if schedule not in KNOWN_SCHEDULES:
             raise ParameterError(
-                f"unknown schedule {self.schedule!r}; choose from {SCHEDULES}"
+                f"unknown schedule {self.schedule!r}; "
+                f"choose from {KNOWN_SCHEDULES}"
             )
         object.__setattr__(self, "schedule", schedule)
 
@@ -379,15 +384,22 @@ def report_to_dict(report: "RunReport") -> Dict[str, object]:
         "hks_calls": report.hks_calls,
         "phases": [report_to_dict(p) for p in report.phases],
         "options": _options_to_dict(report.options),
+        "schedule_stats": (
+            None if report.schedule_stats is None
+            else report.schedule_stats.to_dict()
+        ),
     }
 
 
 def report_from_dict(data: Dict[str, object]) -> "RunReport":
     from repro.api.backends import RunReport
 
+    from repro.sched.stats import ScheduleStats as SchedStats
+
     latency = data.get("latency_ms")
     idle = data.get("compute_idle_fraction")
     hks = data.get("hks_calls")
+    raw_stats = data.get("schedule_stats")
     return RunReport(
         benchmark=str(data["benchmark"]),
         backend=str(data["backend"]),
@@ -405,4 +417,7 @@ def report_from_dict(data: Dict[str, object]) -> "RunReport":
         hks_calls=None if hks is None else int(hks),
         phases=tuple(report_from_dict(p) for p in data.get("phases", ())),
         options=_options_from_dict(dict(data.get("options", {}))),
+        schedule_stats=(
+            None if raw_stats is None else SchedStats.from_dict(dict(raw_stats))
+        ),
     )

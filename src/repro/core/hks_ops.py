@@ -63,6 +63,9 @@ class HKSEmitter:
         self.config = config
         self.tb = spec.tower_bytes
         self.n = spec.n
+        #: BConv chunk-length override (0 = derive from the budget); the
+        #: schedule solver sets this to explore accumulation granularity.
+        self.bconv_chunk = 0
         #: extended index -> owning digit (or -1 for P towers).
         self.digit_of: List[int] = []
         for d, size in enumerate(spec.digit_sizes):
@@ -144,6 +147,8 @@ class HKSEmitter:
         chunks when the full source set exceeds the budget (small-SRAM
         configurations); each chunk is one partial-accumulation task.
         """
+        if self.bconv_chunk:
+            return min(num_sources, max(1, self.bconv_chunk))
         budget_towers = self.b.budget // self.tb
         return min(num_sources, max(1, budget_towers - 4))
 

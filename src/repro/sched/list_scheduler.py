@@ -1,0 +1,141 @@
+"""Resource-aware list scheduler over finished task graphs.
+
+The builder emits tasks in the dataflow's *generation* order; the RPU
+executes each queue in order.  When the compute queue stalls on memory
+(idle fraction > 0), a different compute order can hide more of the
+stall without changing any data dependence.  This module re-lists the
+compute queue with a priority-worklist greedy (the
+``BlockBoundedListScheduler`` idiom: rank by longest weighted path to the
+sink, dispatch the candidate that can start earliest on its resource),
+keeping the memory queue's relative order — and therefore the schedule's
+traffic, residency footprint and spill structure — untouched.
+
+Correctness: explicit dependency edges carry all value-flow and
+read-modify-write ordering (the builder records producer edges for
+in-place accumulator updates), so any topological order of the explicit
+DAG is a legal schedule; the rebuilt graph re-validates and the solver
+additionally runs the analysis passes before adopting a reordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.taskgraph import Queue, TaskGraph
+from repro.rpu.config import RPUConfig
+from repro.rpu.simulator import RPUSimulator
+
+#: Graphs larger than this are not worth the O(n * ready-set) greedy.
+MAX_REORDER_TASKS = 6000
+
+
+def _sink_priorities(graph: TaskGraph, durations: List[float]) -> List[float]:
+    """Duration-weighted longest path from each task to any sink.
+
+    Uses explicit dependency edges plus the original same-queue successor
+    edge (the in-order queue makes the next task of a queue an effective
+    successor), so the rank reflects how much serialized work hangs off
+    each task.
+    """
+    n = len(graph.tasks)
+    succs: List[List[int]] = [[] for _ in range(n)]
+    for t in graph.tasks:
+        for d in t.deps:
+            succs[d].append(t.index)
+    prev_in_queue = {Queue.MEMORY: -1, Queue.COMPUTE: -1}
+    for t in graph.tasks:
+        prev = prev_in_queue[t.queue]
+        if prev >= 0:
+            succs[prev].append(t.index)
+        prev_in_queue[t.queue] = t.index
+    rank = [0.0] * n
+    for i in range(n - 1, -1, -1):
+        tail = max((rank[s] for s in succs[i]), default=0.0)
+        rank[i] = durations[i] + tail
+    return rank
+
+
+def reorder_for_latency(graph: TaskGraph,
+                        machine: RPUConfig) -> Optional[TaskGraph]:
+    """Re-list the compute queue to minimise dual-queue makespan.
+
+    Returns a rebuilt graph in the new emission order, or ``None`` when
+    the graph is too large or no reordering is possible.  The memory
+    queue keeps its relative order, so byte counts, traffic tags and the
+    emitted spill/reload structure are preserved exactly; only compute
+    dispatch order (and dependency indices) change.  The caller decides
+    adoption by re-simulating.
+    """
+    n = len(graph.tasks)
+    if n == 0 or n > MAX_REORDER_TASKS:
+        return None
+    sim = RPUSimulator(machine)
+    durations = [sim.task_duration(t) for t in graph.tasks]
+    rank = _sink_priorities(graph, durations)
+
+    memory_order = [t.index for t in graph.queue_tasks(Queue.MEMORY)]
+    tasks = graph.tasks
+    pending_deps = [len(t.deps) for t in tasks]
+    dependents: List[List[int]] = [[] for _ in range(n)]
+    for t in tasks:
+        for d in t.deps:
+            dependents[d].append(t.index)
+
+    ready_compute: List[int] = [
+        t.index
+        for t in tasks
+        if t.queue is Queue.COMPUTE and pending_deps[t.index] == 0
+    ]
+    mem_pos = 0
+    finish = [0.0] * n
+    free = {Queue.MEMORY: 0.0, Queue.COMPUTE: 0.0}
+    order: List[int] = []
+
+    def start_time(i: int) -> float:
+        deps_ready = max((finish[d] for d in tasks[i].deps), default=0.0)
+        return max(free[tasks[i].queue], deps_ready)
+
+    while len(order) < n:
+        candidates: List[int] = []
+        if mem_pos < len(memory_order):
+            head = memory_order[mem_pos]
+            if pending_deps[head] == 0:
+                candidates.append(head)
+        candidates.extend(ready_compute)
+        if not candidates:
+            return None  # cannot happen on a valid graph; bail safely
+        # Earliest achievable start wins; break ties toward the task with
+        # the most serialized work behind it, then original order (this
+        # keeps the result deterministic and the no-stall case stable).
+        best = min(candidates, key=lambda i: (start_time(i), -rank[i], i))
+        s = start_time(best)
+        finish[best] = s + durations[best]
+        free[tasks[best].queue] = finish[best]
+        order.append(best)
+        if tasks[best].queue is Queue.MEMORY:
+            mem_pos += 1
+        else:
+            ready_compute.remove(best)
+        for dep in dependents[best]:
+            pending_deps[dep] -= 1
+            if pending_deps[dep] == 0 and tasks[dep].queue is Queue.COMPUTE:
+                ready_compute.append(dep)
+
+    if order == list(range(n)):
+        return None  # nothing changed
+
+    remap = {old: new for new, old in enumerate(order)}
+    out = TaskGraph(graph.name)
+    for old in order:
+        t = tasks[old]
+        out.add(
+            t.kind,
+            bytes_moved=t.bytes_moved,
+            mod_muls=t.mod_muls,
+            mod_adds=t.mod_adds,
+            deps=[remap[d] for d in t.deps],
+            label=t.label,
+            traffic_tag=t.traffic_tag,
+        )
+    out.validate()
+    return out

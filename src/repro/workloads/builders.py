@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import ParameterError
 from repro.params import BenchmarkSpec
+from repro.sched.space import HELR_DECISION, RESNET_DECISION
 from repro.workloads.ir import CompositeWorkload, Phase, WorkloadProgram, level_spec
 from repro.workloads.mix import HEOpMix
 
@@ -171,25 +172,24 @@ def boot_flat_workload() -> CompositeWorkload:
 _RESNET_MIX = HEOpMix(rotations=3306, ct_multiplies=500,
                       pt_multiplies=2500, additions=6000)
 
-#: Mid-network refreshes: two bootstraps split the network into three
-#: segments, each running in the level window a refresh restores.
-_RESNET_NUM_BOOTSTRAPS = 2
-
-
 @lru_cache(maxsize=None)
 def resnet_boot_program() -> WorkloadProgram:
     """``RESNET_BOOT``: deep private inference with mid-network refreshes.
 
     The paper's ResNet-20 op mix (3,306 rotations) split across
-    ``_RESNET_NUM_BOOTSTRAPS + 1`` network segments with a full bootstrap
-    between consecutive segments.  Every segment runs inside the
-    post-bootstrap level window, descending one level per slice; the
-    bootstraps themselves reuse the level-aware ``BOOT`` phases.
+    ``RESNET_DECISION.num_bootstraps + 1`` network segments with a full
+    bootstrap between consecutive segments.  Every segment runs inside
+    the post-bootstrap level window, descending one level per slice; the
+    bootstraps themselves reuse the level-aware ``BOOT`` phases.  The
+    segment structure (bootstrap placement, segment depth) comes from the
+    shared :data:`~repro.sched.space.RESNET_DECISION` record — the same
+    one ``python -m repro schedule`` explains.
     """
     plan = bootstrap_plan()
     boot_phases, post_boot = bootstrap_phases(_BOOT_SPEC, plan)
-    segments = _RESNET_NUM_BOOTSTRAPS + 1
-    depth = max(1, post_boot - 3)
+    assert RESNET_DECISION.num_bootstraps is not None
+    segments = RESNET_DECISION.num_bootstraps + 1
+    depth = RESNET_DECISION.segment_depth(post_boot)
     phases: List[Phase] = []
     for s, segment_mix in enumerate(_RESNET_MIX.split(segments)):
         phases.extend(
@@ -207,7 +207,7 @@ def resnet_boot_program() -> WorkloadProgram:
         description=(
             f"ResNet-20-class private inference ({_RESNET_MIX.hks_calls} "
             f"app HKS) in {segments} segments with "
-            f"{_RESNET_NUM_BOOTSTRAPS} mid-network bootstraps "
+            f"{RESNET_DECISION.num_bootstraps} mid-network bootstraps "
             f"({boot_hks} HKS each), all priced level-aware"
         ),
     )
@@ -236,7 +236,7 @@ def helr_program(iterations: int = _HELR_ITERATIONS) -> WorkloadProgram:
         raise ParameterError("HELR needs at least one training iteration")
     plan = bootstrap_plan()
     boot_phases, post_boot = bootstrap_phases(_BOOT_SPEC, plan)
-    depth = max(1, min(5, post_boot - 3))
+    depth = HELR_DECISION.segment_depth(post_boot)
     phases: List[Phase] = []
     for it in range(iterations):
         phases.extend(
